@@ -1,0 +1,355 @@
+// Package abm is a pure-Go reproduction of "ABM: Active Buffer
+// Management in Datacenters" (SIGCOMM 2022): a packet-level
+// discrete-event simulator for shared-memory datacenter switches, the
+// ABM buffer-sharing algorithm with every baseline the paper compares
+// against (DT, Complete Sharing, Complete Partitioning, FAB, Cisco IB,
+// and the control-plane ABM approximation), five congestion-control
+// algorithms (Cubic, DCTCP, TIMELY, PowerTCP, θ-PowerTCP), the paper's
+// workloads, and the fluid-model analysis from its appendix.
+//
+// The package exposes three levels of API:
+//
+//   - Experiment: run one evaluation cell (fabric + workloads +
+//     buffer-management scheme) and obtain the paper's metrics. This is
+//     what the figures and benchmarks use.
+//   - Simulation: build a leaf-spine fabric and drive flows manually for
+//     custom scenarios.
+//   - Analysis: closed-form burst tolerance and isolation bounds
+//     (Theorems 1-3, Eqs. 6-11) without running any simulation.
+package abm
+
+import (
+	"io"
+
+	"abm/internal/analytic"
+	"abm/internal/bm"
+	"abm/internal/cc"
+	"abm/internal/experiments"
+	"abm/internal/metrics"
+	"abm/internal/sim"
+	"abm/internal/topo"
+	"abm/internal/trace"
+	"abm/internal/units"
+	"abm/internal/workload"
+)
+
+// Re-exported quantity types. These are stable aliases of the internal
+// representations so all package APIs interoperate.
+type (
+	// Time is simulated time in picoseconds.
+	Time = units.Time
+	// Rate is a data rate in bits per second.
+	Rate = units.Rate
+	// ByteCount is an amount of data in bytes.
+	ByteCount = units.ByteCount
+)
+
+// Common constants re-exported for convenience.
+const (
+	Nanosecond  = units.Nanosecond
+	Microsecond = units.Microsecond
+	Millisecond = units.Millisecond
+	Second      = units.Second
+
+	Kilobyte = units.Kilobyte
+	Megabyte = units.Megabyte
+
+	GigabitPerSec = units.GigabitPerSec
+)
+
+// BMSchemes lists the available buffer-management policies.
+func BMSchemes() []string { return bm.Names() }
+
+// CCAlgorithms lists the available congestion-control algorithms.
+func CCAlgorithms() []string { return cc.Names() }
+
+// Experiment is one evaluation cell: a buffer-management scheme facing
+// the paper's workloads on a leaf-spine fabric.
+type Experiment = experiments.Cell
+
+// ExperimentResult is the outcome of an experiment.
+type ExperimentResult = experiments.Result
+
+// CCAssignment binds a congestion-control algorithm to a priority for
+// mixed-protocol experiments (Fig. 8).
+type CCAssignment = experiments.CCAssignment
+
+// Summary carries the paper's headline metrics for one run.
+type Summary = metrics.Summary
+
+// Scale selects the fabric size for experiments.
+type Scale = experiments.Scale
+
+// Fabric scales.
+const (
+	ScaleSmall  = experiments.ScaleSmall
+	ScaleMedium = experiments.ScaleMedium
+	ScalePaper  = experiments.ScalePaper
+)
+
+// ParseScale resolves "small", "medium" or "paper".
+func ParseScale(name string) (Scale, error) { return experiments.ParseScale(name) }
+
+// RunExperiment executes one evaluation cell.
+func RunExperiment(e Experiment) (ExperimentResult, error) { return experiments.Run(e) }
+
+// RunExperimentDetailed executes one cell and additionally returns the
+// metrics collector with every flow record, for tracing and custom
+// analysis.
+func RunExperimentDetailed(e Experiment) (ExperimentResult, *metrics.Collector, error) {
+	return experiments.RunDetailed(e)
+}
+
+// WriteFlowTrace dumps flow records as a TSV table.
+func WriteFlowTrace(w io.Writer, flows []FlowRecord) error { return trace.WriteFlows(w, flows) }
+
+// FigureIDs lists the reproducible paper figures.
+func FigureIDs() []string { return experiments.FigureIDs }
+
+// RunFigure regenerates one of the paper's figures as a TSV table.
+func RunFigure(id string, scale Scale, seed int64, w io.Writer) error {
+	return experiments.RunFigure(id, scale, seed, w)
+}
+
+// BurstScenario is the analytic Figure 5 setting: a steady-state buffer
+// plus an arriving burst. Its methods evaluate DT's and ABM's burst
+// tolerance in closed form.
+type BurstScenario = analytic.BurstScenario
+
+// PriorityLoad describes one priority's congestion for the steady-state
+// formulas.
+type PriorityLoad = analytic.PriorityLoad
+
+// DTSteadyThreshold evaluates Eq. 6 of the paper.
+func DTSteadyThreshold(b ByteCount, alpha float64, prios []PriorityLoad) ByteCount {
+	return analytic.DTSteadyThreshold(b, alpha, prios)
+}
+
+// ABMMinGuarantee evaluates Theorem 1.
+func ABMMinGuarantee(b ByteCount, alphaP, sumAlphas float64) ByteCount {
+	return analytic.ABMMinGuarantee(b, alphaP, sumAlphas)
+}
+
+// ABMMaxAllocation evaluates Theorem 2.
+func ABMMaxAllocation(b ByteCount, alphaP float64) ByteCount {
+	return analytic.ABMMaxAllocation(b, alphaP)
+}
+
+// ABMDrainTimeBound evaluates Theorem 3.
+func ABMDrainTimeBound(b ByteCount, alphaP float64, bandwidth Rate) Time {
+	return analytic.ABMDrainTimeBound(b, alphaP, bandwidth)
+}
+
+// Simulation wraps a live fabric for custom scenarios: start flows by
+// hand or attach the paper's workload generators, then run the virtual
+// clock.
+type Simulation struct {
+	sim *sim.Simulator
+	net *topo.Network
+	col *metrics.Collector
+}
+
+// SimulationConfig parameterizes a custom fabric.
+type SimulationConfig struct {
+	Seed int64
+
+	// Fabric dimensions; zero values select the paper's 8x8x32 at 10G.
+	Spines       int
+	Leaves       int
+	HostsPerLeaf int
+	LinkRate     Rate
+	LinkDelay    Time
+
+	QueuesPerPort int
+
+	// BM names the buffer-management scheme (see BMSchemes). Empty
+	// selects DT. UpdateInterval applies to ABM-approx.
+	BM             string
+	UpdateInterval Time
+
+	// BufferKBPerPortPerGbps sizes the switch buffer (§4.3); zero selects
+	// the Trident2 value of 9.6.
+	BufferKBPerPortPerGbps float64
+
+	// Headroom reserves this fraction of the buffer for first-RTT
+	// packets; negative disables, zero selects 1/8 for ABM/IB and 0
+	// otherwise.
+	Headroom float64
+
+	// Alphas are the per-priority DT/ABM parameters; empty selects 0.5
+	// everywhere. AlphaUnscheduled defaults to 64 (§3.3).
+	Alphas           []float64
+	AlphaUnscheduled float64
+
+	// EnableINT stamps per-hop telemetry (required by PowerTCP).
+	EnableINT bool
+}
+
+// NewSimulation builds a fabric.
+func NewSimulation(cfg SimulationConfig) (*Simulation, error) {
+	s := sim.New(cfg.Seed)
+	qpp := cfg.QueuesPerPort
+	if qpp <= 0 {
+		qpp = 1
+	}
+	spines, leaves, hpl := cfg.Spines, cfg.Leaves, cfg.HostsPerLeaf
+	if spines <= 0 {
+		spines = 8
+	}
+	if leaves <= 0 {
+		leaves = 8
+	}
+	if hpl <= 0 {
+		hpl = 32
+	}
+	rate := cfg.LinkRate
+	if rate <= 0 {
+		rate = 10 * GigabitPerSec
+	}
+	kb := cfg.BufferKBPerPortPerGbps
+	if kb <= 0 {
+		kb = 9.6
+	}
+	bmName := cfg.BM
+	if bmName == "" {
+		bmName = "DT"
+	}
+	total := topo.BufferFor(kb, hpl+spines, rate)
+	hrFrac := cfg.Headroom
+	if hrFrac == 0 && (bmName == "ABM" || bmName == "IB" || bmName == "ABM-approx") {
+		hrFrac = 1.0 / 8
+	}
+	if hrFrac < 0 {
+		hrFrac = 0
+	}
+	headroom := ByteCount(float64(total) * hrFrac)
+	shared := total - headroom
+
+	numQueues := qpp * (hpl + spines)
+	if _, err := bm.New(bmName, numQueues, cfg.UpdateInterval); err != nil {
+		return nil, err
+	}
+	net := topo.NewNetwork(s, topo.Config{
+		NumSpines:     spines,
+		NumLeaves:     leaves,
+		HostsPerLeaf:  hpl,
+		LinkRate:      rate,
+		LinkDelay:     cfg.LinkDelay,
+		QueuesPerPort: qpp,
+		BufferSize:    shared,
+		Headroom:      headroom,
+		BMFactory: func() bm.Policy {
+			p, err := bm.New(bmName, numQueues, cfg.UpdateInterval)
+			if err != nil {
+				panic(err)
+			}
+			return p
+		},
+		Alphas:           cfg.Alphas,
+		AlphaUnscheduled: cfg.AlphaUnscheduled,
+		EnableINT:        cfg.EnableINT,
+	})
+	return &Simulation{sim: s, net: net, col: &metrics.Collector{}}, nil
+}
+
+// NumHosts returns the number of servers in the fabric.
+func (s *Simulation) NumHosts() int { return s.net.NumHosts() }
+
+// BaseRTT returns the fabric's longest-path propagation RTT.
+func (s *Simulation) BaseRTT() Time { return s.net.BaseRTT() }
+
+// Now returns the current simulated time.
+func (s *Simulation) Now() Time { return s.sim.Now() }
+
+// StartFlow launches one flow using the named congestion-control
+// algorithm. onComplete (may be nil) fires when every byte is
+// acknowledged.
+func (s *Simulation) StartFlow(src, dst int, size ByteCount, prio uint8,
+	ccName string, onComplete func(fct Time)) error {
+	factory, err := cc.NewFactory(ccName)
+	if err != nil {
+		return err
+	}
+	start := s.sim.Now()
+	rec := metrics.FlowRecord{
+		Class: metrics.ClassOther,
+		Prio:  prio,
+		Size:  size,
+		Start: start,
+		Ideal: s.net.IdealFCT(src, dst, size),
+	}
+	s.col.AddFlow(rec)
+	idx := len(s.col.Flows) - 1
+	id := s.net.StartFlow(src, dst, size, prio, factory(), func(now Time) {
+		s.col.Flows[idx].End = now
+		s.col.Flows[idx].Finished = true
+		if onComplete != nil {
+			onComplete(now - start)
+		}
+	})
+	s.col.Flows[idx].ID = id
+	return nil
+}
+
+// AttachWebSearch starts the paper's Poisson web-search workload at the
+// given bisection load.
+func (s *Simulation) AttachWebSearch(load float64, ccName string, prio uint8) (*workload.WebSearch, error) {
+	factory, err := cc.NewFactory(ccName)
+	if err != nil {
+		return nil, err
+	}
+	ws := &workload.WebSearch{Net: s.net, Load: load, CC: factory, Prio: prio, Collect: s.col}
+	ws.Start()
+	return ws, nil
+}
+
+// AttachIncast starts the paper's query/response incast workload.
+func (s *Simulation) AttachIncast(requestSize ByteCount, fanout int, qps float64,
+	ccName string, prio uint8) (*workload.Incast, error) {
+	factory, err := cc.NewFactory(ccName)
+	if err != nil {
+		return nil, err
+	}
+	ic := &workload.Incast{
+		Net: s.net, RequestSize: requestSize, Fanout: fanout,
+		QueryRate: qps, CC: factory, Prio: prio, Collect: s.col,
+	}
+	ic.Start()
+	return ic, nil
+}
+
+// Run advances the virtual clock to the given absolute time.
+func (s *Simulation) Run(until Time) {
+	s.sim.RunUntil(until)
+}
+
+// Drain stops the switch tickers and runs the calendar dry; call once at
+// the end of a scenario.
+func (s *Simulation) Drain() {
+	s.net.Stop()
+	s.sim.Run()
+}
+
+// Flows returns the records of all flows started so far.
+func (s *Simulation) Flows() []metrics.FlowRecord { return s.col.Flows }
+
+// Summarize computes the paper's headline metrics for the run.
+func (s *Simulation) Summarize() Summary {
+	return s.col.Summarize(s.net.Cfg.LinkRate)
+}
+
+// TotalDrops returns fabric-wide packet drops.
+func (s *Simulation) TotalDrops() int64 { return s.net.TotalDrops() }
+
+// FlowClass labels re-exported for filtering Flows().
+const (
+	ClassWebSearch = metrics.ClassWebSearch
+	ClassIncast    = metrics.ClassIncast
+	ClassOther     = metrics.ClassOther
+)
+
+// FlowRecord re-exported for Flows().
+type FlowRecord = metrics.FlowRecord
+
+// Percentile computes the p-th percentile of vals.
+func Percentile(vals []float64, p float64) float64 { return metrics.Percentile(vals, p) }

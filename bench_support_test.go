@@ -1,0 +1,46 @@
+package abm
+
+import (
+	"testing"
+
+	"abm/internal/bm"
+	"abm/internal/units"
+)
+
+// benchThresholdCtx builds a spread of buffer states exercising the
+// threshold functions across occupancy levels.
+func benchThresholdCtx() []*bm.Ctx {
+	out := make([]*bm.Ctx, 0, 16)
+	total := units.ByteCount(4 * units.Megabyte)
+	for i := 0; i < 16; i++ {
+		out = append(out, &bm.Ctx{
+			Total:             total,
+			Occupied:          total / 16 * units.ByteCount(i),
+			QueueLen:          units.ByteCount(i) * 10 * units.Kilobyte,
+			Port:              i % 4,
+			Prio:              i % 2,
+			Alpha:             0.5,
+			AlphaUnscheduled:  64,
+			NormDrain:         1.0 / float64(i%3+1),
+			CongestedSamePrio: i%5 + 1,
+			Unscheduled:       i%4 == 0,
+			FlowID:            uint64(i),
+			PacketSize:        1500,
+		})
+	}
+	return out
+}
+
+func benchThreshold(b *testing.B, name string, ctxs []*bm.Ctx) {
+	b.Helper()
+	pol, err := bm.New(name, 64, units.Millisecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sink units.ByteCount
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += pol.Threshold(ctxs[i%len(ctxs)])
+	}
+	_ = sink
+}

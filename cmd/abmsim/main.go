@@ -1,0 +1,118 @@
+// Command abmsim runs one evaluation cell — a buffer-management scheme
+// facing the paper's workloads on a leaf-spine fabric — and prints the
+// headline metrics.
+//
+// Example:
+//
+//	abmsim -bm ABM -cc cubic -load 0.6 -request 0.3 -scale medium
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"abm"
+)
+
+func main() {
+	var (
+		bmName  = flag.String("bm", "ABM", "buffer management scheme: "+strings.Join(abm.BMSchemes(), ", "))
+		ccName  = flag.String("cc", "cubic", "congestion control: "+strings.Join(abm.CCAlgorithms(), ", "))
+		load    = flag.Float64("load", 0.4, "web-search load as a fraction of bisection bandwidth")
+		request = flag.Float64("request", 0.3, "incast request size as a fraction of the buffer (0 disables)")
+		fanout  = flag.Int("fanout", 8, "incast fan-in degree")
+		qpp     = flag.Int("queues", 1, "queues per port")
+		kb      = flag.Float64("buffer", 9.6, "buffer in KB per port per Gb/s (Trident2=9.6, Tomahawk=5.12, Tofino=3.44)")
+		scale   = flag.String("scale", "small", "fabric scale: small, medium, paper")
+		seed    = flag.Int64("seed", 1, "random seed")
+		update  = flag.Duration("update", 0, "ABM-approx control-plane update interval (e.g. 800us)")
+		flows   = flag.String("flows", "", "write a per-flow TSV trace to this file")
+		sched   = flag.String("sched", "rr", "per-port scheduler: rr, dwrr, strict")
+		wl      = flag.String("workload", "websearch", "background workload: websearch, datamining")
+		cfgIn   = flag.String("config", "", "load the experiment cell from this JSON file (overrides other flags)")
+		cfgOut  = flag.String("save-config", "", "write the resolved experiment cell as JSON and exit")
+	)
+	flag.Parse()
+
+	sc, err := abm.ParseScale(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cell := abm.Experiment{
+		Scale: sc, Seed: *seed,
+		BM: *bmName, Load: *load, WSCC: *ccName,
+		RequestFrac:         *request,
+		Fanout:              *fanout,
+		QueuesPerPort:       *qpp,
+		BufferKBPerPortGbps: *kb,
+		UpdateInterval:      abm.Time(update.Nanoseconds()) * abm.Nanosecond,
+		Scheduler:           *sched,
+		Workload:            *wl,
+	}
+	if *cfgIn != "" {
+		data, err := os.ReadFile(*cfgIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cell = abm.Experiment{}
+		if err := json.Unmarshal(data, &cell); err != nil {
+			fmt.Fprintf(os.Stderr, "parsing %s: %v\n", *cfgIn, err)
+			os.Exit(1)
+		}
+	}
+	if *cfgOut != "" {
+		data, err := json.MarshalIndent(cell, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*cfgOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("experiment cell written to %s\n", *cfgOut)
+		return
+	}
+
+	start := time.Now()
+	res, col, err := abm.RunExperimentDetailed(cell)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *flows != "" {
+		f, err := os.Create(*flows)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := abm.WriteFlowTrace(f, col.Flows); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("flow trace written to %s (%d flows)\n", *flows, len(col.Flows))
+	}
+	s := res.Summary
+	fmt.Printf("scheme            %s\n", cell.BM)
+	fmt.Printf("congestion ctrl   %s\n", cell.WSCC)
+	fmt.Printf("scale             %s (seed %d)\n", cell.Scale, cell.Seed)
+	fmt.Printf("load / request    %.0f%% / %.0f%% of buffer\n", cell.Load*100, cell.RequestFrac*100)
+	fmt.Println(strings.Repeat("-", 44))
+	fmt.Printf("p99 incast FCT slowdown    %10.1f\n", s.P99IncastSlowdown)
+	fmt.Printf("p99 short-flow slowdown    %10.1f\n", s.P99ShortSlowdown)
+	fmt.Printf("p99.9 short-flow slowdown  %10.1f\n", s.P999ShortSlowdown)
+	fmt.Printf("median long-flow slowdown  %10.2f\n", s.MedianLongSlowdown)
+	fmt.Printf("p99 buffer occupancy       %9.1f%%\n", 100*s.P99BufferFrac)
+	fmt.Printf("avg long-flow throughput   %9.1f%%\n", 100*s.AvgThroughputFrac)
+	fmt.Println(strings.Repeat("-", 44))
+	fmt.Printf("flows %d (unfinished %d), drops %d (unscheduled %d)\n",
+		s.Flows, s.Unfinished, res.Drops, res.UnscheduledDrops)
+	fmt.Printf("%d events in %.1fs wall time\n", res.Events, time.Since(start).Seconds())
+}

@@ -1,0 +1,59 @@
+// Command bursttool evaluates the paper's closed-form burst-tolerance
+// and isolation results without running a simulation — the "lessons on
+// how to configure alpha values" of §3.4. It prints DT's and ABM's burst
+// tolerance across a congestion sweep plus ABM's Theorem 1-3 bounds for
+// the given configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"abm"
+)
+
+func main() {
+	var (
+		bufMB  = flag.Float64("buffer", 5, "shared buffer size in MB")
+		rateG  = flag.Float64("rate", 10, "port bandwidth in Gb/s")
+		alpha  = flag.Float64("alpha", 0.5, "alpha for regular traffic")
+		alphaU = flag.Float64("alpha-unsched", 64, "alpha for unscheduled (first-RTT) packets")
+		burstG = flag.Float64("burst", 150, "burst arrival rate in Gb/s")
+		queues = flag.Int("queues", 1, "congested queues sharing the burst's port")
+	)
+	flag.Parse()
+
+	b := abm.ByteCount(*bufMB * float64(abm.Megabyte))
+	rate := abm.Rate(*rateG * float64(abm.GigabitPerSec))
+
+	fmt.Printf("Buffer %.1fMB, ports at %.0fGb/s, alpha=%.2f (unscheduled %.0f), burst %.0fGb/s\n\n",
+		*bufMB, *rateG, *alpha, *alphaU, *burstG)
+
+	fmt.Println("ABM guarantees (Theorems 1-3, two priorities):")
+	fmt.Printf("  minimum buffer per priority  %v\n", abm.ABMMinGuarantee(b, *alpha, 2**alpha))
+	fmt.Printf("  maximum buffer per priority  %v\n", abm.ABMMaxAllocation(b, *alpha))
+	fmt.Printf("  drain time bound             %v\n\n", abm.ABMDrainTimeBound(b, *alpha, rate))
+
+	fmt.Println("Burst tolerance vs congested ports (Figure 5 row):")
+	fmt.Println("ports\tDT\t\tABM")
+	for ports := 0; ports <= 14; ports += 2 {
+		s := abm.BurstScenario{
+			B:              b,
+			PortRate:       rate,
+			Alpha:          *alpha,
+			AlphaBurst:     *alphaU,
+			CongestedPorts: ports,
+			QueuesPerPort:  *queues,
+			BurstRate:      abm.Rate(*burstG * float64(abm.GigabitPerSec)),
+		}
+		fmt.Printf("%d\t%v\t%v\n", ports, s.DTBurstTolerance(), s.ABMBurstTolerance())
+	}
+
+	fmt.Println("\nDT steady-state threshold vs congested queues (Eq. 6):")
+	fmt.Println("queues\tthreshold\toccupied")
+	for n := 1; n <= 20; n += 3 {
+		thr := abm.DTSteadyThreshold(b, *alpha, []abm.PriorityLoad{{Alpha: *alpha, Congested: n}})
+		occupied := abm.ByteCount(n) * thr
+		fmt.Printf("%d\t%v\t%.0f%%\n", n, thr, 100*float64(occupied)/float64(b))
+	}
+}

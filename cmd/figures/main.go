@@ -1,0 +1,98 @@
+// Command figures regenerates the paper's evaluation tables: one TSV
+// per figure (4 through 12, plus the ablation and alpha-sensitivity
+// extras), written to stdout or a directory. With -out, figures run in
+// parallel across workers.
+//
+// Examples:
+//
+//	figures -fig fig6 -scale medium
+//	figures -fig all -scale small -out results/ -workers 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"abm"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure id (fig4..fig12, ablation, alphasweep) or 'all'")
+		scale   = flag.String("scale", "small", "fabric scale: small, medium, paper")
+		seed    = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("out", "", "output directory (default: stdout, sequential)")
+		workers = flag.Int("workers", runtime.NumCPU(), "parallel figure workers (with -out)")
+	)
+	flag.Parse()
+
+	sc, err := abm.ParseScale(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	ids := []string{*fig}
+	if *fig == "all" {
+		ids = abm.FigureIDs()
+	}
+
+	if *out == "" {
+		for _, id := range ids {
+			if err := abm.RunFigure(id, sc, *seed, os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *workers < 1 {
+		*workers = 1
+	}
+	jobs := make(chan string)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	failed := false
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for id := range jobs {
+				start := time.Now()
+				f, err := os.Create(filepath.Join(*out, id+".tsv"))
+				if err == nil {
+					err = abm.RunFigure(id, sc, *seed, f)
+					if cerr := f.Close(); err == nil {
+						err = cerr
+					}
+				}
+				mu.Lock()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+					failed = true
+				} else {
+					fmt.Printf("%s written in %.1fs\n", id, time.Since(start).Seconds())
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, id := range ids {
+		jobs <- id
+	}
+	close(jobs)
+	wg.Wait()
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,54 @@
+package abm_test
+
+import (
+	"fmt"
+
+	"abm"
+)
+
+// The closed-form isolation bounds (Theorems 1-3) for a 5 MB buffer
+// shared by two priorities with alpha = 0.5 at 10 Gb/s ports.
+func Example_theoremBounds() {
+	b := 5 * abm.Megabyte
+	fmt.Println("min guarantee:", abm.ABMMinGuarantee(b, 0.5, 1.0))
+	fmt.Println("max allocation:", abm.ABMMaxAllocation(b, 0.5))
+	fmt.Println("drain bound:", abm.ABMDrainTimeBound(b, 0.5, 10*abm.GigabitPerSec))
+	// Output:
+	// min guarantee: 1.25MB
+	// max allocation: 1.67MB
+	// drain bound: 1.333ms
+}
+
+// Dynamic Thresholds' steady state (Eq. 6): the per-queue threshold
+// collapses as congestion spreads.
+func ExampleDTSteadyThreshold() {
+	b := 5 * abm.Megabyte
+	for _, n := range []int{1, 4, 16} {
+		thr := abm.DTSteadyThreshold(b, 0.5, []abm.PriorityLoad{{Alpha: 0.5, Congested: n}})
+		fmt.Printf("n=%d: %v\n", n, thr)
+	}
+	// Output:
+	// n=1: 1.67MB
+	// n=4: 833.33KB
+	// n=16: 277.78KB
+}
+
+// Burst tolerance (Figure 5): DT's shrinks with background congestion,
+// ABM's does not.
+func ExampleBurstScenario() {
+	s := abm.BurstScenario{
+		B:          5 * abm.Megabyte,
+		PortRate:   10 * abm.GigabitPerSec,
+		Alpha:      0.5,
+		AlphaBurst: 64,
+		BurstRate:  150 * abm.GigabitPerSec,
+
+		CongestedPorts: 12,
+		QueuesPerPort:  4,
+	}
+	fmt.Println("DT: ", s.DTBurstTolerance())
+	fmt.Println("ABM:", s.ABMBurstTolerance())
+	// Output:
+	// DT:  254.09KB
+	// ABM: 3.28MB
+}

@@ -1,0 +1,41 @@
+// Incast: reproduce the paper's headline scenario — the distributed
+// file-system query/response workload colliding with web-search
+// background traffic — and compare every buffer-management scheme on
+// tail flow-completion time. This is Figure 6 at one load point.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"abm"
+)
+
+func main() {
+	fmt.Println("Buffer management under incast (web-search at 60% load, request = 30% of buffer)")
+	fmt.Println()
+	fmt.Printf("%-6s %18s %18s %14s %12s\n", "scheme", "p99 incast FCT", "p99 short FCT", "p99 buffer", "throughput")
+
+	for _, scheme := range []string{"DT", "FAB", "CS", "IB", "ABM"} {
+		res, err := abm.RunExperiment(abm.Experiment{
+			Scale: abm.ScaleSmall,
+			Seed:  42,
+			BM:    scheme,
+			Load:  0.6,
+			WSCC:  "cubic",
+
+			RequestFrac: 0.3,
+			Fanout:      8,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := res.Summary
+		fmt.Printf("%-6s %17.1fx %17.1fx %13.1f%% %11.1f%%\n",
+			scheme, s.P99IncastSlowdown, s.P99ShortSlowdown,
+			100*s.P99BufferFrac, 100*s.AvgThroughputFrac)
+	}
+	fmt.Println()
+	fmt.Println("ABM absorbs the bursts (lowest incast tail) without sacrificing throughput;")
+	fmt.Println("complete sharing (CS) fills the buffer; DT sits in between (paper Fig. 6).")
+}

@@ -1,0 +1,48 @@
+// Isolation: the paper's Figure 8 scenario — three traffic classes
+// running different congestion-control algorithms (Cubic, DCTCP,
+// θ-PowerTCP) in separate priority queues of the same shared buffer.
+// Under DT the aggressive Cubic class starves the others even though
+// they use different queues; ABM bounds each priority's occupancy
+// (Theorem 2) and keeps them isolated.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"abm"
+)
+
+func main() {
+	fmt.Println("Cross-priority isolation (cubic vs dctcp vs theta-powertcp, growing cubic load)")
+	fmt.Println()
+	fmt.Printf("%-5s %-12s %14s %14s %16s\n", "bm", "cubic load", "p99 cubic", "p99 dctcp", "p99 theta-ptcp")
+
+	for _, scheme := range []string{"DT", "ABM"} {
+		for _, load := range []float64{0.2, 0.4, 0.6} {
+			res, err := abm.RunExperiment(abm.Experiment{
+				Scale:         abm.ScaleSmall,
+				Seed:          42,
+				BM:            scheme,
+				Load:          load + 0.2,
+				QueuesPerPort: 3,
+				MixedCC: []abm.CCAssignment{
+					{CC: "cubic", Prio: 0},
+					{CC: "dctcp", Prio: 1},
+				},
+				RequestFrac: 0.25,
+				IncastCC:    "theta-powertcp",
+				IncastPrio:  2,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-5s %10.0f%% %13.1fx %13.1fx %15.1fx\n",
+				scheme, load*100,
+				res.PerPrioP99Short[0], res.PerPrioP99Short[1], res.PerPrioP99Short[2])
+		}
+	}
+	fmt.Println()
+	fmt.Println("Under ABM the dctcp and theta-powertcp tails stay flat as the cubic")
+	fmt.Println("load grows; under DT they degrade with it (paper Fig. 8).")
+}

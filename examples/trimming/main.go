@@ -1,0 +1,51 @@
+// Trimming: the cut-payload AQM from the paper's Figure-1 taxonomy.
+// When queues exceed the trim threshold, the switch removes payloads
+// but still delivers headers, so receivers signal losses at line rate
+// (duplicate ACKs) instead of waiting out a 10 ms retransmission
+// timeout. This example measures how trimming changes the incast tail
+// under DT, and how it compares with ABM's approach of absorbing the
+// burst instead of cutting it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"abm"
+)
+
+func main() {
+	fmt.Println("Cut-payload trimming vs buffer management (web-search 40% + incast 50%)")
+	fmt.Println()
+	fmt.Printf("%-22s %16s %16s\n", "configuration", "p99 incast FCT", "p99 short FCT")
+
+	type variant struct {
+		label string
+		cell  abm.Experiment
+	}
+	base := abm.Experiment{
+		Scale: abm.ScaleSmall, Seed: 42,
+		Load: 0.4, WSCC: "cubic",
+		RequestFrac: 0.5,
+	}
+	variants := []variant{
+		{"DT", func() abm.Experiment { c := base; c.BM = "DT"; return c }()},
+		{"DT + trimming", func() abm.Experiment { c := base; c.BM = "DT"; c.Trimming = true; return c }()},
+		{"ABM", func() abm.Experiment { c := base; c.BM = "ABM"; return c }()},
+		{"ABM + trimming", func() abm.Experiment { c := base; c.BM = "ABM"; c.Trimming = true; return c }()},
+	}
+	for _, v := range variants {
+		res, err := abm.RunExperiment(v.cell)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %15.1fx %15.1fx\n", v.label,
+			res.Summary.P99IncastSlowdown, res.Summary.P99ShortSlowdown)
+	}
+	fmt.Println()
+	fmt.Println("Trimming helps the short-flow tail (losses surface as dupacks, not")
+	fmt.Println("timeouts) but caps every queue at the trim threshold, which destroys")
+	fmt.Println("ABM's burst absorption and leaves retransmissions exposed to further")
+	fmt.Println("trimming — without an NDP-style receiver-driven transport, cutting")
+	fmt.Println("payloads is no substitute for admitting the burst (ABM).")
+}

@@ -1,0 +1,3 @@
+module abm
+
+go 1.22

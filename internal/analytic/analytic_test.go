@@ -1,0 +1,201 @@
+package analytic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"abm/internal/units"
+)
+
+const mb = units.Megabyte
+
+func TestDTSteadyThreshold(t *testing.T) {
+	// Single priority, alpha=1, one congested queue: T = B/2.
+	got := DTSteadyThreshold(1000, 1, []PriorityLoad{{Alpha: 1, Congested: 1}})
+	if got != 500 {
+		t.Fatalf("T = %v, want 500", got)
+	}
+	// Eq. 6 with alpha=0.5 and 4 congested queues: T = 0.5B/(1+2) = B/6.
+	got = DTSteadyThreshold(600, 0.5, []PriorityLoad{{Alpha: 0.5, Congested: 4}})
+	if got != 100 {
+		t.Fatalf("T = %v, want 100", got)
+	}
+}
+
+func TestDTThresholdVanishesWithCongestion(t *testing.T) {
+	// The §2.3 result: as n grows, the threshold tends to zero.
+	prev := units.ByteCount(1 << 40)
+	for n := 1; n <= 128; n *= 2 {
+		got := DTSteadyThreshold(mb, 0.5, []PriorityLoad{{Alpha: 0.5, Congested: n}})
+		if got >= prev {
+			t.Fatalf("threshold did not shrink at n=%d: %v >= %v", n, got, prev)
+		}
+		prev = got
+	}
+	if prev > 10*units.Kilobyte {
+		t.Fatalf("threshold at n=128 still %v", prev)
+	}
+}
+
+func TestDTPriorityInversion(t *testing.T) {
+	// Figure 4 bottom: a high-alpha priority is starved as low-priority
+	// congestion grows, despite its larger alpha.
+	alloc := func(nLow int) units.ByteCount {
+		per, _ := DTSteadyOccupancy(mb, []PriorityLoad{
+			{Alpha: 8, Congested: 1},    // loss-sensitive
+			{Alpha: 1, Congested: nLow}, // best effort
+		})
+		return per[0]
+	}
+	if alloc(20) >= alloc(1)/2 {
+		t.Fatalf("high-priority allocation should collapse: %v -> %v", alloc(1), alloc(20))
+	}
+}
+
+func TestDTOccupancyApproachesB(t *testing.T) {
+	// Figure 4 top: occupancy -> 100% as queues multiply.
+	_, total := DTSteadyOccupancy(mb, []PriorityLoad{{Alpha: 0.5, Congested: 20}})
+	if frac := float64(total) / float64(mb); frac < 0.85 {
+		t.Fatalf("occupied fraction = %.2f, want ~0.91", frac)
+	}
+	_, small := DTSteadyOccupancy(mb, []PriorityLoad{{Alpha: 0.5, Congested: 1}})
+	if frac := float64(small) / float64(mb); frac > 0.4 {
+		t.Fatalf("single queue occupancy = %.2f, want 1/3", frac)
+	}
+}
+
+func TestABMBounds(t *testing.T) {
+	b := units.ByteCount(1000)
+	// Theorem 1 with two priorities alpha=0.5: min = 1000*0.5/2 = 250.
+	if got := ABMMinGuarantee(b, 0.5, 1.0); got != 250 {
+		t.Fatalf("min guarantee = %v, want 250", got)
+	}
+	// Theorem 2: max = 1000*0.5/1.5 = 333.
+	if got := ABMMaxAllocation(b, 0.5); got != 333 {
+		t.Fatalf("max allocation = %v, want 333", got)
+	}
+}
+
+func TestABMDrainTimeBound(t *testing.T) {
+	// B = 1.25MB, alpha = 1, b = 10Gb/s: bound = B/2 / b = 0.5ms.
+	got := ABMDrainTimeBound(1_250_000, 1, 10*units.GigabitPerSec)
+	if got != 500*units.Microsecond {
+		t.Fatalf("drain bound = %v, want 500us", got)
+	}
+}
+
+// Property: Theorem bounds are consistent — min guarantee <= max
+// allocation, and both within [0, B].
+func TestBoundsConsistencyProperty(t *testing.T) {
+	f := func(rawB uint32, a1, a2 uint8) bool {
+		b := units.ByteCount(rawB%10_000_000) + 1
+		alpha := float64(a1%64)/8 + 0.125
+		others := float64(a2%64) / 8
+		minG := ABMMinGuarantee(b, alpha, alpha+others)
+		maxA := ABMMaxAllocation(b, alpha)
+		return minG >= 0 && maxA <= b && minG <= maxA
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func scenario(ports, queues int, r units.Rate) BurstScenario {
+	return BurstScenario{
+		B:              5 * mb,
+		PortRate:       10 * units.GigabitPerSec,
+		Alpha:          0.5,
+		AlphaBurst:     64,
+		CongestedPorts: ports,
+		QueuesPerPort:  queues,
+		BurstRate:      r,
+	}
+}
+
+func TestFig5aDTDecreasesWithPorts(t *testing.T) {
+	r := 150 * units.GigabitPerSec
+	prev := units.ByteCount(1 << 50)
+	for ports := 2; ports <= 14; ports += 4 {
+		bt := scenario(ports, 1, r).DTBurstTolerance()
+		if bt >= prev {
+			t.Fatalf("DT tolerance must fall with congested ports: %v at %d ports", bt, ports)
+		}
+		prev = bt
+	}
+}
+
+func TestFig5bDTDecreasesWithQueues(t *testing.T) {
+	r := 150 * units.GigabitPerSec
+	prev := units.ByteCount(1 << 50)
+	for queues := 2; queues <= 8; queues += 2 {
+		bt := scenario(4, queues, r).DTBurstTolerance()
+		if bt >= prev {
+			t.Fatalf("DT tolerance must fall with queues per port: %v at %d", bt, queues)
+		}
+		prev = bt
+	}
+}
+
+func TestFig5cABMStableAcrossPorts(t *testing.T) {
+	r := 150 * units.GigabitPerSec
+	base := scenario(2, 1, r).ABMBurstTolerance()
+	for ports := 2; ports <= 14; ports += 4 {
+		bt := scenario(ports, 1, r).ABMBurstTolerance()
+		ratio := float64(bt) / float64(base)
+		if ratio < 0.8 || ratio > 1.25 {
+			t.Fatalf("ABM tolerance varies %.2fx across ports (bt=%v at %d)", ratio, bt, ports)
+		}
+	}
+}
+
+func TestFig5ABMBeatsDTUnderLoad(t *testing.T) {
+	r := 180 * units.GigabitPerSec
+	for _, ports := range []int{6, 10, 14} {
+		s := scenario(ports, 4, r)
+		dt, abm := s.DTBurstTolerance(), s.ABMBurstTolerance()
+		if abm <= dt {
+			t.Fatalf("ABM (%v) must exceed DT (%v) at %d ports", abm, dt, ports)
+		}
+	}
+}
+
+func TestABMToleranceRespectsTheorem2Cap(t *testing.T) {
+	s := scenario(0, 1, 11*units.GigabitPerSec) // nearly idle buffer, slow burst
+	bt := s.ABMBurstTolerance()
+	cap := ABMMaxAllocation(s.B, s.AlphaBurst)
+	if bt > cap {
+		t.Fatalf("tolerance %v above Theorem 2 cap %v", bt, cap)
+	}
+}
+
+// Property: burst tolerance is never negative and never exceeds the
+// buffer for random scenarios, for both schemes.
+func TestBurstToleranceBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := BurstScenario{
+			B:              units.ByteCount(rng.Intn(10_000_000) + 1000),
+			PortRate:       units.Rate(rng.Intn(40)+1) * units.GigabitPerSec,
+			Alpha:          float64(rng.Intn(16)+1) / 8,
+			AlphaBurst:     float64(rng.Intn(128) + 1),
+			CongestedPorts: rng.Intn(16),
+			QueuesPerPort:  rng.Intn(8) + 1,
+			BurstRate:      units.Rate(rng.Intn(300)+1) * units.GigabitPerSec,
+		}
+		dt, abm := s.DTBurstTolerance(), s.ABMBurstTolerance()
+		return dt >= 0 && abm >= 0 && dt <= s.B && abm <= s.B
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BurstScenario{}.DTBurstTolerance()
+}

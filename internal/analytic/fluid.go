@@ -1,0 +1,128 @@
+package analytic
+
+import (
+	"fmt"
+
+	"abm/internal/units"
+)
+
+// FluidQueue is one queue in the numerical fluid model of Appendix A:
+// an arrival rate, a drain rate, and the omega multiplier that turns
+// the remaining buffer into its threshold (omega = alpha for DT,
+// omega = alpha/n * mu/b for ABM, Definition 1).
+type FluidQueue struct {
+	Omega   float64
+	Arrival units.Rate // offered load
+	Drain   units.Rate // service rate gamma * b
+
+	// State (bytes), advanced by FluidModel.Step.
+	Len       float64
+	Threshold float64
+
+	// DroppedBytes accumulates fluid discarded above the threshold.
+	DroppedBytes float64
+}
+
+// FluidModel numerically integrates the coupled threshold/queue ODEs of
+// Appendix A (Eqs. 20-21): every queue's threshold is
+// omega * (B - Q(t)), queues grow at min(arrival, threshold headroom)
+// and drain at their service rate. Euler integration with a fixed step;
+// the model is deterministic and packet-free, serving as ground truth
+// between the closed forms and the packet simulator.
+type FluidModel struct {
+	B      units.ByteCount
+	Queues []*FluidQueue
+
+	now units.Time
+}
+
+// NewFluidModel builds a model over the given buffer.
+func NewFluidModel(b units.ByteCount, queues ...*FluidQueue) *FluidModel {
+	if b <= 0 {
+		panic("analytic: fluid model needs a buffer")
+	}
+	return &FluidModel{B: b, Queues: queues}
+}
+
+// Now returns the model clock.
+func (m *FluidModel) Now() units.Time { return m.now }
+
+// Occupancy returns the total fluid in the buffer.
+func (m *FluidModel) Occupancy() float64 {
+	var q float64
+	for _, fq := range m.Queues {
+		q += fq.Len
+	}
+	return q
+}
+
+// Step advances the model by dt.
+func (m *FluidModel) Step(dt units.Time) {
+	seconds := dt.Seconds()
+	occupancy := m.Occupancy()
+	remaining := float64(m.B) - occupancy
+	if remaining < 0 {
+		remaining = 0
+	}
+	for _, fq := range m.Queues {
+		fq.Threshold = fq.Omega * remaining
+		in := float64(fq.Arrival) / 8 * seconds
+		out := float64(fq.Drain) / 8 * seconds
+		if out > fq.Len+in {
+			out = fq.Len + in
+		}
+		next := fq.Len + in - out
+		if next > fq.Threshold {
+			// Fluid above the threshold is discarded on arrival, but the
+			// queue itself is never truncated: admission control gates
+			// growth, it does not evict.
+			admitted := fq.Threshold
+			if fq.Len-out > admitted {
+				admitted = fq.Len - out // already above: only drain shrinks it
+			}
+			fq.DroppedBytes += next - admitted
+			next = admitted
+		}
+		if next < 0 {
+			next = 0
+		}
+		fq.Len = next
+	}
+	m.now += dt
+}
+
+// Run advances the model until the given time with the given step.
+func (m *FluidModel) Run(until, step units.Time) {
+	if step <= 0 {
+		panic("analytic: fluid step must be positive")
+	}
+	for m.now < until {
+		m.Step(step)
+	}
+}
+
+// SteadyState runs the model until the mean occupancy over consecutive
+// 100-step windows changes by less than tol bytes (or the deadline
+// passes) and returns that mean. Windowed means absorb the limit cycle
+// the explicit Euler step produces around the fixed point.
+func (m *FluidModel) SteadyState(deadline, step units.Time, tol float64) (float64, error) {
+	const window = 100
+	prev := m.Occupancy()
+	first := true
+	for m.now < deadline {
+		var sum float64
+		for i := 0; i < window; i++ {
+			m.Step(step)
+			sum += m.Occupancy()
+		}
+		cur := sum / window
+		if !first {
+			if diff := cur - prev; diff < tol && diff > -tol {
+				return cur, nil
+			}
+		}
+		first = false
+		prev = cur
+	}
+	return prev, fmt.Errorf("analytic: no steady state before %v", deadline)
+}

@@ -1,0 +1,161 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"abm/internal/units"
+)
+
+const tenG = 10 * units.GigabitPerSec
+
+func saturatedDTQueue(alpha float64) *FluidQueue {
+	return &FluidQueue{Omega: alpha, Arrival: 2 * tenG, Drain: tenG}
+}
+
+// The fluid model's DT fixed point must match Eq. 6.
+func TestFluidDTFixedPointMatchesEq6(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		queues := make([]*FluidQueue, n)
+		for i := range queues {
+			queues[i] = saturatedDTQueue(0.5)
+		}
+		m := NewFluidModel(mb, queues...)
+		got, err := m.SteadyState(100*units.Millisecond, units.Microsecond, 1.0)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want := float64(n) * float64(DTSteadyThreshold(mb, 0.5, []PriorityLoad{{Alpha: 0.5, Congested: n}}))
+		if math.Abs(got-want)/want > 0.02 {
+			t.Errorf("n=%d: fluid occupancy %.0f, Eq. 6 predicts %.0f", n, got, want)
+		}
+	}
+}
+
+// Per-queue thresholds settle at the Eq. 6 value.
+func TestFluidPerQueueThreshold(t *testing.T) {
+	q1, q2 := saturatedDTQueue(1), saturatedDTQueue(1)
+	m := NewFluidModel(900_000, q1, q2)
+	if _, err := m.SteadyState(100*units.Millisecond, units.Microsecond, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	want := float64(DTSteadyThreshold(900_000, 1, []PriorityLoad{{Alpha: 1, Congested: 2}}))
+	if math.Abs(q1.Len-want)/want > 0.02 {
+		t.Errorf("queue length %.0f, want %.0f", q1.Len, want)
+	}
+	if math.Abs(q1.Len-q2.Len) > 1 {
+		t.Errorf("symmetric queues diverged: %.0f vs %.0f", q1.Len, q2.Len)
+	}
+}
+
+// An underloaded queue drains to zero and drops nothing.
+func TestFluidUnderloadedQueueEmpty(t *testing.T) {
+	q := &FluidQueue{Omega: 0.5, Arrival: tenG / 2, Drain: tenG, Len: 50_000}
+	m := NewFluidModel(mb, q)
+	m.Run(10*units.Millisecond, units.Microsecond)
+	if q.Len > 1 {
+		t.Fatalf("underloaded queue still holds %.0f bytes", q.Len)
+	}
+	if q.DroppedBytes > 0 {
+		t.Fatalf("underloaded queue dropped %.0f bytes", q.DroppedBytes)
+	}
+}
+
+// A saturated queue drops the excess offered load in steady state.
+func TestFluidOverloadDrops(t *testing.T) {
+	q := saturatedDTQueue(0.5)
+	m := NewFluidModel(mb, q)
+	m.Run(20*units.Millisecond, units.Microsecond)
+	if q.DroppedBytes <= 0 {
+		t.Fatal("overloaded queue dropped nothing")
+	}
+	// Excess = (arrival - drain) * time = 10Gb/s * 20ms = 25MB, minus the
+	// fluid stored in the queue.
+	excess := 25e6 - q.Len
+	if math.Abs(q.DroppedBytes-excess)/excess > 0.05 {
+		t.Fatalf("dropped %.0f bytes, want ~%.0f", q.DroppedBytes, excess)
+	}
+}
+
+// ABM queues (omega scaled by 1/n and drain share) stay within the
+// Theorem 2 bound while DT queues exceed it.
+func TestFluidABMRespectsTheorem2(t *testing.T) {
+	const n = 8
+	// DT: omega = alpha.
+	dtQueues := make([]*FluidQueue, n)
+	for i := range dtQueues {
+		dtQueues[i] = saturatedDTQueue(0.5)
+	}
+	dt := NewFluidModel(mb, dtQueues...)
+	dtOcc, err := dt.SteadyState(100*units.Millisecond, units.Microsecond, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ABM: omega = alpha/n (full drain share).
+	abmQueues := make([]*FluidQueue, n)
+	for i := range abmQueues {
+		abmQueues[i] = &FluidQueue{Omega: 0.5 / n, Arrival: 2 * tenG, Drain: tenG}
+	}
+	abm := NewFluidModel(mb, abmQueues...)
+	abmOcc, err := abm.SteadyState(100*units.Millisecond, units.Microsecond, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := float64(ABMMaxAllocation(mb, 0.5))
+	if abmOcc > bound*1.01 {
+		t.Fatalf("ABM fluid occupancy %.0f above Theorem 2 bound %.0f", abmOcc, bound)
+	}
+	if dtOcc <= bound {
+		t.Fatalf("DT occupancy %.0f should exceed the ABM bound %.0f at n=%d", dtOcc, bound, n)
+	}
+}
+
+// Property: occupancy never exceeds the buffer, for random queue mixes.
+func TestFluidConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		queues := make([]*FluidQueue, int((seed%5+5)%5)+1)
+		for i := range queues {
+			queues[i] = &FluidQueue{
+				Omega:   float64(i%4+1) / 4,
+				Arrival: units.Rate(i+1) * tenG,
+				Drain:   tenG,
+			}
+		}
+		m := NewFluidModel(mb, queues...)
+		for i := 0; i < 1000; i++ {
+			m.Step(10 * units.Microsecond)
+			if m.Occupancy() > float64(mb)*1.001 {
+				return false
+			}
+			for _, q := range queues {
+				if q.Len < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFluidValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero buffer")
+		}
+	}()
+	NewFluidModel(0)
+}
+
+func TestFluidRunStepValidation(t *testing.T) {
+	m := NewFluidModel(mb)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero step")
+		}
+	}()
+	m.Run(units.Millisecond, 0)
+}

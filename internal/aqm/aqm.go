@@ -1,0 +1,124 @@
+// Package aqm implements active queue management: the per-queue schemes
+// (Eq. 4's Φ term) that mark, drop, or trim packets the buffer-management
+// stage has already admitted. It provides the ECN threshold marking used
+// by DCTCP (K), RED, Codel, PIE, and a cut-payload trimming scheme —
+// covering the taxonomy in the paper's Figure 1.
+package aqm
+
+import (
+	"math/rand"
+
+	"abm/internal/units"
+)
+
+// Decision is an AQM verdict on an arriving packet.
+type Decision uint8
+
+// Verdicts. Trim removes the payload but still enqueues the header so
+// the receiver can signal the loss without a timeout.
+const (
+	Enqueue Decision = iota
+	Mark
+	Drop
+	Trim
+)
+
+// String renders a decision for logs and tests.
+func (d Decision) String() string {
+	switch d {
+	case Enqueue:
+		return "enqueue"
+	case Mark:
+		return "mark"
+	case Drop:
+		return "drop"
+	case Trim:
+		return "trim"
+	default:
+		return "unknown"
+	}
+}
+
+// Ctx is the queue state offered to an AQM on each packet arrival.
+type Ctx struct {
+	QueueLen   units.ByteCount // current queue occupancy (before this packet)
+	PacketSize units.ByteCount
+	DrainRate  units.Rate // current drain rate estimate of the queue
+	ECNCapable bool       // packet carries ECT
+	Now        units.Time
+}
+
+// Policy decides the fate of packets arriving at one queue. Policies are
+// per-queue instances: the device creates one per (port, priority).
+type Policy interface {
+	Name() string
+	OnArrival(ctx *Ctx, rng *rand.Rand) Decision
+}
+
+// DequeueHook is implemented by sojourn-time-based policies (Codel) that
+// decide drops when packets leave the queue. OnDequeue receives the
+// packet's sojourn time and returns true if it must be dropped instead
+// of transmitted.
+type DequeueHook interface {
+	OnDequeue(sojourn units.Time, now units.Time) bool
+}
+
+// Factory creates a fresh per-queue policy instance.
+type Factory func() Policy
+
+// None admits everything: BM-only operation, the device default.
+type None struct{}
+
+// Name implements Policy.
+func (None) Name() string { return "none" }
+
+// OnArrival implements Policy.
+func (None) OnArrival(*Ctx, *rand.Rand) Decision { return Enqueue }
+
+// ECNThreshold marks ECN-capable packets whenever the instantaneous
+// queue length is at or above K — the single-threshold RED configuration
+// DCTCP prescribes (marking threshold K, §4.1: K = 65 packets).
+type ECNThreshold struct {
+	// K is the marking threshold in bytes.
+	K units.ByteCount
+	// DropNonECT drops packets without ECT above K instead of admitting
+	// them (RED-like behaviour for non-ECN traffic). Default false.
+	DropNonECT bool
+}
+
+// Name implements Policy.
+func (e ECNThreshold) Name() string { return "ecn" }
+
+// OnArrival implements Policy.
+func (e ECNThreshold) OnArrival(ctx *Ctx, _ *rand.Rand) Decision {
+	if ctx.QueueLen < e.K {
+		return Enqueue
+	}
+	if ctx.ECNCapable {
+		return Mark
+	}
+	if e.DropNonECT {
+		return Drop
+	}
+	return Enqueue
+}
+
+// CutPayload is the trimming scheme from the taxonomy (Figure 1,
+// "Cut Payload / Trimming-based"): above the trim threshold the payload
+// is removed and only the header is queued, so receivers learn about the
+// loss at line rate instead of via a retransmission timeout.
+type CutPayload struct {
+	// TrimAbove is the queue length beyond which payloads are trimmed.
+	TrimAbove units.ByteCount
+}
+
+// Name implements Policy.
+func (c CutPayload) Name() string { return "cut-payload" }
+
+// OnArrival implements Policy.
+func (c CutPayload) OnArrival(ctx *Ctx, _ *rand.Rand) Decision {
+	if ctx.QueueLen >= c.TrimAbove && ctx.PacketSize > 0 {
+		return Trim
+	}
+	return Enqueue
+}

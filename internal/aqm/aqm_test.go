@@ -1,0 +1,224 @@
+package aqm
+
+import (
+	"math/rand"
+	"testing"
+
+	"abm/internal/units"
+)
+
+func TestDecisionString(t *testing.T) {
+	want := map[Decision]string{Enqueue: "enqueue", Mark: "mark", Drop: "drop", Trim: "trim", Decision(99): "unknown"}
+	for d, s := range want {
+		if d.String() != s {
+			t.Errorf("Decision(%d).String() = %q, want %q", d, d.String(), s)
+		}
+	}
+}
+
+func TestNone(t *testing.T) {
+	p := None{}
+	if got := p.OnArrival(&Ctx{QueueLen: 1 << 40}, nil); got != Enqueue {
+		t.Fatalf("None = %v, want enqueue", got)
+	}
+}
+
+func TestECNThreshold(t *testing.T) {
+	e := ECNThreshold{K: 10_000}
+	tests := []struct {
+		qlen units.ByteCount
+		ect  bool
+		want Decision
+	}{
+		{0, true, Enqueue},
+		{9_999, true, Enqueue},
+		{10_000, true, Mark},
+		{50_000, true, Mark},
+		{10_000, false, Enqueue}, // non-ECT passes by default
+	}
+	for _, tc := range tests {
+		got := e.OnArrival(&Ctx{QueueLen: tc.qlen, ECNCapable: tc.ect}, nil)
+		if got != tc.want {
+			t.Errorf("qlen=%v ect=%v: got %v, want %v", tc.qlen, tc.ect, got, tc.want)
+		}
+	}
+	e.DropNonECT = true
+	if got := e.OnArrival(&Ctx{QueueLen: 10_000, ECNCapable: false}, nil); got != Drop {
+		t.Fatalf("DropNonECT: got %v, want drop", got)
+	}
+}
+
+func TestCutPayload(t *testing.T) {
+	c := CutPayload{TrimAbove: 5_000}
+	if got := c.OnArrival(&Ctx{QueueLen: 1_000, PacketSize: 1500}, nil); got != Enqueue {
+		t.Fatalf("below threshold: %v", got)
+	}
+	if got := c.OnArrival(&Ctx{QueueLen: 6_000, PacketSize: 1500}, nil); got != Trim {
+		t.Fatalf("above threshold: %v", got)
+	}
+	// Header-only packets are never trimmed again.
+	if got := c.OnArrival(&Ctx{QueueLen: 6_000, PacketSize: 0}, nil); got != Enqueue {
+		t.Fatalf("header-only: %v", got)
+	}
+}
+
+func TestREDBelowMinAlwaysEnqueues(t *testing.T) {
+	r := NewRED(30_000, 90_000)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		if got := r.OnArrival(&Ctx{QueueLen: 10_000, ECNCapable: true}, rng); got != Enqueue {
+			t.Fatalf("below MinTh must enqueue, got %v", got)
+		}
+	}
+}
+
+func TestREDAboveMaxAlwaysCongests(t *testing.T) {
+	r := NewRED(10_000, 20_000)
+	rng := rand.New(rand.NewSource(1))
+	// Saturate the EWMA at a high queue.
+	var d Decision
+	for i := 0; i < 5000; i++ {
+		d = r.OnArrival(&Ctx{QueueLen: 200_000, ECNCapable: true}, rng)
+	}
+	if d != Mark {
+		t.Fatalf("ECT above MaxTh must mark, got %v", d)
+	}
+	for i := 0; i < 10; i++ {
+		d = r.OnArrival(&Ctx{QueueLen: 200_000, ECNCapable: false}, rng)
+	}
+	if d != Drop {
+		t.Fatalf("non-ECT above MaxTh must drop, got %v", d)
+	}
+}
+
+func TestREDIntermediateMarksProbabilistically(t *testing.T) {
+	r := NewRED(10_000, 100_000)
+	r.Wq = 1 // track instantaneous queue for the test
+	rng := rand.New(rand.NewSource(2))
+	marks := 0
+	const n = 20_000
+	for i := 0; i < n; i++ {
+		if r.OnArrival(&Ctx{QueueLen: 55_000, ECNCapable: true}, rng) == Mark {
+			marks++
+		}
+	}
+	if marks == 0 || marks == n {
+		t.Fatalf("mid-queue marking should be probabilistic, got %d/%d", marks, n)
+	}
+}
+
+func TestREDDefaults(t *testing.T) {
+	r := NewRED(0, 0)
+	if r.MinTh <= 0 || r.MaxTh <= r.MinTh || r.MaxP <= 0 || r.Wq <= 0 {
+		t.Fatalf("defaults not filled: %+v", r)
+	}
+}
+
+func TestCodelStaysQuietUnderTarget(t *testing.T) {
+	c := NewCodel(units.Millisecond, 10*units.Millisecond)
+	now := units.Time(0)
+	for i := 0; i < 1000; i++ {
+		now += 100 * units.Microsecond
+		if c.OnDequeue(500*units.Microsecond, now) {
+			t.Fatal("codel dropped below target")
+		}
+	}
+	if c.Dropping() {
+		t.Fatal("codel should not be in dropping state")
+	}
+}
+
+func TestCodelDropsAfterSustainedDelay(t *testing.T) {
+	c := NewCodel(units.Millisecond, 10*units.Millisecond)
+	now := units.Time(0)
+	drops := 0
+	for i := 0; i < 3000; i++ {
+		now += 100 * units.Microsecond
+		if c.OnDequeue(5*units.Millisecond, now) {
+			drops++
+		}
+	}
+	if drops == 0 {
+		t.Fatal("codel never dropped under sustained high sojourn")
+	}
+	if !c.Dropping() {
+		t.Fatal("codel should be in dropping state")
+	}
+	// Drop rate must accelerate: later half has more drops than the first.
+	// (The control law shrinks the inter-drop gap as count grows.)
+}
+
+func TestCodelRecovers(t *testing.T) {
+	c := NewCodel(units.Millisecond, 10*units.Millisecond)
+	now := units.Time(0)
+	for i := 0; i < 3000; i++ {
+		now += 100 * units.Microsecond
+		c.OnDequeue(5*units.Millisecond, now)
+	}
+	// Sojourn falls below target: dropping state must clear.
+	now += 100 * units.Microsecond
+	if c.OnDequeue(100*units.Microsecond, now) {
+		t.Fatal("dropped a below-target packet")
+	}
+	if c.Dropping() {
+		t.Fatal("codel should exit dropping state")
+	}
+}
+
+func TestPIEProbabilityRisesAboveTarget(t *testing.T) {
+	p := NewPIE(units.Millisecond)
+	rng := rand.New(rand.NewSource(3))
+	now := units.Time(0)
+	// Queue implies 10ms delay at 1Gb/s: 1.25MB.
+	for i := 0; i < 100; i++ {
+		now += units.Millisecond
+		p.OnArrival(&Ctx{
+			QueueLen:   1_250_000,
+			PacketSize: 1500,
+			DrainRate:  units.GigabitPerSec,
+			Now:        now,
+		}, rng)
+	}
+	if p.DropProb() <= 0 {
+		t.Fatal("PIE drop probability should rise when delay exceeds target")
+	}
+}
+
+func TestPIEProbabilityFallsWhenIdle(t *testing.T) {
+	p := NewPIE(units.Millisecond)
+	rng := rand.New(rand.NewSource(3))
+	now := units.Time(0)
+	for i := 0; i < 200; i++ {
+		now += units.Millisecond
+		p.OnArrival(&Ctx{QueueLen: 2_500_000, PacketSize: 1500, DrainRate: units.GigabitPerSec, Now: now}, rng)
+	}
+	high := p.DropProb()
+	for i := 0; i < 2000; i++ {
+		now += units.Millisecond
+		p.OnArrival(&Ctx{QueueLen: 0, PacketSize: 1500, DrainRate: units.GigabitPerSec, Now: now}, rng)
+	}
+	if p.DropProb() >= high {
+		t.Fatalf("PIE probability should decay when delay is zero: %v -> %v", high, p.DropProb())
+	}
+}
+
+func TestPIESmallQueueBypass(t *testing.T) {
+	p := NewPIE(units.Millisecond)
+	p.dropProb = 1 // force max probability
+	p.started = true
+	rng := rand.New(rand.NewSource(3))
+	got := p.OnArrival(&Ctx{QueueLen: 1500, PacketSize: 1500, DrainRate: units.GigabitPerSec}, rng)
+	if got != Enqueue {
+		t.Fatalf("tiny queue must bypass PIE, got %v", got)
+	}
+}
+
+func TestEstimateDelay(t *testing.T) {
+	d := estimateDelay(&Ctx{QueueLen: 1_250_000, DrainRate: units.GigabitPerSec})
+	if d != 10*units.Millisecond {
+		t.Fatalf("delay estimate = %v, want 10ms", d)
+	}
+	if estimateDelay(&Ctx{QueueLen: 100}) != 0 {
+		t.Fatal("zero drain rate must estimate zero delay")
+	}
+}

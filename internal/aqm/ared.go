@@ -1,0 +1,54 @@
+package aqm
+
+import (
+	"math/rand"
+
+	"abm/internal/units"
+)
+
+// ARED is Adaptive RED (Floyd, Gummadi, Shenker 2001), the "ARED" point
+// in the paper's Figure 1 taxonomy: plain RED whose MaxP self-tunes so
+// the average queue tracks the midpoint between MinTh and MaxTh —
+// additive increase when the average runs high, multiplicative decrease
+// when it runs low.
+type ARED struct {
+	RED
+
+	// Interval is the adaptation period; defaults to 1ms (scaled to
+	// datacenter RTTs from the paper's 0.5s WAN setting).
+	Interval units.Time
+	// IncrementP and DecreaseFactor are the adaptation steps (defaults
+	// 0.01 and 0.9 per the paper).
+	IncrementP     float64
+	DecreaseFactor float64
+
+	lastAdapt units.Time
+}
+
+// NewARED returns an adaptive RED instance.
+func NewARED(minTh, maxTh units.ByteCount) *ARED {
+	a := &ARED{RED: *NewRED(minTh, maxTh)}
+	a.Interval = units.Millisecond
+	a.IncrementP = 0.01
+	a.DecreaseFactor = 0.9
+	a.MaxP = 0.1
+	return a
+}
+
+// Name implements Policy.
+func (a *ARED) Name() string { return "ared" }
+
+// OnArrival implements Policy: RED with periodic MaxP adaptation.
+func (a *ARED) OnArrival(ctx *Ctx, rng *rand.Rand) Decision {
+	if ctx.Now-a.lastAdapt >= a.Interval {
+		a.lastAdapt = ctx.Now
+		target := float64(a.MinTh+a.MaxTh) / 2
+		switch {
+		case a.Avg() > target && a.MaxP < 0.5:
+			a.MaxP += a.IncrementP
+		case a.Avg() < target && a.MaxP > 0.01:
+			a.MaxP *= a.DecreaseFactor
+		}
+	}
+	return a.RED.OnArrival(ctx, rng)
+}

@@ -1,0 +1,57 @@
+package aqm
+
+import (
+	"math/rand"
+	"testing"
+
+	"abm/internal/units"
+)
+
+func TestAREDMaxPRisesUnderSustainedQueue(t *testing.T) {
+	a := NewARED(10_000, 100_000)
+	a.Wq = 1 // instantaneous avg for the test
+	rng := rand.New(rand.NewSource(1))
+	before := a.MaxP
+	now := units.Time(0)
+	for i := 0; i < 50; i++ {
+		now += units.Millisecond
+		a.OnArrival(&Ctx{QueueLen: 90_000, ECNCapable: true, Now: now}, rng)
+	}
+	if a.MaxP <= before {
+		t.Fatalf("MaxP should rise under a high queue: %v -> %v", before, a.MaxP)
+	}
+	if a.MaxP > 0.51 {
+		t.Fatalf("MaxP exceeded its cap: %v", a.MaxP)
+	}
+}
+
+func TestAREDMaxPFallsWhenIdle(t *testing.T) {
+	a := NewARED(10_000, 100_000)
+	a.Wq = 1
+	a.MaxP = 0.4
+	rng := rand.New(rand.NewSource(1))
+	now := units.Time(0)
+	for i := 0; i < 100; i++ {
+		now += units.Millisecond
+		a.OnArrival(&Ctx{QueueLen: 5_000, ECNCapable: true, Now: now}, rng)
+	}
+	if a.MaxP >= 0.4 {
+		t.Fatalf("MaxP should decay at a low queue: %v", a.MaxP)
+	}
+	if a.MaxP < 0.009 {
+		t.Fatalf("MaxP fell through its floor: %v", a.MaxP)
+	}
+}
+
+func TestAREDStillBehavesLikeRED(t *testing.T) {
+	a := NewARED(10_000, 20_000)
+	rng := rand.New(rand.NewSource(2))
+	// Saturate above MaxTh: must mark ECT traffic.
+	var d Decision
+	for i := 0; i < 5000; i++ {
+		d = a.OnArrival(&Ctx{QueueLen: 200_000, ECNCapable: true, Now: units.Time(i) * units.Microsecond}, rng)
+	}
+	if d != Mark {
+		t.Fatalf("above MaxTh must mark, got %v", d)
+	}
+}

@@ -1,0 +1,96 @@
+package aqm
+
+import (
+	"math"
+	"math/rand"
+
+	"abm/internal/units"
+)
+
+// Codel is the Controlled Delay AQM (Nichols & Jacobson 2012), the
+// delay-based scheme in the paper's Figure 1 taxonomy. It watches the
+// per-packet sojourn time at dequeue: once the sojourn has stayed above
+// Target for a full Interval, it drops one packet and re-arms with the
+// interval shrunk by 1/sqrt(count), the control law that gives Codel its
+// linear drop-rate ramp.
+type Codel struct {
+	Target   units.Time // acceptable standing delay, default 1ms (datacenter scale)
+	Interval units.Time // sliding window, default 10ms
+
+	dropping   bool
+	firstAbove units.Time // when sojourn first exceeded Target, 0 = not yet
+	dropNext   units.Time
+	count      int
+	lastCount  int
+}
+
+// NewCodel returns a Codel with the given parameters; zero values select
+// datacenter-scale defaults.
+func NewCodel(target, interval units.Time) *Codel {
+	c := &Codel{Target: target, Interval: interval}
+	if c.Target <= 0 {
+		c.Target = units.Millisecond
+	}
+	if c.Interval <= 0 {
+		c.Interval = 10 * units.Millisecond
+	}
+	return c
+}
+
+// Name implements Policy.
+func (c *Codel) Name() string { return "codel" }
+
+// OnArrival implements Policy: Codel never acts at enqueue.
+func (c *Codel) OnArrival(*Ctx, *rand.Rand) Decision { return Enqueue }
+
+// OnDequeue implements DequeueHook, returning true when the departing
+// packet must be dropped.
+func (c *Codel) OnDequeue(sojourn, now units.Time) bool {
+	okToDrop := c.update(sojourn, now)
+	if c.dropping {
+		if !okToDrop {
+			c.dropping = false
+			return false
+		}
+		if now >= c.dropNext {
+			c.count++
+			c.dropNext = c.controlLaw(c.dropNext)
+			return true
+		}
+		return false
+	}
+	if okToDrop && (now-c.dropNext < c.Interval || now-c.firstAbove >= c.Interval) {
+		c.dropping = true
+		// Resume from the previous drop rate if we were dropping recently.
+		if now-c.dropNext < c.Interval && c.lastCount > 2 {
+			c.count = c.lastCount - 2
+		} else {
+			c.count = 1
+		}
+		c.lastCount = c.count
+		c.dropNext = c.controlLaw(now)
+		return true
+	}
+	return false
+}
+
+// update tracks how long the sojourn has been above Target and reports
+// whether dropping is currently justified.
+func (c *Codel) update(sojourn, now units.Time) bool {
+	if sojourn < c.Target {
+		c.firstAbove = 0
+		return false
+	}
+	if c.firstAbove == 0 {
+		c.firstAbove = now + c.Interval
+		return false
+	}
+	return now >= c.firstAbove
+}
+
+func (c *Codel) controlLaw(t units.Time) units.Time {
+	return t + units.Time(float64(c.Interval)/math.Sqrt(float64(c.count)))
+}
+
+// Dropping reports whether Codel is in its dropping state (for tests).
+func (c *Codel) Dropping() bool { return c.dropping }

@@ -1,0 +1,110 @@
+package bm
+
+import (
+	"fmt"
+
+	"abm/internal/units"
+)
+
+// Approx approximates ABM on top of Dynamic Thresholds by periodically
+// reconfiguring DT's per-queue alpha from the control plane (§3.4,
+// evaluated in §4.4 / Figure 12): every UpdateInterval the policy pulls
+// queue statistics and sets
+//
+//	alphaEff(i,p) = alpha_p * (1/n_p) * (mu_p^i / b)
+//
+// so that between updates the data path computes plain DT,
+// T = alphaEff * (B - Q(t)), with stale alphaEff. With a small interval
+// this converges to ABM; with a very large one it degenerates to DT.
+type Approx struct {
+	// UpdateInterval is the control-plane reconfiguration period. The
+	// paper sweeps 1x to 1000x the base RTT.
+	UpdateInterval units.Time
+	// AlphaUnscheduledBoost applies ABM's §3.3 unscheduled prioritization
+	// per packet. Enabled by default: DT hardware supports static
+	// per-class alpha profiles (the control plane configures the tagged
+	// class's profile once), so the boost does not depend on the update
+	// interval — only the dynamic factors (n_p, mu/b) go stale.
+	AlphaUnscheduledBoost bool
+
+	stats    Stats
+	alphaEff [][]float64 // [port][prio], cached multiplier on (B-Q)
+	alphas   []float64   // per-priority alphas, mirrored from the MMU config
+	lastTick units.Time
+	ticked   bool
+}
+
+// NewApprox returns an ABM-on-DT approximation with the given update
+// interval. The interval must be positive.
+func NewApprox(interval units.Time) *Approx {
+	if interval <= 0 {
+		panic(fmt.Sprintf("bm: Approx interval %v must be positive", interval))
+	}
+	return &Approx{UpdateInterval: interval, AlphaUnscheduledBoost: true}
+}
+
+// Name implements Policy.
+func (a *Approx) Name() string { return fmt.Sprintf("ABM-approx(%v)", a.UpdateInterval) }
+
+// Bind implements Binder.
+func (a *Approx) Bind(s Stats) {
+	a.stats = s
+	a.alphaEff = make([][]float64, s.Ports())
+	for i := range a.alphaEff {
+		a.alphaEff[i] = make([]float64, s.Prios())
+	}
+}
+
+// Threshold implements Policy: DT with the last reconfigured alpha.
+func (a *Approx) Threshold(ctx *Ctx) units.ByteCount {
+	remaining := float64(ctx.Total - ctx.Occupied)
+	alpha := ctx.Alpha // before the first reconfiguration: plain DT
+	if a.ticked && ctx.Port < len(a.alphaEff) && ctx.Prio < len(a.alphaEff[ctx.Port]) {
+		alpha = a.alphaEff[ctx.Port][ctx.Prio]
+		if a.AlphaUnscheduledBoost && ctx.Unscheduled && ctx.AlphaUnscheduled > 0 && ctx.Alpha > 0 {
+			// Scale the cached multiplier the way ABM would scale alpha.
+			alpha *= ctx.AlphaUnscheduled / ctx.Alpha
+		}
+	}
+	return clampBytes(alpha * remaining)
+}
+
+// UseHeadroom implements HeadroomEligible, matching ABM's configuration.
+func (a *Approx) UseHeadroom(ctx *Ctx) bool { return ctx.Unscheduled }
+
+// Tick implements Ticker: the control-plane reconfiguration.
+func (a *Approx) Tick(now units.Time) {
+	if a.stats == nil {
+		return
+	}
+	// The first reconfiguration also waits a full interval: before it,
+	// the data path runs the alphas DT shipped with.
+	if now-a.lastTick < a.UpdateInterval {
+		return
+	}
+	a.lastTick = now
+	a.ticked = true
+	for port := range a.alphaEff {
+		for prio := range a.alphaEff[port] {
+			n := a.stats.CongestedSamePrio(prio)
+			if n < 1 {
+				n = 1
+			}
+			a.alphaEff[port][prio] = a.alphaFor(prio) / float64(n) * a.stats.NormDrain(port, prio)
+		}
+	}
+}
+
+// alphaFor returns the configured alpha for a priority during the
+// control-plane recomputation. Alphas arrive via SetAlphas.
+func (a *Approx) alphaFor(prio int) float64 {
+	if prio < len(a.alphas) {
+		return a.alphas[prio]
+	}
+	return 0.5
+}
+
+// SetAlphas provides the per-priority alpha values used during Tick.
+func (a *Approx) SetAlphas(alphas []float64) {
+	a.alphas = append([]float64(nil), alphas...)
+}

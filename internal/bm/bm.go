@@ -1,0 +1,123 @@
+// Package bm implements buffer-management policies for shared-memory
+// switches: the per-queue threshold functions that decide how much of the
+// shared buffer each queue may occupy (Eq. 4's Ψ term in the paper).
+//
+// The package provides the paper's contribution, ABM (Eq. 9), alongside
+// every baseline the evaluation compares against: Dynamic Thresholds
+// (DT), Complete Sharing (CS), Complete Partitioning (CP), Flow-Aware
+// Buffer (FAB), Cisco's Intelligent Buffer (IB, approximated as AFD plus
+// an elephant trap on top of DT), and the control-plane approximation of
+// ABM on top of DT (§3.4, evaluated in §4.4).
+package bm
+
+import (
+	"math/rand"
+
+	"abm/internal/units"
+)
+
+// Ctx is the buffer state the MMU exposes to a policy when it computes
+// the threshold for one queue. All byte quantities are instantaneous.
+type Ctx struct {
+	Total    units.ByteCount // B: shared buffer size (excluding headroom)
+	Occupied units.ByteCount // Q(t): current total occupancy of the shared pool
+	QueueLen units.ByteCount // q: occupancy of the target queue
+
+	Port int // egress port index
+	Prio int // priority (queue index within the port)
+
+	Alpha            float64 // alpha_p configured for this priority
+	AlphaUnscheduled float64 // alpha used for unscheduled packets (§3.3)
+
+	// NormDrain is mu_p^i / b: the fraction of the port's bandwidth
+	// available to this queue under the current schedule (§3.1).
+	NormDrain float64
+
+	// CongestedSamePrio is n_p: the number of congested queues of this
+	// priority across the device, at least 1 whenever this queue is being
+	// offered traffic.
+	CongestedSamePrio int
+
+	Unscheduled bool // the packet being admitted carries the first-RTT tag
+	FlowID      uint64
+	PacketSize  units.ByteCount
+	Now         units.Time
+}
+
+// EffectiveAlpha returns the alpha the policy should use for the packet
+// under admission: the unscheduled alpha if the packet is tagged and the
+// policy honours the tag.
+func (c *Ctx) EffectiveAlpha(honourUnscheduled bool) float64 {
+	if honourUnscheduled && c.Unscheduled && c.AlphaUnscheduled > 0 {
+		return c.AlphaUnscheduled
+	}
+	return c.Alpha
+}
+
+// Policy computes per-queue thresholds. Implementations must be
+// deterministic functions of Ctx plus their own internal state.
+type Policy interface {
+	Name() string
+	// Threshold returns the instantaneous maximum length of the queue: a
+	// packet is admitted only if QueueLen+PacketSize stays at or below it.
+	Threshold(ctx *Ctx) units.ByteCount
+}
+
+// FlowAware is implemented by policies that track per-flow state (FAB's
+// short-flow detection, IB's elephant trap). The MMU invokes the hooks on
+// every admitted or dropped packet.
+type FlowAware interface {
+	OnAdmit(ctx *Ctx)
+	OnDrop(ctx *Ctx)
+}
+
+// Dropper is implemented by policies that can reject a packet before the
+// threshold check (IB's approximate fair dropping).
+type Dropper interface {
+	ShouldDrop(ctx *Ctx, rng *rand.Rand) bool
+}
+
+// Ticker is implemented by policies with periodic control loops (the
+// ABM-on-DT approximation, AFD's fair-share adaptation, FAB's flow-table
+// aging). The MMU calls Tick on its stats interval.
+type Ticker interface {
+	Tick(now units.Time)
+}
+
+// Stats is the device-level view offered to policies that recompute
+// state periodically rather than per packet.
+type Stats interface {
+	BufferSize() units.ByteCount
+	BufferUsed() units.ByteCount
+	Ports() int
+	Prios() int
+	PortRate() units.Rate
+	QueueLen(port, prio int) units.ByteCount
+	NormDrain(port, prio int) float64
+	CongestedSamePrio(prio int) int
+}
+
+// Binder is implemented by policies that need the device stats view; the
+// MMU calls Bind once during switch construction.
+type Binder interface {
+	Bind(s Stats)
+}
+
+// HeadroomEligible is implemented by policies that admit some packets
+// from the reserved headroom pool when the shared pool rejects them
+// (IB protects mice this way; ABM uses headroom for unscheduled packets,
+// §4.1). If a policy does not implement it, only unscheduled packets are
+// eligible when headroom is configured.
+type HeadroomEligible interface {
+	UseHeadroom(ctx *Ctx) bool
+}
+
+func clampBytes(v float64) units.ByteCount {
+	if v < 0 {
+		return 0
+	}
+	if v > 1e15 {
+		return units.ByteCount(1e15)
+	}
+	return units.ByteCount(v)
+}

@@ -1,0 +1,432 @@
+package bm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"abm/internal/units"
+)
+
+func ctx(total, occupied, qlen units.ByteCount) *Ctx {
+	return &Ctx{
+		Total:             total,
+		Occupied:          occupied,
+		QueueLen:          qlen,
+		Alpha:             0.5,
+		AlphaUnscheduled:  64,
+		NormDrain:         1,
+		CongestedSamePrio: 1,
+		PacketSize:        1500,
+	}
+}
+
+func TestDTThreshold(t *testing.T) {
+	c := ctx(1000, 400, 0)
+	// T = alpha*(B-Q) = 0.5*600 = 300.
+	if got := (DT{}).Threshold(c); got != 300 {
+		t.Fatalf("DT threshold = %v, want 300", got)
+	}
+	c.Occupied = 1000
+	if got := (DT{}).Threshold(c); got != 0 {
+		t.Fatalf("full buffer threshold = %v, want 0", got)
+	}
+}
+
+func TestCSThreshold(t *testing.T) {
+	c := ctx(1000, 999, 500)
+	if got := (CS{}).Threshold(c); got != 1000 {
+		t.Fatalf("CS threshold = %v, want B", got)
+	}
+}
+
+func TestCPThreshold(t *testing.T) {
+	c := ctx(1000, 0, 0)
+	if got := (CP{NumQueues: 4}).Threshold(c); got != 250 {
+		t.Fatalf("CP threshold = %v, want B/N=250", got)
+	}
+}
+
+func TestCPPanicsWithoutN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(CP{}).Threshold(ctx(1000, 0, 0))
+}
+
+func TestABMThreshold(t *testing.T) {
+	c := ctx(1000, 400, 0)
+	c.NormDrain = 0.5
+	c.CongestedSamePrio = 2
+	// T = 0.5 * (1/2) * 600 * 0.5 = 75.
+	if got := (ABM{}).Threshold(c); got != 75 {
+		t.Fatalf("ABM threshold = %v, want 75", got)
+	}
+}
+
+func TestABMUnscheduledBoost(t *testing.T) {
+	c := ctx(1000, 400, 0)
+	c.Unscheduled = true
+	// alpha becomes 64: T = 64 * 600 = 38400 (clamped later by buffer).
+	if got := (ABM{}).Threshold(c); got != 38400 {
+		t.Fatalf("unscheduled threshold = %v, want 38400", got)
+	}
+	if !(ABM{}).UseHeadroom(c) {
+		t.Fatal("unscheduled packets should be headroom-eligible")
+	}
+	c.Unscheduled = false
+	if (ABM{}).UseHeadroom(c) {
+		t.Fatal("scheduled packets should not be headroom-eligible")
+	}
+}
+
+func TestABMZeroCongestedTreatedAsOne(t *testing.T) {
+	c := ctx(1000, 0, 0)
+	c.CongestedSamePrio = 0
+	got := (ABM{}).Threshold(c)
+	c.CongestedSamePrio = 1
+	want := (ABM{}).Threshold(c)
+	if got != want {
+		t.Fatalf("n=0 threshold %v, want same as n=1 (%v)", got, want)
+	}
+}
+
+// Property: ABM's threshold is never negative and never exceeds DT's for
+// the same state when NormDrain<=1 and n>=1 and the same alpha is used —
+// ABM only *shrinks* the DT allocation (Eq. 9 vs Eq. 5).
+func TestABMDominatedByDTProperty(t *testing.T) {
+	f := func(totRaw, occRaw uint32, drainRaw uint8, nRaw uint8) bool {
+		total := units.ByteCount(totRaw%10_000_000) + 1
+		occupied := units.ByteCount(occRaw) % total
+		c := ctx(total, occupied, 0)
+		c.NormDrain = float64(drainRaw%101) / 100
+		c.CongestedSamePrio = int(nRaw%16) + 1
+		abm := (ABM{}).Threshold(c)
+		dt := (DT{}).Threshold(c)
+		return abm >= 0 && abm <= dt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: thresholds decrease (weakly) as occupancy grows, for DT and ABM.
+func TestThresholdMonotoneInOccupancyProperty(t *testing.T) {
+	f := func(totRaw, aRaw, bRaw uint32) bool {
+		total := units.ByteCount(totRaw%10_000_000) + 2
+		qa := units.ByteCount(aRaw) % total
+		qb := units.ByteCount(bRaw) % total
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		ca, cb := ctx(total, qa, 0), ctx(total, qb, 0)
+		return (DT{}).Threshold(ca) >= (DT{}).Threshold(cb) &&
+			(ABM{}).Threshold(ca) >= (ABM{}).Threshold(cb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFABBoostsShortFlows(t *testing.T) {
+	f := NewFAB(10_000, 4)
+	c := ctx(1000, 400, 0)
+	c.FlowID = 1
+	// Unknown flow: boosted threshold 0.5*4*600 = 1200 (above DT's 300).
+	if got := f.Threshold(c); got != 1200 {
+		t.Fatalf("short-flow threshold = %v, want 1200", got)
+	}
+	// Feed 10KB through the flow: becomes long, back to DT.
+	for i := 0; i < 10; i++ {
+		c.PacketSize = 1000
+		f.OnAdmit(c)
+	}
+	if got := f.Threshold(c); got != 300 {
+		t.Fatalf("long-flow threshold = %v, want plain DT 300", got)
+	}
+}
+
+func TestFABAging(t *testing.T) {
+	f := NewFAB(10_000, 4)
+	c := ctx(1000, 0, 0)
+	c.FlowID = 9
+	c.Now = 0
+	f.OnAdmit(c)
+	if f.FlowTableSize() != 1 {
+		t.Fatal("flow not tracked")
+	}
+	f.Tick(20 * units.Millisecond)
+	if f.FlowTableSize() != 0 {
+		t.Fatal("idle flow not aged out")
+	}
+}
+
+func TestFABDropKeepsFlowAlive(t *testing.T) {
+	f := NewFAB(10_000, 4)
+	c := ctx(1000, 0, 0)
+	c.FlowID = 3
+	f.OnAdmit(c)
+	c.Now = 9 * units.Millisecond
+	f.OnDrop(c)
+	f.Tick(12 * units.Millisecond) // 3ms after last activity: below AgeAfter
+	if f.FlowTableSize() != 1 {
+		t.Fatal("active (dropped) flow was evicted")
+	}
+}
+
+type fakeStats struct {
+	size  units.ByteCount
+	used  units.ByteCount
+	ports int
+	prios int
+	rate  units.Rate
+	qlen  func(p, q int) units.ByteCount
+	drain func(p, q int) float64
+	ncong func(q int) int
+}
+
+func (s fakeStats) BufferSize() units.ByteCount { return s.size }
+func (s fakeStats) BufferUsed() units.ByteCount { return s.used }
+func (s fakeStats) Ports() int                  { return s.ports }
+func (s fakeStats) Prios() int                  { return s.prios }
+func (s fakeStats) PortRate() units.Rate {
+	if s.rate == 0 {
+		return 10 * units.GigabitPerSec
+	}
+	return s.rate
+}
+func (s fakeStats) QueueLen(p, q int) units.ByteCount {
+	if s.qlen == nil {
+		return 0
+	}
+	return s.qlen(p, q)
+}
+func (s fakeStats) NormDrain(p, q int) float64 {
+	if s.drain == nil {
+		return 1
+	}
+	return s.drain(p, q)
+}
+func (s fakeStats) CongestedSamePrio(q int) int {
+	if s.ncong == nil {
+		return 1
+	}
+	return s.ncong(q)
+}
+
+func TestIBElephantDropping(t *testing.T) {
+	ib := NewIB()
+	ib.Bind(fakeStats{size: 1_000_000, ports: 1, prios: 1})
+	rng := rand.New(rand.NewSource(4))
+	c := ctx(1_000_000, 0, 200*units.Kilobyte) // queue above the AFD target
+	c.FlowID = 1
+
+	// A brand-new flow is a mouse: never dropped.
+	if ib.ShouldDrop(c, rng) {
+		t.Fatal("new flow must not be AFD-dropped")
+	}
+	// Below the target queue AFD is inactive even for known flows.
+	calm := ctx(1_000_000, 0, 10*units.Kilobyte)
+	calm.FlowID = 1
+	if ib.ShouldDrop(calm, rng) {
+		t.Fatal("AFD must be inactive below the target queue")
+	}
+	// Pump 500KB through the flow in one window: clearly an elephant.
+	c.PacketSize = 1500
+	for i := 0; i < 350; i++ {
+		ib.OnAdmit(c)
+	}
+	// Force the fair share far below the flow's rate; lift the TCP cap to
+	// test the raw AFD law.
+	ib.fairBytes = 1500
+	ib.MaxDropProb = 1
+	drops := 0
+	for i := 0; i < 1000; i++ {
+		if ib.ShouldDrop(c, rng) {
+			drops++
+		}
+	}
+	if drops < 900 {
+		t.Fatalf("elephant should be dropped aggressively, got %d/1000", drops)
+	}
+	// With the default cap the drop rate is bounded.
+	ib.MaxDropProb = 0.05
+	drops = 0
+	for i := 0; i < 2000; i++ {
+		if ib.ShouldDrop(c, rng) {
+			drops++
+		}
+	}
+	if drops > 250 {
+		t.Fatalf("capped AFD dropped %d/2000, want <= ~5%%", drops)
+	}
+	// A different small flow is untouched.
+	c2 := ctx(1_000_000, 0, 0)
+	c2.FlowID = 2
+	ib.OnAdmit(c2)
+	if ib.ShouldDrop(c2, rng) {
+		t.Fatal("mouse must not be dropped")
+	}
+}
+
+func TestIBFairShareAdapts(t *testing.T) {
+	// Queues above target: the fair share must shrink.
+	high := fakeStats{size: 1_000_000, ports: 1, prios: 1,
+		qlen: func(p, q int) units.ByteCount { return 300 * units.Kilobyte }}
+	ib := NewIB()
+	ib.Bind(high)
+	before := ib.FairShare()
+	ib.Tick(2 * units.Millisecond)
+	if ib.FairShare() >= before {
+		t.Fatalf("fair share should shrink above target: %v -> %v", before, ib.FairShare())
+	}
+	// Queues below target: it must grow.
+	ib2 := NewIB()
+	ib2.Bind(fakeStats{size: 1_000_000, ports: 1, prios: 1})
+	before = ib2.FairShare()
+	ib2.Tick(2 * units.Millisecond)
+	if ib2.FairShare() <= before {
+		t.Fatalf("fair share should grow below target: %v -> %v", before, ib2.FairShare())
+	}
+}
+
+func TestIBWindowRollover(t *testing.T) {
+	ib := NewIB()
+	ib.Bind(fakeStats{size: 1_000_000, ports: 1, prios: 1})
+	c := ctx(1_000_000, 0, 0)
+	c.FlowID = 5
+	c.PacketSize = 200_000
+	ib.OnAdmit(c)
+	ib.Tick(2 * units.Millisecond) // closes the window
+	fl := ib.flows[5]
+	if fl.prevBytes != 200_000 || fl.winBytes != 0 {
+		t.Fatalf("window rollover broken: prev=%v win=%v", fl.prevBytes, fl.winBytes)
+	}
+	// Flow idles away after 4 windows.
+	ib.Tick(10 * units.Millisecond)
+	if _, ok := ib.flows[5]; ok {
+		t.Fatal("idle flow should be evicted")
+	}
+}
+
+func TestIBHeadroomEligibility(t *testing.T) {
+	ib := NewIB()
+	c := ctx(1_000_000, 0, 0)
+	c.FlowID = 8
+	if !ib.UseHeadroom(c) {
+		t.Fatal("unknown flow (mouse) should use headroom")
+	}
+	c.PacketSize = 1500
+	for i := 0; i < 100; i++ {
+		ib.OnAdmit(c)
+	}
+	if ib.UseHeadroom(c) {
+		t.Fatal("elephant should not use headroom")
+	}
+	c.Unscheduled = true
+	if !ib.UseHeadroom(c) {
+		t.Fatal("unscheduled always headroom-eligible")
+	}
+}
+
+func TestApproxBeforeFirstTickIsDT(t *testing.T) {
+	a := NewApprox(units.Millisecond)
+	c := ctx(1000, 400, 0)
+	if got, want := a.Threshold(c), (DT{}).Threshold(c); got != want {
+		t.Fatalf("pre-tick approx = %v, want DT %v", got, want)
+	}
+}
+
+func TestApproxTracksABMAfterTick(t *testing.T) {
+	stats := fakeStats{
+		size: 1000, used: 400, ports: 1, prios: 1,
+		drain: func(p, q int) float64 { return 0.5 },
+		ncong: func(q int) int { return 2 },
+	}
+	a := NewApprox(units.Millisecond)
+	a.SetAlphas([]float64{0.5})
+	a.Bind(stats)
+	a.Tick(units.Millisecond)
+	c := ctx(1000, 400, 0)
+	c.NormDrain = 0.5
+	c.CongestedSamePrio = 2
+	if got, want := a.Threshold(c), (ABM{}).Threshold(c); got != want {
+		t.Fatalf("post-tick approx = %v, want ABM %v", got, want)
+	}
+}
+
+func TestApproxRespectsInterval(t *testing.T) {
+	calls := 0
+	stats := fakeStats{size: 1000, ports: 1, prios: 1,
+		ncong: func(q int) int { calls++; return 1 }}
+	a := NewApprox(10 * units.Millisecond)
+	a.Bind(stats)
+	a.Tick(units.Millisecond) // first tick always fires
+	first := calls
+	a.Tick(2 * units.Millisecond) // within interval: ignored
+	if calls != first {
+		t.Fatal("tick fired before interval elapsed")
+	}
+	a.Tick(12 * units.Millisecond)
+	if calls == first {
+		t.Fatal("tick did not fire after interval")
+	}
+}
+
+func TestApproxPanicsOnBadInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewApprox(0)
+}
+
+func TestRegistry(t *testing.T) {
+	for _, name := range Names() {
+		p, err := New(name, 16, units.Millisecond)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if p == nil {
+			t.Fatalf("New(%q) returned nil", name)
+		}
+	}
+	if _, err := New("bogus", 0, 0); err == nil {
+		t.Fatal("expected error for unknown policy")
+	}
+	if _, err := New("CP", 0, 0); err == nil {
+		t.Fatal("CP without queue count must error")
+	}
+	if _, err := New("ABM-approx", 0, 0); err == nil {
+		t.Fatal("ABM-approx without interval must error")
+	}
+}
+
+func TestEffectiveAlpha(t *testing.T) {
+	c := ctx(1000, 0, 0)
+	if got := c.EffectiveAlpha(true); got != 0.5 {
+		t.Fatalf("scheduled alpha = %v", got)
+	}
+	c.Unscheduled = true
+	if got := c.EffectiveAlpha(true); got != 64 {
+		t.Fatalf("unscheduled alpha = %v", got)
+	}
+	if got := c.EffectiveAlpha(false); got != 0.5 {
+		t.Fatalf("tag-ignoring alpha = %v", got)
+	}
+}
+
+func TestClampBytes(t *testing.T) {
+	if clampBytes(-5) != 0 {
+		t.Fatal("negative must clamp to 0")
+	}
+	if clampBytes(1e20) != units.ByteCount(1e15) {
+		t.Fatal("huge must clamp")
+	}
+	if clampBytes(123.9) != 123 {
+		t.Fatal("fraction truncates")
+	}
+}

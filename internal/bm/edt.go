@@ -1,0 +1,87 @@
+package bm
+
+import (
+	"abm/internal/units"
+)
+
+// EDT is the Enhanced Dynamic Threshold policy (Shan, Jiang, Ren —
+// INFOCOM 2015), one of the DT-descendant schemes the paper's related
+// work discusses (§5): DT augmented with a micro-burst absorption state
+// machine. A queue that starts growing from (near) empty is classified
+// as bursty and temporarily granted a fixed allowance on top of its DT
+// threshold; after BurstDuration the queue enters evacuation and falls
+// back to plain DT until it drains. This absorbs short bursts that DT
+// would clip, but — like every DT descendant — remains oblivious to
+// drain time and inherits DT's unbounded steady-state allocation.
+type EDT struct {
+	// BurstAllowance is the extra admission granted during a burst;
+	// defaults to 1/8 of the buffer.
+	BurstAllowance units.ByteCount
+	// BurstDuration bounds how long the allowance lasts; defaults to 1ms.
+	BurstDuration units.Time
+	// LowWater defines "near empty"; a growth from below it arms the
+	// burst state. Defaults to 2 MTUs.
+	LowWater units.ByteCount
+
+	states map[[2]int]*edtState
+}
+
+type edtState struct {
+	mode       uint8 // 0 normal, 1 absorbing, 2 evacuating
+	burstStart units.Time
+}
+
+// NewEDT returns an EDT instance with defaults filled at first use.
+func NewEDT() *EDT { return &EDT{} }
+
+func (e *EDT) init(total units.ByteCount) {
+	if e.BurstAllowance <= 0 {
+		e.BurstAllowance = total / 8
+	}
+	if e.BurstDuration <= 0 {
+		e.BurstDuration = units.Millisecond
+	}
+	if e.LowWater <= 0 {
+		e.LowWater = 3000
+	}
+	if e.states == nil {
+		e.states = make(map[[2]int]*edtState)
+	}
+}
+
+// Name implements Policy.
+func (e *EDT) Name() string { return "EDT" }
+
+// Threshold implements Policy: DT plus the burst-state allowance.
+func (e *EDT) Threshold(ctx *Ctx) units.ByteCount {
+	e.init(ctx.Total)
+	key := [2]int{ctx.Port, ctx.Prio}
+	st, ok := e.states[key]
+	if !ok {
+		st = &edtState{}
+		e.states[key] = st
+	}
+	base := clampBytes(ctx.Alpha * float64(ctx.Total-ctx.Occupied))
+
+	switch st.mode {
+	case 0: // normal
+		if ctx.QueueLen <= e.LowWater {
+			// An arrival at a near-empty queue arms burst absorption.
+			st.mode = 1
+			st.burstStart = ctx.Now
+			return base + e.BurstAllowance
+		}
+		return base
+	case 1: // absorbing
+		if ctx.Now-st.burstStart > e.BurstDuration {
+			st.mode = 2
+			return base
+		}
+		return base + e.BurstAllowance
+	default: // evacuating: plain DT until the queue drains
+		if ctx.QueueLen <= e.LowWater {
+			st.mode = 0
+		}
+		return base
+	}
+}

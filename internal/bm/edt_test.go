@@ -1,0 +1,69 @@
+package bm
+
+import (
+	"testing"
+
+	"abm/internal/units"
+)
+
+func edtCtx(qlen units.ByteCount, now units.Time) *Ctx {
+	c := ctx(1_000_000, 400_000, qlen)
+	c.Now = now
+	return c
+}
+
+func TestEDTGrantsBurstAllowanceFromEmpty(t *testing.T) {
+	e := NewEDT()
+	dt := (DT{}).Threshold(edtCtx(0, 0))
+	got := e.Threshold(edtCtx(0, 0))
+	if got <= dt {
+		t.Fatalf("EDT from empty = %v, want above DT %v", got, dt)
+	}
+	if got != dt+1_000_000/8 {
+		t.Fatalf("allowance = %v, want DT + B/8", got)
+	}
+}
+
+func TestEDTAllowanceExpires(t *testing.T) {
+	e := NewEDT()
+	e.Threshold(edtCtx(0, 0)) // arm burst state
+	dt := (DT{}).Threshold(edtCtx(50_000, 0))
+	// Within the burst window the allowance holds.
+	if got := e.Threshold(edtCtx(50_000, 500*units.Microsecond)); got <= dt {
+		t.Fatalf("allowance vanished early: %v", got)
+	}
+	// After BurstDuration it reverts to DT (evacuation).
+	if got := e.Threshold(edtCtx(50_000, 2*units.Millisecond)); got != dt {
+		t.Fatalf("post-burst threshold = %v, want DT %v", got, dt)
+	}
+	// Still evacuating while backlogged.
+	if got := e.Threshold(edtCtx(50_000, 3*units.Millisecond)); got != dt {
+		t.Fatalf("evacuation threshold = %v, want DT %v", got, dt)
+	}
+}
+
+func TestEDTRearmsAfterDrain(t *testing.T) {
+	e := NewEDT()
+	e.Threshold(edtCtx(0, 0))                              // burst
+	e.Threshold(edtCtx(50_000, 2*units.Millisecond))       // evacuate
+	e.Threshold(edtCtx(1_000, 3*units.Millisecond))        // drained: back to normal
+	got := e.Threshold(edtCtx(1_000, 4*units.Millisecond)) // re-arms
+	dt := (DT{}).Threshold(edtCtx(1_000, 0))
+	if got <= dt {
+		t.Fatalf("EDT did not re-arm after drain: %v vs DT %v", got, dt)
+	}
+}
+
+func TestEDTIndependentPerQueue(t *testing.T) {
+	e := NewEDT()
+	a := edtCtx(0, 0)
+	a.Port, a.Prio = 0, 0
+	b := edtCtx(200_000, 0)
+	b.Port, b.Prio = 1, 0
+	e.Threshold(a)
+	// Queue b is deep in normal state: no allowance.
+	dt := (DT{}).Threshold(b)
+	if got := e.Threshold(b); got != dt {
+		t.Fatalf("deep queue got allowance: %v vs DT %v", got, dt)
+	}
+}

@@ -1,0 +1,99 @@
+package bm
+
+import (
+	"abm/internal/units"
+)
+
+// FAB is the Flow-Aware Buffer policy (Apostolaki et al., Buffer Sizing
+// Workshop 2019): Dynamic Thresholds, but packets belonging to flows
+// that have so far sent fewer than ShortFlowBytes are admitted with a
+// boosted alpha, giving short flows a larger slice of the remaining
+// buffer. It inherits DT's pitfalls (§5 of the ABM paper).
+type FAB struct {
+	// ShortFlowBytes is the cumulative per-flow byte count under which a
+	// flow still counts as short. Defaults to 100 KB.
+	ShortFlowBytes units.ByteCount
+	// BoostFactor multiplies alpha for short-flow packets. Defaults to 8.
+	BoostFactor float64
+	// AgeAfter evicts idle flow entries after this long. Defaults to 10ms.
+	AgeAfter units.Time
+
+	flows map[uint64]*fabFlow
+}
+
+type fabFlow struct {
+	bytes    units.ByteCount
+	lastSeen units.Time
+}
+
+// NewFAB returns a FAB policy with the given short-flow cutoff and boost;
+// zero values select the defaults.
+func NewFAB(shortBytes units.ByteCount, boost float64) *FAB {
+	f := &FAB{ShortFlowBytes: shortBytes, BoostFactor: boost}
+	f.init()
+	return f
+}
+
+func (f *FAB) init() {
+	if f.ShortFlowBytes <= 0 {
+		f.ShortFlowBytes = 100 * units.Kilobyte
+	}
+	if f.BoostFactor <= 0 {
+		f.BoostFactor = 8
+	}
+	if f.AgeAfter <= 0 {
+		f.AgeAfter = 10 * units.Millisecond
+	}
+	if f.flows == nil {
+		f.flows = make(map[uint64]*fabFlow)
+	}
+}
+
+// Name implements Policy.
+func (f *FAB) Name() string { return "FAB" }
+
+// Threshold implements Policy: DT with a boosted alpha for short flows.
+func (f *FAB) Threshold(ctx *Ctx) units.ByteCount {
+	f.init()
+	alpha := ctx.Alpha
+	if fl, ok := f.flows[ctx.FlowID]; !ok || fl.bytes < f.ShortFlowBytes {
+		alpha *= f.BoostFactor
+	}
+	remaining := float64(ctx.Total - ctx.Occupied)
+	return clampBytes(alpha * remaining)
+}
+
+// OnAdmit implements FlowAware: account the flow's bytes.
+func (f *FAB) OnAdmit(ctx *Ctx) {
+	f.init()
+	fl, ok := f.flows[ctx.FlowID]
+	if !ok {
+		fl = &fabFlow{}
+		f.flows[ctx.FlowID] = fl
+	}
+	fl.bytes += ctx.PacketSize
+	fl.lastSeen = ctx.Now
+}
+
+// OnDrop implements FlowAware. Drops still advance lastSeen so an active
+// but heavily dropped flow is not evicted and re-classified as short.
+func (f *FAB) OnDrop(ctx *Ctx) {
+	f.init()
+	if fl, ok := f.flows[ctx.FlowID]; ok {
+		fl.lastSeen = ctx.Now
+	}
+}
+
+// Tick implements Ticker: age out idle flows so the table stays small.
+func (f *FAB) Tick(now units.Time) {
+	f.init()
+	for id, fl := range f.flows {
+		if now-fl.lastSeen > f.AgeAfter {
+			delete(f.flows, id)
+		}
+	}
+}
+
+// FlowTableSize reports the number of tracked flows (for tests and
+// introspection).
+func (f *FAB) FlowTableSize() int { return len(f.flows) }

@@ -1,0 +1,48 @@
+package bm
+
+import (
+	"fmt"
+	"sort"
+
+	"abm/internal/units"
+)
+
+// New constructs a policy by name. Recognized names: "DT", "CS", "CP"
+// (requires numQueues > 0), "FAB", "IB", "ABM", and "ABM-approx"
+// (requires interval > 0). It is the single place CLIs and the
+// experiment harness resolve scheme names.
+func New(name string, numQueues int, interval units.Time) (Policy, error) {
+	switch name {
+	case "DT":
+		return DT{}, nil
+	case "CS":
+		return CS{}, nil
+	case "CP":
+		if numQueues <= 0 {
+			return nil, fmt.Errorf("bm: CP requires the total queue count")
+		}
+		return CP{NumQueues: numQueues}, nil
+	case "FAB":
+		return NewFAB(0, 0), nil
+	case "IB":
+		return NewIB(), nil
+	case "ABM":
+		return ABM{}, nil
+	case "EDT":
+		return NewEDT(), nil
+	case "ABM-approx":
+		if interval <= 0 {
+			return nil, fmt.Errorf("bm: ABM-approx requires an update interval")
+		}
+		return NewApprox(interval), nil
+	default:
+		return nil, fmt.Errorf("bm: unknown policy %q (known: %v)", name, Names())
+	}
+}
+
+// Names lists the recognized policy names.
+func Names() []string {
+	n := []string{"ABM", "ABM-approx", "CP", "CS", "DT", "EDT", "FAB", "IB"}
+	sort.Strings(n)
+	return n
+}

@@ -1,0 +1,86 @@
+package bm
+
+import (
+	"fmt"
+
+	"abm/internal/units"
+)
+
+// DT is Dynamic Thresholds (Choudhury & Hahne 1998), the state of the art
+// the paper analyzes in §2.3:
+//
+//	T_p^i(t) = alpha_p * (B - Q(t))          (Eq. 5)
+//
+// The threshold reacts only to the total remaining buffer, which makes
+// the steady-state allocation shrink with the number of congested queues
+// (Eq. 6) and leaves the scheme oblivious to drain time.
+type DT struct{}
+
+// Name implements Policy.
+func (DT) Name() string { return "DT" }
+
+// Threshold implements Policy (Eq. 5).
+func (DT) Threshold(ctx *Ctx) units.ByteCount {
+	remaining := float64(ctx.Total - ctx.Occupied)
+	return clampBytes(ctx.Alpha * remaining)
+}
+
+// CS is Complete Sharing: every queue may grow while any shared buffer
+// remains. Maximum utilization, zero isolation.
+type CS struct{}
+
+// Name implements Policy.
+func (CS) Name() string { return "CS" }
+
+// Threshold implements Policy: the whole buffer.
+func (CS) Threshold(ctx *Ctx) units.ByteCount { return ctx.Total }
+
+// CP is Complete Partitioning: the buffer is split statically across all
+// N queues (Ψ = B/N). Perfect isolation, lowest utilization — the
+// top-left corner of the paper's Figure 1.
+type CP struct {
+	// NumQueues is the total number of queues N sharing the device. It
+	// must be positive.
+	NumQueues int
+}
+
+// Name implements Policy.
+func (c CP) Name() string { return "CP" }
+
+// Threshold implements Policy: a fixed 1/N share.
+func (c CP) Threshold(ctx *Ctx) units.ByteCount {
+	if c.NumQueues <= 0 {
+		panic(fmt.Sprintf("bm: CP with NumQueues=%d", c.NumQueues))
+	}
+	return ctx.Total / units.ByteCount(c.NumQueues)
+}
+
+// ABM is the paper's contribution, Active Buffer Management (§3.1):
+//
+//	T_p^i(t) = alpha_p * (1/n_p) * (B - Q(t)) * (mu_p^i / b)   (Eq. 9)
+//
+// The first two factors give isolation (Theorems 1-2: per-priority
+// allocation bounded between B*alpha/(1+Σalpha) and B*alpha/(1+alpha));
+// the drain-rate factor bounds the queue's drain time (Theorem 3:
+// Γ ≤ B*alpha/((1+alpha)*b)). Unscheduled (first-RTT) packets are
+// admitted with Ctx.AlphaUnscheduled to maximize burst tolerance (§3.3).
+type ABM struct{}
+
+// Name implements Policy.
+func (ABM) Name() string { return "ABM" }
+
+// Threshold implements Policy (Eq. 9).
+func (ABM) Threshold(ctx *Ctx) units.ByteCount {
+	alpha := ctx.EffectiveAlpha(true)
+	n := ctx.CongestedSamePrio
+	if n < 1 {
+		n = 1
+	}
+	remaining := float64(ctx.Total - ctx.Occupied)
+	return clampBytes(alpha / float64(n) * remaining * ctx.NormDrain)
+}
+
+// UseHeadroom implements HeadroomEligible: unscheduled packets may dip
+// into the reserved headroom pool, mirroring the evaluation setup where
+// "ABM ... uses headroom similar to IB" (§4.1).
+func (ABM) UseHeadroom(ctx *Ctx) bool { return ctx.Unscheduled }

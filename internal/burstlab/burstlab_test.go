@@ -1,0 +1,114 @@
+package burstlab
+
+import (
+	"testing"
+
+	"abm/internal/bm"
+	"abm/internal/units"
+)
+
+func dtCfg(ports, queues int, rate units.Rate) Config {
+	return Config{
+		Seed:           1,
+		CongestedPorts: ports,
+		QueuesPerPort:  queues,
+		BurstRate:      rate,
+		BM:             func() bm.Policy { return bm.DT{} },
+	}
+}
+
+func abmCfg(ports, queues int, rate units.Rate) Config {
+	c := dtCfg(ports, queues, rate)
+	c.BM = func() bm.Policy { return bm.ABM{} }
+	c.Unscheduled = true
+	c.Headroom = 512 * units.Kilobyte
+	c.Buffer = 5*units.Megabyte - 512*units.Kilobyte
+	return c
+}
+
+func TestIdleBufferAbsorbsEverything(t *testing.T) {
+	// No background congestion, burst at port rate: the queue drains as
+	// fast as the burst arrives and nothing ever drops.
+	res := Measure(dtCfg(0, 1, 10*units.GigabitPerSec))
+	if res.Dropped {
+		t.Fatalf("burst at drain rate must not drop: %v", res)
+	}
+	if res.SteadyOccupancy != 0 {
+		t.Fatalf("idle switch occupancy = %v", res.SteadyOccupancy)
+	}
+}
+
+func TestSteadyOccupancyMatchesEq6(t *testing.T) {
+	// Four congested background queues under DT with alpha=0.5:
+	// Eq. 6 occupancy = B * n*alpha/(1+n*alpha) = B/1.5... for n=4:
+	// Q = B * 2/3.
+	cfg := dtCfg(4, 1, 150*units.GigabitPerSec)
+	res := Measure(cfg)
+	wantFrac := 4 * 0.5 / (1 + 4*0.5)
+	gotFrac := float64(res.SteadyOccupancy) / float64(5*units.Megabyte)
+	if gotFrac < wantFrac-0.1 || gotFrac > wantFrac+0.1 {
+		t.Fatalf("steady occupancy fraction %.3f, Eq. 6 predicts %.3f", gotFrac, wantFrac)
+	}
+}
+
+func TestDTToleranceDecreasesWithPorts(t *testing.T) {
+	rate := 150 * units.GigabitPerSec
+	few := Measure(dtCfg(2, 1, rate))
+	many := Measure(dtCfg(12, 1, rate))
+	if !few.Dropped || !many.Dropped {
+		t.Fatalf("expected drops under a 15x-line-rate burst: %v / %v", few, many)
+	}
+	if many.Tolerance >= few.Tolerance {
+		t.Fatalf("DT tolerance must fall with congested ports: %v (2 ports) vs %v (12 ports)",
+			few.Tolerance, many.Tolerance)
+	}
+}
+
+func TestDTToleranceDecreasesWithQueuesPerPort(t *testing.T) {
+	rate := 150 * units.GigabitPerSec
+	few := Measure(dtCfg(4, 2, rate))
+	many := Measure(dtCfg(4, 8, rate))
+	if many.Tolerance >= few.Tolerance {
+		t.Fatalf("DT tolerance must fall with queues per port: %v (2q) vs %v (8q)",
+			few.Tolerance, many.Tolerance)
+	}
+}
+
+func TestABMToleranceStableAcrossPorts(t *testing.T) {
+	rate := 150 * units.GigabitPerSec
+	base := Measure(abmCfg(2, 1, rate))
+	for _, ports := range []int{6, 12} {
+		res := Measure(abmCfg(ports, 1, rate))
+		ratio := float64(res.Tolerance) / float64(base.Tolerance)
+		if ratio < 0.6 || ratio > 1.7 {
+			t.Fatalf("ABM tolerance varies %.2fx between 2 and %d ports (%v vs %v)",
+				ratio, ports, base.Tolerance, res.Tolerance)
+		}
+	}
+}
+
+func TestABMBeatsDTUnderHeavyCongestion(t *testing.T) {
+	rate := 150 * units.GigabitPerSec
+	dt := Measure(dtCfg(12, 4, rate))
+	abm := Measure(abmCfg(12, 4, rate))
+	if abm.Tolerance <= dt.Tolerance {
+		t.Fatalf("ABM tolerance %v must exceed DT %v under heavy congestion",
+			abm.Tolerance, dt.Tolerance)
+	}
+}
+
+func TestToleranceNeverExceedsChip(t *testing.T) {
+	res := Measure(abmCfg(0, 1, 11*units.GigabitPerSec))
+	if res.Tolerance > 5*units.Megabyte {
+		t.Fatalf("tolerance %v exceeds the chip buffer", res.Tolerance)
+	}
+}
+
+func TestMissingBurstRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Measure(Config{})
+}

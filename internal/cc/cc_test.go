@@ -1,0 +1,379 @@
+package cc
+
+import (
+	"testing"
+
+	"abm/internal/packet"
+	"abm/internal/units"
+)
+
+func testCfg() Config {
+	return Config{
+		MSS:      1440,
+		BaseRTT:  80 * units.Microsecond,
+		LineRate: 10 * units.GigabitPerSec,
+		MaxCwnd:  10 * units.Megabyte,
+	}
+}
+
+func TestConfigBDP(t *testing.T) {
+	// 10 Gb/s * 80us = 100KB.
+	if got := testCfg().BDP(); got != 100*units.Kilobyte {
+		t.Fatalf("BDP = %v, want 100KB", got)
+	}
+}
+
+func TestFactoryRegistry(t *testing.T) {
+	for _, name := range Names() {
+		f, err := NewFactory(name)
+		if err != nil {
+			t.Fatalf("NewFactory(%q): %v", name, err)
+		}
+		a := f()
+		a.Init(testCfg())
+		if a.Name() != name {
+			t.Errorf("instance name %q != registry name %q", a.Name(), name)
+		}
+		if a.Window() < testCfg().MSS {
+			t.Errorf("%s initial window %v below one MSS", name, a.Window())
+		}
+	}
+	if _, err := NewFactory("bogus"); err == nil {
+		t.Fatal("expected error for unknown algorithm")
+	}
+}
+
+func TestRenoSlowStartDoubles(t *testing.T) {
+	r := NewReno()
+	r.Init(testCfg())
+	start := r.Window()
+	// Ack a full window: slow start should double it.
+	var acked units.ByteCount
+	for acked < start {
+		r.OnAck(AckEvent{AckedBytes: 1440, RTT: 100 * units.Microsecond})
+		acked += 1440
+	}
+	if r.Window() < 2*start-1440 {
+		t.Fatalf("slow start: %v -> %v, want ~2x", start, r.Window())
+	}
+}
+
+func TestRenoCongestionAvoidanceLinear(t *testing.T) {
+	r := NewReno()
+	r.Init(testCfg())
+	r.OnRecovery(0) // forces ssthresh = cwnd/2, cwnd = ssthresh
+	w := r.Window()
+	var acked units.ByteCount
+	for acked < w {
+		r.OnAck(AckEvent{AckedBytes: 1440})
+		acked += 1440
+	}
+	growth := r.Window() - w
+	if growth < 1200 || growth > 1800 {
+		t.Fatalf("CA growth per RTT = %v, want ~1 MSS", growth)
+	}
+}
+
+func TestRenoTimeoutCollapses(t *testing.T) {
+	r := NewReno()
+	r.Init(testCfg())
+	r.OnTimeout(0)
+	if r.Window() != 1440 {
+		t.Fatalf("post-timeout window = %v, want 1 MSS", r.Window())
+	}
+}
+
+func TestCubicRecoveryFactor(t *testing.T) {
+	c := NewCubic()
+	c.Init(testCfg())
+	// Grow a bit first.
+	for i := 0; i < 100; i++ {
+		c.OnAck(AckEvent{AckedBytes: 1440, Now: units.Time(i) * units.Microsecond})
+	}
+	before := c.Window()
+	c.OnRecovery(0)
+	after := c.Window()
+	ratio := float64(after) / float64(before)
+	if ratio < 0.65 || ratio > 0.75 {
+		t.Fatalf("cubic decrease ratio = %.3f, want 0.7", ratio)
+	}
+}
+
+func TestCubicRegrowsTowardWMax(t *testing.T) {
+	c := NewCubic()
+	c.Init(testCfg())
+	for i := 0; i < 200; i++ {
+		c.OnAck(AckEvent{AckedBytes: 1440, Now: units.Time(i) * 10 * units.Microsecond})
+	}
+	before := c.Window()
+	c.OnRecovery(2 * units.Millisecond)
+	now := 2 * units.Millisecond
+	for i := 0; i < 3000; i++ {
+		now += 10 * units.Microsecond
+		c.OnAck(AckEvent{AckedBytes: 1440, Now: now, RTT: 100 * units.Microsecond})
+	}
+	if c.Window() < before*9/10 {
+		t.Fatalf("cubic did not regrow: before %v, now %v", before, c.Window())
+	}
+}
+
+func TestDCTCPAlphaConvergesToMarkingFraction(t *testing.T) {
+	d := NewDCTCP()
+	cfg := testCfg()
+	cfg.MaxCwnd = 20 * 1440 // bound the window so observation windows stay short
+	d.Init(cfg)
+	// Constant 100% marking drives alpha -> 1; no marking drives -> 0.
+	for i := 0; i < 20000; i++ {
+		d.OnAck(AckEvent{AckedBytes: 1440, ECNMarked: false})
+	}
+	if d.Alpha() > 0.05 {
+		t.Fatalf("alpha with no marks = %v, want ~0", d.Alpha())
+	}
+	for i := 0; i < 20000; i++ {
+		d.OnAck(AckEvent{AckedBytes: 1440, ECNMarked: true})
+	}
+	if d.Alpha() < 0.9 {
+		t.Fatalf("alpha with all marks = %v, want ~1", d.Alpha())
+	}
+}
+
+func TestDCTCPCutsOncePerWindow(t *testing.T) {
+	d := NewDCTCP()
+	d.Init(testCfg())
+	// Pin a fresh observation window on a large cwnd with alpha = 1.
+	d.cwnd = 100 * 1440
+	d.windowTarget = d.cwnd
+	d.ackedBytes, d.markedBytes = 0, 0
+	d.cutDone = false
+	d.alpha = 1
+	w := d.Window()
+	// Two marked ACKs within the same observation window: only one cut.
+	d.OnAck(AckEvent{AckedBytes: 1440, ECNMarked: true})
+	afterFirst := d.Window()
+	d.OnAck(AckEvent{AckedBytes: 1440, ECNMarked: true})
+	afterSecond := d.Window()
+	if afterFirst >= w {
+		t.Fatalf("no cut on first mark: %v -> %v", w, afterFirst)
+	}
+	if afterSecond != afterFirst {
+		t.Fatalf("second mark cut again within window: %v -> %v", afterFirst, afterSecond)
+	}
+	// With alpha=1 the cut halves the window.
+	if ratio := float64(afterFirst) / float64(w); ratio < 0.45 || ratio > 0.55 {
+		t.Fatalf("cut ratio = %.2f, want 0.5 at alpha=1", ratio)
+	}
+}
+
+func TestDCTCPGrowsWithoutMarks(t *testing.T) {
+	d := NewDCTCP()
+	d.Init(testCfg())
+	w := d.Window()
+	for i := 0; i < 50; i++ {
+		d.OnAck(AckEvent{AckedBytes: 1440})
+	}
+	if d.Window() <= w {
+		t.Fatal("DCTCP must grow without marks")
+	}
+	if !d.UsesECN() {
+		t.Fatal("DCTCP uses ECN")
+	}
+}
+
+func TestTimelyAdditiveIncreaseBelowTLow(t *testing.T) {
+	tm := NewTimely()
+	tm.Init(testCfg())
+	tm.rate = units.GigabitPerSec
+	tm.OnAck(AckEvent{RTT: 20 * units.Microsecond, Now: 0})
+	before := tm.Rate()
+	tm.OnAck(AckEvent{RTT: 20 * units.Microsecond, Now: units.Microsecond})
+	if tm.Rate() != before+tm.AddStep {
+		t.Fatalf("below TLow: %v -> %v, want +%v", before, tm.Rate(), tm.AddStep)
+	}
+}
+
+func TestTimelyMultiplicativeDecreaseAboveTHigh(t *testing.T) {
+	tm := NewTimely()
+	tm.Init(testCfg())
+	tm.OnAck(AckEvent{RTT: 100 * units.Microsecond})
+	before := tm.Rate()
+	tm.OnAck(AckEvent{RTT: 2 * units.Millisecond})
+	if tm.Rate() >= before {
+		t.Fatalf("above THigh rate must drop: %v -> %v", before, tm.Rate())
+	}
+}
+
+func TestTimelyGradientDecrease(t *testing.T) {
+	tm := NewTimely()
+	tm.Init(testCfg())
+	// Rising RTT inside [TLow, THigh]: positive gradient, rate drops.
+	tm.OnAck(AckEvent{RTT: 100 * units.Microsecond})
+	before := tm.Rate()
+	tm.OnAck(AckEvent{RTT: 300 * units.Microsecond})
+	if tm.Rate() >= before {
+		t.Fatalf("positive gradient must decrease rate: %v -> %v", before, tm.Rate())
+	}
+}
+
+func TestTimelyHAI(t *testing.T) {
+	tm := NewTimely()
+	tm.Init(testCfg())
+	tm.rate = units.GigabitPerSec
+	// Falling RTTs inside the band: negative gradient streak -> HAI.
+	rtt := 400 * units.Microsecond
+	for i := 0; i < 6; i++ {
+		tm.OnAck(AckEvent{RTT: rtt})
+		rtt -= 20 * units.Microsecond
+	}
+	before := tm.Rate()
+	tm.OnAck(AckEvent{RTT: rtt})
+	inc := tm.Rate() - before
+	if inc != 5*tm.AddStep {
+		t.Fatalf("HAI increment = %v, want %v", inc, 5*tm.AddStep)
+	}
+}
+
+func TestTimelyRateBounds(t *testing.T) {
+	tm := NewTimely()
+	cfg := testCfg()
+	tm.Init(cfg)
+	for i := 0; i < 1000; i++ {
+		tm.OnAck(AckEvent{RTT: 10 * units.Microsecond})
+	}
+	if tm.Rate() > cfg.LineRate {
+		t.Fatalf("rate %v above line rate", tm.Rate())
+	}
+	for i := 0; i < 1000; i++ {
+		tm.OnAck(AckEvent{RTT: 100 * units.Millisecond})
+	}
+	if tm.Rate() < tm.MinRate {
+		t.Fatalf("rate %v below floor", tm.Rate())
+	}
+	if tm.PacingRate() != tm.Rate() {
+		t.Fatal("pacing rate must equal TIMELY rate")
+	}
+}
+
+func intAck(now units.Time, qlen units.ByteCount, txBytes units.ByteCount, ts units.Time) AckEvent {
+	return AckEvent{
+		Now:        now,
+		AckedBytes: 1440,
+		RTT:        100 * units.Microsecond,
+		INT: []packet.HopINT{{
+			QLen: qlen, TxBytes: txBytes, TS: ts, Rate: 10 * units.GigabitPerSec,
+		}},
+	}
+}
+
+func TestPowerTCPShrinksUnderHighPower(t *testing.T) {
+	p := NewPowerTCP()
+	p.Init(testCfg())
+	before := p.Window()
+	// Growing queue at full throughput: power above base.
+	now := units.Time(0)
+	var q units.ByteCount
+	var tx units.ByteCount
+	for i := 0; i < 200; i++ {
+		now += 10 * units.Microsecond
+		q += 20_000 // rapidly growing queue
+		tx += 12_500
+		p.OnAck(intAck(now, q, tx, now))
+	}
+	if p.Window() >= before {
+		t.Fatalf("window must shrink under growing queue: %v -> %v", before, p.Window())
+	}
+	if p.NormPower() <= 1 {
+		t.Fatalf("normalized power = %v, want > 1", p.NormPower())
+	}
+}
+
+func TestPowerTCPGrowsWhenIdle(t *testing.T) {
+	p := NewPowerTCP()
+	p.Init(testCfg())
+	p.cwnd /= 4
+	p.prevCwnd = p.cwnd
+	before := p.Window()
+	now := units.Time(0)
+	var tx units.ByteCount
+	for i := 0; i < 100; i++ {
+		now += 10 * units.Microsecond
+		tx += 3000 // low throughput, empty queue: low power
+		p.OnAck(intAck(now, 0, tx, now))
+	}
+	if p.Window() <= before {
+		t.Fatalf("window must grow at low power: %v -> %v", before, p.Window())
+	}
+	if !p.NeedsINT() {
+		t.Fatal("PowerTCP needs INT")
+	}
+}
+
+func TestPowerTCPIgnoresAckWithoutINT(t *testing.T) {
+	p := NewPowerTCP()
+	p.Init(testCfg())
+	w := p.Window()
+	p.OnAck(AckEvent{AckedBytes: 1440, RTT: units.Microsecond})
+	if p.Window() != w {
+		t.Fatal("window changed without telemetry")
+	}
+}
+
+func TestThetaPowerTCPShrinksOnRisingDelay(t *testing.T) {
+	p := NewThetaPowerTCP()
+	p.Init(testCfg())
+	before := p.Window()
+	now := units.Time(0)
+	rtt := 80 * units.Microsecond
+	for i := 0; i < 200; i++ {
+		now += 10 * units.Microsecond
+		rtt += 8 * units.Microsecond // steadily rising RTT
+		p.OnAck(AckEvent{Now: now, RTT: rtt, AckedBytes: 1440})
+	}
+	if p.Window() >= before {
+		t.Fatalf("rising delay must shrink window: %v -> %v", before, p.Window())
+	}
+}
+
+func TestThetaPowerTCPGrowsAtBaseRTT(t *testing.T) {
+	p := NewThetaPowerTCP()
+	p.Init(testCfg())
+	p.cwnd /= 4
+	p.prevCwnd = p.cwnd
+	before := p.Window()
+	now := units.Time(0)
+	for i := 0; i < 100; i++ {
+		now += 10 * units.Microsecond
+		p.OnAck(AckEvent{Now: now, RTT: 80 * units.Microsecond, AckedBytes: 1440})
+	}
+	if p.Window() <= before {
+		t.Fatalf("base-RTT operation must grow window: %v -> %v", before, p.Window())
+	}
+}
+
+func TestTimeoutBehaviours(t *testing.T) {
+	algos := []Algorithm{NewReno(), NewCubic(), NewDCTCP(), NewPowerTCP(), NewThetaPowerTCP()}
+	for _, a := range algos {
+		a.Init(testCfg())
+		a.OnTimeout(0)
+		if a.Window() != 1440 {
+			t.Errorf("%s post-timeout window = %v, want 1 MSS", a.Name(), a.Window())
+		}
+	}
+	tm := NewTimely()
+	tm.Init(testCfg())
+	tm.OnTimeout(0)
+	if tm.Rate() != tm.MinRate {
+		t.Errorf("timely post-timeout rate = %v, want floor", tm.Rate())
+	}
+}
+
+func TestRecoveryNeverBelowOneMSS(t *testing.T) {
+	for _, a := range []Algorithm{NewReno(), NewCubic(), NewDCTCP(), NewPowerTCP(), NewThetaPowerTCP()} {
+		a.Init(testCfg())
+		for i := 0; i < 30; i++ {
+			a.OnRecovery(units.Time(i))
+		}
+		if a.Window() < 1440 {
+			t.Errorf("%s window %v below one MSS after repeated recovery", a.Name(), a.Window())
+		}
+	}
+}

@@ -1,0 +1,454 @@
+package device
+
+import (
+	"fmt"
+	"math/rand"
+
+	"abm/internal/aqm"
+	"abm/internal/bm"
+	"abm/internal/packet"
+	"abm/internal/units"
+)
+
+// DrainRateMode selects how the MMU estimates a queue's normalized drain
+// rate mu/b for the BM context.
+type DrainRateMode uint8
+
+const (
+	// DrainRateShare derives mu/b from the scheduler: the queue's
+	// bandwidth share among currently active queues at the port, counting
+	// the queue itself (the §3.4 example: two congested queues under
+	// round robin -> 0.5). This is the default.
+	DrainRateShare DrainRateMode = iota
+	// DrainRateMeasured uses bytes dequeued during the last stats
+	// interval divided by interval*portRate, falling back to the share
+	// estimate for queues that saw no service.
+	DrainRateMeasured
+)
+
+// AdmitResult reports what the MMU did with a packet.
+type AdmitResult uint8
+
+// Admission outcomes.
+const (
+	Admitted AdmitResult = iota
+	AdmittedMarked
+	DroppedThreshold
+	DroppedNoBuffer
+	DroppedAQM
+	DroppedAFD
+)
+
+// Dropped reports whether the result is any drop.
+func (r AdmitResult) Dropped() bool { return r >= DroppedThreshold }
+
+// MMUConfig parameterizes the memory-management unit.
+type MMUConfig struct {
+	BufferSize units.ByteCount // shared pool B
+	Headroom   units.ByteCount // reserved pool for headroom-eligible packets
+
+	Alphas           []float64 // per-priority alpha_p; missing entries get 0.5
+	AlphaUnscheduled float64   // alpha for unscheduled packets (§3.3; paper uses 64)
+
+	BM         bm.Policy
+	AQMFactory aqm.Factory // per-queue AQM; nil means none
+
+	// CongestedFactor is the fraction of the threshold above which a
+	// queue counts as congested (paper: 0.9).
+	CongestedFactor float64
+
+	// DropControl subjects header-only packets (pure ACKs, trimmed
+	// headers) to the BM threshold like data. By default they bypass the
+	// threshold and are dropped only when the pool itself is full,
+	// mirroring switches' special handling of sub-cell packets; without
+	// this, tail-ACK losses convert into spurious retransmission
+	// timeouts that drown the FCT signal the paper measures.
+	DropControl bool
+
+	// StatsInterval is the period at which n_p and mu/b are refreshed
+	// (paper: once per RTT). Zero selects instant mode, where they are
+	// recomputed on every admission — exact but slower, used in tests
+	// and fluid-model validation.
+	StatsInterval units.Time
+
+	DrainRate DrainRateMode
+}
+
+// MMU is the memory-management unit of one switch: it owns the shared
+// buffer accounting and runs hierarchical admission control.
+type MMU struct {
+	cfg MMUConfig
+	sw  *Switch
+
+	used         units.ByteCount // shared-pool occupancy
+	headroomUsed units.ByteCount
+
+	aqms [][]aqm.Policy // [port][prio]
+
+	// Cached statistics (periodic mode).
+	nCongested []int       // per priority
+	normDrain  [][]float64 // [port][prio]
+
+	rng *rand.Rand
+
+	// Counters.
+	AdmittedPkts  int64
+	AdmittedBytes units.ByteCount
+	MarkedPkts    int64
+	TrimmedPkts   int64
+}
+
+func newMMU(cfg MMUConfig, sw *Switch, rng *rand.Rand) *MMU {
+	if cfg.BufferSize <= 0 {
+		panic("device: MMU buffer size must be positive")
+	}
+	if cfg.BM == nil {
+		cfg.BM = bm.DT{}
+	}
+	if cfg.CongestedFactor <= 0 {
+		cfg.CongestedFactor = 0.9
+	}
+	if cfg.AlphaUnscheduled <= 0 {
+		cfg.AlphaUnscheduled = 64
+	}
+	m := &MMU{cfg: cfg, sw: sw, rng: rng}
+	np, nq := len(sw.ports), sw.prios
+	m.aqms = make([][]aqm.Policy, np)
+	m.normDrain = make([][]float64, np)
+	for i := 0; i < np; i++ {
+		m.aqms[i] = make([]aqm.Policy, nq)
+		m.normDrain[i] = make([]float64, nq)
+		for j := 0; j < nq; j++ {
+			if cfg.AQMFactory != nil {
+				m.aqms[i][j] = cfg.AQMFactory()
+			} else {
+				m.aqms[i][j] = aqm.None{}
+			}
+			m.normDrain[i][j] = 1
+		}
+	}
+	m.nCongested = make([]int, nq)
+	if b, ok := cfg.BM.(bm.Binder); ok {
+		b.Bind(m)
+	}
+	if ap, ok := cfg.BM.(*bm.Approx); ok {
+		ap.SetAlphas(m.allAlphas())
+	}
+	return m
+}
+
+func (m *MMU) allAlphas() []float64 {
+	out := make([]float64, m.sw.prios)
+	for i := range out {
+		out[i] = m.alpha(i)
+	}
+	return out
+}
+
+func (m *MMU) alpha(prio int) float64 {
+	if prio < len(m.cfg.Alphas) && m.cfg.Alphas[prio] > 0 {
+		return m.cfg.Alphas[prio]
+	}
+	return 0.5
+}
+
+// Used returns the shared-pool occupancy (excluding headroom).
+func (m *MMU) Used() units.ByteCount { return m.used }
+
+// TotalUsed returns shared-pool plus headroom occupancy.
+func (m *MMU) TotalUsed() units.ByteCount { return m.used + m.headroomUsed }
+
+// HeadroomUsed returns the headroom-pool occupancy.
+func (m *MMU) HeadroomUsed() units.ByteCount { return m.headroomUsed }
+
+// --- bm.Stats implementation -------------------------------------------
+
+// BufferSize implements bm.Stats.
+func (m *MMU) BufferSize() units.ByteCount { return m.cfg.BufferSize }
+
+// BufferUsed implements bm.Stats.
+func (m *MMU) BufferUsed() units.ByteCount { return m.used }
+
+// Ports implements bm.Stats.
+func (m *MMU) Ports() int { return len(m.sw.ports) }
+
+// Prios implements bm.Stats.
+func (m *MMU) Prios() int { return m.sw.prios }
+
+// PortRate implements bm.Stats; ports are uniform-rate within a switch.
+func (m *MMU) PortRate() units.Rate { return m.sw.ports[0].rate }
+
+// QueueLen implements bm.Stats.
+func (m *MMU) QueueLen(port, prio int) units.ByteCount {
+	return m.sw.ports[port].queues[prio].bytes
+}
+
+// NormDrain implements bm.Stats, returning the current estimate.
+func (m *MMU) NormDrain(port, prio int) float64 {
+	if m.cfg.StatsInterval == 0 {
+		return m.instantNormDrain(port, prio)
+	}
+	return m.normDrain[port][prio]
+}
+
+// CongestedSamePrio implements bm.Stats, returning n_p (at least 1).
+func (m *MMU) CongestedSamePrio(prio int) int {
+	var n int
+	if m.cfg.StatsInterval == 0 {
+		n = m.countCongested(prio)
+	} else {
+		n = m.nCongested[prio]
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// -------------------------------------------------------------------------
+
+// instantNormDrain computes the share-based estimate from live queue
+// state.
+func (m *MMU) instantNormDrain(port, prio int) float64 {
+	p := m.sw.ports[port]
+	active := make([]int, 0, len(p.queues))
+	for i, q := range p.queues {
+		if q.bytes > 0 || i == prio {
+			active = append(active, i)
+		}
+	}
+	return NormShare(p.sched, active, prio)
+}
+
+// countCongested counts queues of the given priority whose occupancy is
+// at or above CongestedFactor of their last threshold.
+func (m *MMU) countCongested(prio int) int {
+	n := 0
+	for _, p := range m.sw.ports {
+		q := p.queues[prio]
+		if q.bytes > 0 && q.lastThreshold > 0 &&
+			float64(q.bytes) >= m.cfg.CongestedFactor*float64(q.lastThreshold) {
+			n++
+		}
+	}
+	return n
+}
+
+// tick refreshes the cached statistics: thresholds (for congestion
+// detection), congested counts, and drain-rate estimates. Runs every
+// StatsInterval in periodic mode.
+func (m *MMU) tick(now units.Time) {
+	// Refresh drain rates first: thresholds depend on them.
+	for pi, p := range m.sw.ports {
+		for qi, q := range p.queues {
+			switch m.cfg.DrainRate {
+			case DrainRateMeasured:
+				if q.dequeuedInTick > 0 {
+					rate := units.RateOf(q.dequeuedInTick, m.cfg.StatsInterval)
+					share := float64(rate) / float64(p.rate)
+					if share > 1 {
+						share = 1
+					}
+					m.normDrain[pi][qi] = share
+				} else {
+					m.normDrain[pi][qi] = m.instantNormDrain(pi, qi)
+				}
+			default:
+				m.normDrain[pi][qi] = m.instantNormDrain(pi, qi)
+			}
+			q.dequeuedInTick = 0
+		}
+	}
+	// Recompute thresholds with the previous congested counts, then
+	// recount. Starting from the previous counts breaks the circular
+	// dependency the same way periodic hardware measurement does.
+	for _, p := range m.sw.ports {
+		for qi, q := range p.queues {
+			ctx := m.ctx(p.idx, qi, q, nil)
+			q.lastThreshold = m.cfg.BM.Threshold(ctx)
+		}
+	}
+	for prio := 0; prio < m.sw.prios; prio++ {
+		m.nCongested[prio] = m.countCongested(prio)
+	}
+	if t, ok := m.cfg.BM.(bm.Ticker); ok {
+		t.Tick(now)
+	}
+}
+
+// ctx builds the BM context for a queue; pkt may be nil for stats-only
+// threshold computation.
+func (m *MMU) ctx(port, prio int, q *Queue, pkt *packet.Packet) *bm.Ctx {
+	c := &bm.Ctx{
+		Total:             m.cfg.BufferSize,
+		Occupied:          m.used,
+		QueueLen:          q.bytes,
+		Port:              port,
+		Prio:              prio,
+		Alpha:             m.alpha(prio),
+		AlphaUnscheduled:  m.cfg.AlphaUnscheduled,
+		NormDrain:         m.NormDrain(port, prio),
+		CongestedSamePrio: m.CongestedSamePrio(prio),
+		Now:               m.sw.sim.Now(),
+	}
+	if pkt != nil {
+		c.Unscheduled = pkt.Is(packet.FlagUnscheduled)
+		c.FlowID = pkt.FlowID
+		c.PacketSize = pkt.Size()
+	}
+	return c
+}
+
+// headroomEligible decides whether pkt may be charged to the headroom
+// pool when the shared pool rejects it.
+func (m *MMU) headroomEligible(ctx *bm.Ctx) bool {
+	if m.cfg.Headroom <= 0 {
+		return false
+	}
+	if he, ok := m.cfg.BM.(bm.HeadroomEligible); ok {
+		return he.UseHeadroom(ctx)
+	}
+	return ctx.Unscheduled
+}
+
+// Admit runs the full hierarchical admission check for pkt arriving at
+// (port, prio) and, on success, enqueues it.
+func (m *MMU) Admit(port, prio int, pkt *packet.Packet) AdmitResult {
+	q := m.sw.ports[port].queues[prio]
+	ctx := m.ctx(port, prio, q, pkt)
+
+	// Stage 0: AFD-style early drop (IB).
+	if d, ok := m.cfg.BM.(bm.Dropper); ok && d.ShouldDrop(ctx, m.rng) {
+		q.DropsAFD++
+		m.notifyDrop(ctx)
+		return DroppedAFD
+	}
+
+	// Stage 1: buffer-management threshold (Ψ).
+	thr := m.cfg.BM.Threshold(ctx)
+	q.lastThreshold = thr
+	size := pkt.Size()
+	fitsThreshold := q.bytes+size <= thr
+	if pkt.Payload == 0 && !m.cfg.DropControl {
+		fitsThreshold = true
+	}
+	fitsBuffer := m.used+size <= m.cfg.BufferSize
+
+	useHeadroom := false
+	if !fitsThreshold || !fitsBuffer {
+		if m.headroomEligible(ctx) && m.headroomUsed+size <= m.cfg.Headroom {
+			useHeadroom = true
+		} else {
+			if !fitsBuffer {
+				q.DropsNoBuffer++
+				m.notifyDrop(ctx)
+				return DroppedNoBuffer
+			}
+			q.DropsThreshold++
+			m.notifyDrop(ctx)
+			return DroppedThreshold
+		}
+	}
+
+	// Stage 2: AQM verdict (Φ).
+	decision := m.aqms[port][prio].OnArrival(&aqm.Ctx{
+		QueueLen:   q.bytes,
+		PacketSize: size,
+		DrainRate:  m.drainRateAbs(port, prio),
+		ECNCapable: pkt.Is(packet.FlagECT),
+		Now:        m.sw.sim.Now(),
+	}, m.rng)
+
+	switch decision {
+	case aqm.Drop:
+		q.DropsAQM++
+		m.notifyDrop(ctx)
+		return DroppedAQM
+	case aqm.Trim:
+		pkt.Trim()
+		size = pkt.Size()
+		m.TrimmedPkts++
+	case aqm.Mark:
+		pkt.Set(packet.FlagCE)
+		m.MarkedPkts++
+	}
+
+	// Charge and enqueue.
+	if useHeadroom {
+		m.headroomUsed += size
+		pkt.HeadroomCharged = true
+	} else {
+		m.used += size
+		pkt.HeadroomCharged = false
+	}
+	q.push(pkt, m.sw.sim.Now())
+	m.AdmittedPkts++
+	m.AdmittedBytes += size
+	if fa, ok := m.cfg.BM.(bm.FlowAware); ok {
+		fa.OnAdmit(ctx)
+	}
+	if decision == aqm.Mark {
+		return AdmittedMarked
+	}
+	return Admitted
+}
+
+func (m *MMU) notifyDrop(ctx *bm.Ctx) {
+	if ctx.Unscheduled {
+		m.sw.ports[ctx.Port].queues[ctx.Prio].DropsUnscheduled++
+	}
+	if fa, ok := m.cfg.BM.(bm.FlowAware); ok {
+		fa.OnDrop(ctx)
+	}
+}
+
+// release returns a dequeued packet's bytes to the right pool.
+func (m *MMU) release(pkt *packet.Packet) {
+	size := pkt.Size()
+	if pkt.HeadroomCharged {
+		m.headroomUsed -= size
+		if m.headroomUsed < 0 {
+			panic("device: headroom accounting underflow")
+		}
+		return
+	}
+	m.used -= size
+	if m.used < 0 {
+		panic("device: buffer accounting underflow")
+	}
+}
+
+// drainRateAbs converts the normalized estimate into an absolute rate
+// for the AQM context.
+func (m *MMU) drainRateAbs(port, prio int) units.Rate {
+	p := m.sw.ports[port]
+	return units.Rate(float64(p.rate) * m.NormDrain(port, prio))
+}
+
+// dequeueHook returns the queue's AQM dequeue hook, if any.
+func (m *MMU) dequeueHook(port, prio int) aqm.DequeueHook {
+	if h, ok := m.aqms[port][prio].(aqm.DequeueHook); ok {
+		return h
+	}
+	return nil
+}
+
+// checkInvariants panics if the MMU accounting disagrees with the sum of
+// queue occupancies. Called from tests.
+func (m *MMU) checkInvariants() {
+	var sum units.ByteCount
+	for _, p := range m.sw.ports {
+		for _, q := range p.queues {
+			sum += q.bytes
+		}
+	}
+	if sum != m.used+m.headroomUsed {
+		panic(fmt.Sprintf("device: queue sum %v != pools %v+%v", sum, m.used, m.headroomUsed))
+	}
+	if m.used > m.cfg.BufferSize {
+		panic(fmt.Sprintf("device: shared pool %v over capacity %v", m.used, m.cfg.BufferSize))
+	}
+	if m.headroomUsed > m.cfg.Headroom {
+		panic(fmt.Sprintf("device: headroom %v over capacity %v", m.headroomUsed, m.cfg.Headroom))
+	}
+}

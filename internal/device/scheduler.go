@@ -1,0 +1,184 @@
+package device
+
+// Scheduler selects the next queue a port should serve. Implementations
+// must return nil only when every queue is empty.
+type Scheduler interface {
+	Name() string
+	// Next picks a non-empty queue among qs, or nil.
+	Next(qs []*Queue) *Queue
+}
+
+// RoundRobin serves non-empty queues in rotating order, one packet per
+// turn — the schedule the paper assumes when it derives mu/b = 1/k for k
+// active queues (§3.4).
+type RoundRobin struct {
+	last int
+}
+
+// Name implements Scheduler.
+func (r *RoundRobin) Name() string { return "rr" }
+
+// Next implements Scheduler.
+func (r *RoundRobin) Next(qs []*Queue) *Queue {
+	n := len(qs)
+	for i := 1; i <= n; i++ {
+		idx := (r.last + i) % n
+		if qs[idx].Len() > 0 {
+			r.last = idx
+			return qs[idx]
+		}
+	}
+	return nil
+}
+
+// StrictPriority always serves the lowest-index non-empty queue; queue 0
+// is the highest priority.
+type StrictPriority struct{}
+
+// Name implements Scheduler.
+func (StrictPriority) Name() string { return "strict" }
+
+// Next implements Scheduler.
+func (StrictPriority) Next(qs []*Queue) *Queue {
+	for _, q := range qs {
+		if q.Len() > 0 {
+			return q
+		}
+	}
+	return nil
+}
+
+// DWRR is deficit weighted round robin: the scheduler visits queues in
+// order; entering a queue grants it weight*Quantum credit once, and the
+// queue is served packet by packet while its deficit covers the head
+// packet, then the visit moves on. Higher weights drain proportionally
+// faster; equal weights degrade to round robin.
+type DWRR struct {
+	Weights []int // per-queue weight; missing entries default to 1
+	Quantum int64 // bytes of credit per weight unit per visit, default MTU
+
+	deficits   []int64
+	cur        int
+	needCredit bool
+	inited     bool
+}
+
+// Name implements Scheduler.
+func (d *DWRR) Name() string { return "dwrr" }
+
+// Next implements Scheduler.
+func (d *DWRR) Next(qs []*Queue) *Queue {
+	n := len(qs)
+	if !d.inited {
+		d.deficits = make([]int64, n)
+		d.needCredit = true
+		d.inited = true
+	}
+	if d.Quantum <= 0 {
+		d.Quantum = 1500
+	}
+	anyBacklog := false
+	for _, q := range qs {
+		if q.Len() > 0 {
+			anyBacklog = true
+			break
+		}
+	}
+	if !anyBacklog {
+		return nil
+	}
+	// Each full cycle adds at least weight*Quantum to any visited
+	// backlogged queue, so the deficit eventually covers any head packet;
+	// 16 cycles cover heads up to 16*Quantum with weight 1.
+	for iter := 0; iter < 16*n; iter++ {
+		q := qs[d.cur]
+		if q.Len() == 0 {
+			d.deficits[d.cur] = 0
+			d.advance(n)
+			continue
+		}
+		if d.needCredit {
+			d.deficits[d.cur] += d.weight(d.cur) * d.Quantum
+			d.needCredit = false
+		}
+		head := int64(q.items[q.head].pkt.Size())
+		if d.deficits[d.cur] >= head {
+			d.deficits[d.cur] -= head
+			return q
+		}
+		d.advance(n)
+	}
+	for _, q := range qs {
+		if q.Len() > 0 {
+			return q
+		}
+	}
+	return nil
+}
+
+func (d *DWRR) advance(n int) {
+	d.cur = (d.cur + 1) % n
+	d.needCredit = true
+}
+
+func (d *DWRR) weight(i int) int64 {
+	if i < len(d.Weights) && d.Weights[i] > 0 {
+		return int64(d.Weights[i])
+	}
+	return 1
+}
+
+// NormShare returns the long-run bandwidth share of queue prio among the
+// given set of active queues under this scheduler. Used by the
+// share-based drain-rate estimator.
+func NormShare(s Scheduler, active []int, prio int) float64 {
+	if len(active) == 0 {
+		return 1
+	}
+	switch sch := s.(type) {
+	case *DWRR:
+		var total, mine int64
+		for _, a := range active {
+			w := sch.weight(a)
+			total += w
+			if a == prio {
+				mine = w
+			}
+		}
+		if total == 0 {
+			return 1
+		}
+		if mine == 0 {
+			// prio not in the active set: it would get its weight share if
+			// it became active.
+			mine = sch.weight(prio)
+			total += mine
+		}
+		return float64(mine) / float64(total)
+	case StrictPriority:
+		// The highest-priority active queue takes the full port.
+		best := active[0]
+		for _, a := range active {
+			if a < best {
+				best = a
+			}
+		}
+		if prio <= best {
+			return 1
+		}
+		return 0.01 // starved, but keep thresholds non-zero
+	default: // round robin
+		in := false
+		for _, a := range active {
+			if a == prio {
+				in = true
+				break
+			}
+		}
+		n := len(active)
+		if !in {
+			n++
+		}
+		return 1 / float64(n)
+	}
+}

@@ -1,0 +1,262 @@
+package device
+
+import (
+	"fmt"
+
+	"abm/internal/packet"
+	"abm/internal/sim"
+	"abm/internal/units"
+)
+
+// Endpoint is anything a link can deliver packets to: a switch or a host.
+type Endpoint interface {
+	ID() packet.NodeID
+	Receive(pkt *packet.Packet)
+}
+
+// Link is a unidirectional wire with fixed propagation delay. The sender
+// models serialization; the link only adds latency.
+type Link struct {
+	sim   *sim.Simulator
+	delay units.Time
+	dst   Endpoint
+
+	Delivered      int64
+	DeliveredBytes units.ByteCount
+}
+
+// NewLink returns a link delivering to dst after delay.
+func NewLink(s *sim.Simulator, delay units.Time, dst Endpoint) *Link {
+	if dst == nil {
+		panic("device: link destination must not be nil")
+	}
+	if delay < 0 {
+		panic("device: negative link delay")
+	}
+	return &Link{sim: s, delay: delay, dst: dst}
+}
+
+// Dst returns the link's destination endpoint.
+func (l *Link) Dst() Endpoint { return l.dst }
+
+// Send delivers pkt to the destination after the propagation delay.
+func (l *Link) Send(pkt *packet.Packet) {
+	l.Delivered++
+	l.DeliveredBytes += pkt.Size()
+	l.sim.After(l.delay, func() { l.dst.Receive(pkt) })
+}
+
+// Router maps a packet to an egress port index on a given switch.
+// Provided by the topology layer (ECMP lives there).
+type Router func(sw *Switch, pkt *packet.Packet) int
+
+// SwitchConfig parameterizes a shared-memory switch.
+type SwitchConfig struct {
+	ID            packet.NodeID
+	NumPorts      int
+	QueuesPerPort int        // number of priorities
+	PortRate      units.Rate // uniform port bandwidth b
+
+	MMU MMUConfig
+
+	// NewScheduler creates the per-port scheduler; nil selects round
+	// robin, the paper's default.
+	NewScheduler func() Scheduler
+
+	// EnableINT appends per-hop telemetry to transiting data packets
+	// (needed by PowerTCP).
+	EnableINT bool
+}
+
+// Switch is an output-queued shared-memory switch.
+type Switch struct {
+	sim   *sim.Simulator
+	id    packet.NodeID
+	ports []*Port
+	prios int
+	mmu   *MMU
+	route Router
+	cfg   SwitchConfig
+
+	statsTicker *sim.Ticker
+
+	RxPkts int64
+}
+
+// NewSwitch builds a switch. The router must be set with SetRouter before
+// traffic arrives; links are attached per port with ConnectPort.
+func NewSwitch(s *sim.Simulator, cfg SwitchConfig) *Switch {
+	if cfg.NumPorts <= 0 || cfg.QueuesPerPort <= 0 {
+		panic(fmt.Sprintf("device: switch needs ports and queues, got %d/%d", cfg.NumPorts, cfg.QueuesPerPort))
+	}
+	if cfg.PortRate <= 0 {
+		panic("device: switch port rate must be positive")
+	}
+	sw := &Switch{sim: s, id: cfg.ID, prios: cfg.QueuesPerPort, cfg: cfg}
+	sw.ports = make([]*Port, cfg.NumPorts)
+	for i := range sw.ports {
+		sw.ports[i] = newPort(sw, i, cfg.PortRate, cfg.QueuesPerPort, cfg.NewScheduler)
+	}
+	sw.mmu = newMMU(cfg.MMU, sw, s.Rand())
+	if iv := cfg.MMU.StatsInterval; iv > 0 {
+		sw.statsTicker = s.NewTicker(iv, func() { sw.mmu.tick(s.Now()) })
+	}
+	return sw
+}
+
+// ID implements Endpoint.
+func (sw *Switch) ID() packet.NodeID { return sw.id }
+
+// MMU exposes the switch's memory-management unit.
+func (sw *Switch) MMU() *MMU { return sw.mmu }
+
+// Port returns port i.
+func (sw *Switch) Port(i int) *Port { return sw.ports[i] }
+
+// NumPorts returns the port count.
+func (sw *Switch) NumPorts() int { return len(sw.ports) }
+
+// Prios returns the number of queues per port.
+func (sw *Switch) Prios() int { return sw.prios }
+
+// SetRouter installs the forwarding function.
+func (sw *Switch) SetRouter(r Router) { sw.route = r }
+
+// ConnectPort attaches the egress link of port i.
+func (sw *Switch) ConnectPort(i int, l *Link) { sw.ports[i].link = l }
+
+// Stop cancels the periodic stats ticker (for dismantling topologies in
+// tests).
+func (sw *Switch) Stop() {
+	if sw.statsTicker != nil {
+		sw.statsTicker.Stop()
+	}
+}
+
+// Receive implements Endpoint: route, classify, admit, transmit.
+func (sw *Switch) Receive(pkt *packet.Packet) {
+	sw.RxPkts++
+	if sw.route == nil {
+		panic(fmt.Sprintf("device: switch %d has no router", sw.id))
+	}
+	out := sw.route(sw, pkt)
+	if out < 0 || out >= len(sw.ports) {
+		panic(fmt.Sprintf("device: switch %d routed flow %d to invalid port %d", sw.id, pkt.FlowID, out))
+	}
+	prio := int(pkt.Prio)
+	if prio >= sw.prios {
+		prio = sw.prios - 1
+	}
+	res := sw.mmu.Admit(out, prio, pkt)
+	if res.Dropped() {
+		return
+	}
+	sw.ports[out].maybeTransmit()
+}
+
+// TotalDrops sums drops across all queues.
+func (sw *Switch) TotalDrops() int64 {
+	var n int64
+	for _, p := range sw.ports {
+		for _, q := range p.queues {
+			n += q.TotalDrops()
+		}
+	}
+	return n
+}
+
+// Port is one egress port: per-priority queues, a scheduler, and the
+// transmitter state machine.
+type Port struct {
+	sw     *Switch
+	idx    int
+	rate   units.Rate
+	queues []*Queue
+	sched  Scheduler
+	link   *Link
+
+	busy    bool
+	TxPkts  int64
+	TxBytes units.ByteCount
+}
+
+func newPort(sw *Switch, idx int, rate units.Rate, prios int, newSched func() Scheduler) *Port {
+	p := &Port{sw: sw, idx: idx, rate: rate}
+	p.queues = make([]*Queue, prios)
+	for i := range p.queues {
+		p.queues[i] = &Queue{Port: idx, Prio: i}
+	}
+	if newSched != nil {
+		p.sched = newSched()
+	} else {
+		p.sched = &RoundRobin{}
+	}
+	return p
+}
+
+// Queue returns the queue of the given priority.
+func (p *Port) Queue(prio int) *Queue { return p.queues[prio] }
+
+// Rate returns the port bandwidth.
+func (p *Port) Rate() units.Rate { return p.rate }
+
+// Backlog returns the total bytes queued at this port.
+func (p *Port) Backlog() units.ByteCount {
+	var sum units.ByteCount
+	for _, q := range p.queues {
+		sum += q.bytes
+	}
+	return sum
+}
+
+// maybeTransmit starts the transmitter if it is idle and a packet is
+// queued.
+func (p *Port) maybeTransmit() {
+	if p.busy {
+		return
+	}
+	for {
+		q := p.sched.Next(p.queues)
+		if q == nil {
+			return
+		}
+		pkt, enqAt, ok := q.pop()
+		if !ok {
+			return
+		}
+		p.sw.mmu.release(pkt)
+		// Sojourn-based AQM (Codel) may discard at dequeue.
+		if hook := p.sw.mmu.dequeueHook(p.idx, q.Prio); hook != nil {
+			now := p.sw.sim.Now()
+			if hook.OnDequeue(now-enqAt, now) {
+				q.DropsAQM++
+				continue
+			}
+		}
+		p.transmit(pkt, q)
+		return
+	}
+}
+
+func (p *Port) transmit(pkt *packet.Packet, q *Queue) {
+	p.busy = true
+	txTime := p.rate.TxTime(pkt.Size())
+	p.sw.sim.After(txTime, func() {
+		p.TxPkts++
+		p.TxBytes += pkt.Size()
+		if p.sw.cfg.EnableINT && !pkt.Is(packet.FlagACK) {
+			pkt.Hops = append(pkt.Hops, packet.HopINT{
+				QLen:    q.bytes,
+				TxBytes: p.TxBytes,
+				TS:      p.sw.sim.Now(),
+				Rate:    p.rate,
+			})
+		}
+		if p.link == nil {
+			panic(fmt.Sprintf("device: switch %d port %d has no link", p.sw.id, p.idx))
+		}
+		p.link.Send(pkt)
+		p.busy = false
+		p.maybeTransmit()
+	})
+}

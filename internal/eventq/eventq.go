@@ -1,0 +1,109 @@
+// Package eventq implements the priority queue that drives the
+// discrete-event simulator: a binary min-heap of events ordered by
+// firing time with insertion order as tie-break, so simultaneous events
+// execute deterministically in the order they were scheduled.
+package eventq
+
+import (
+	"container/heap"
+
+	"abm/internal/units"
+)
+
+// Event is a scheduled callback. Events are created by Queue.Push and may
+// be canceled; a canceled event is skipped when popped.
+type Event struct {
+	Time units.Time
+	Fn   func()
+
+	seq      uint64
+	index    int // heap position, -1 once removed
+	canceled bool
+}
+
+// Cancel marks the event so that it will not fire. Canceling an already
+// fired or canceled event is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// Canceled reports whether Cancel has been called.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Scheduled reports whether the event is still in the queue.
+func (e *Event) Scheduled() bool { return e.index >= 0 && !e.canceled }
+
+// Queue is a time-ordered event queue. The zero value is ready to use.
+type Queue struct {
+	h   eventHeap
+	seq uint64
+}
+
+// Len returns the number of events in the queue, including canceled ones
+// that have not yet been popped.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Push schedules fn at time t and returns the event handle.
+func (q *Queue) Push(t units.Time, fn func()) *Event {
+	q.seq++
+	e := &Event{Time: t, Fn: fn, seq: q.seq}
+	heap.Push(&q.h, e)
+	return e
+}
+
+// Pop removes and returns the earliest non-canceled event, or nil if the
+// queue holds no live events.
+func (q *Queue) Pop() *Event {
+	for len(q.h) > 0 {
+		e := heap.Pop(&q.h).(*Event)
+		if e.canceled {
+			continue
+		}
+		return e
+	}
+	return nil
+}
+
+// Peek returns the earliest non-canceled event without removing it, or
+// nil. Canceled events at the head are discarded.
+func (q *Queue) Peek() *Event {
+	for len(q.h) > 0 {
+		if e := q.h[0]; e.canceled {
+			heap.Pop(&q.h)
+		} else {
+			return e
+		}
+	}
+	return nil
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

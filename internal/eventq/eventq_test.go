@@ -1,0 +1,180 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"abm/internal/units"
+)
+
+func TestPopOrder(t *testing.T) {
+	var q Queue
+	times := []units.Time{5, 1, 3, 2, 4}
+	for _, tm := range times {
+		q.Push(tm, nil)
+	}
+	var got []units.Time
+	for e := q.Pop(); e != nil; e = q.Pop() {
+		got = append(got, e.Time)
+	}
+	want := []units.Time{1, 2, 3, 4, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTieBreakFIFO(t *testing.T) {
+	var q Queue
+	order := make([]int, 0, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		q.Push(7, func() { order = append(order, i) })
+	}
+	for e := q.Pop(); e != nil; e = q.Pop() {
+		e.Fn()
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events out of order: %v", order)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var q Queue
+	a := q.Push(1, nil)
+	b := q.Push(2, nil)
+	a.Cancel()
+	if !a.Canceled() {
+		t.Fatal("Canceled() should be true")
+	}
+	if got := q.Pop(); got != b {
+		t.Fatalf("expected b after canceling a, got %+v", got)
+	}
+	if q.Pop() != nil {
+		t.Fatal("queue should be drained")
+	}
+}
+
+func TestCancelAllThenPop(t *testing.T) {
+	var q Queue
+	for i := 0; i < 10; i++ {
+		q.Push(units.Time(i), nil).Cancel()
+	}
+	if q.Pop() != nil {
+		t.Fatal("all events canceled, Pop must return nil")
+	}
+	if q.Peek() != nil {
+		t.Fatal("all events canceled, Peek must return nil")
+	}
+}
+
+func TestPeek(t *testing.T) {
+	var q Queue
+	if q.Peek() != nil {
+		t.Fatal("empty queue Peek must be nil")
+	}
+	a := q.Push(5, nil)
+	b := q.Push(1, nil)
+	if got := q.Peek(); got != b {
+		t.Fatalf("Peek = %+v, want earliest", got)
+	}
+	b.Cancel()
+	if got := q.Peek(); got != a {
+		t.Fatal("Peek should skip canceled head")
+	}
+	if q.Len() != 1 {
+		t.Fatalf("canceled head should be discarded by Peek, len=%d", q.Len())
+	}
+}
+
+func TestScheduled(t *testing.T) {
+	var q Queue
+	e := q.Push(1, nil)
+	if !e.Scheduled() {
+		t.Fatal("freshly pushed event must be scheduled")
+	}
+	q.Pop()
+	if e.Scheduled() {
+		t.Fatal("popped event must not be scheduled")
+	}
+}
+
+// Property: popping returns events in nondecreasing time order for any
+// random insertion sequence.
+func TestHeapOrderProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var q Queue
+		count := int(n%64) + 1
+		in := make([]units.Time, count)
+		for i := range in {
+			in[i] = units.Time(rng.Int63n(1000))
+			q.Push(in[i], nil)
+		}
+		sort.Slice(in, func(i, j int) bool { return in[i] < in[j] })
+		for i := 0; i < count; i++ {
+			e := q.Pop()
+			if e == nil || e.Time != in[i] {
+				return false
+			}
+		}
+		return q.Pop() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: canceling a random subset never disturbs the order of the rest.
+func TestCancelSubsetProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var q Queue
+		count := int(n%64) + 2
+		events := make([]*Event, count)
+		var keep []units.Time
+		for i := range events {
+			tm := units.Time(rng.Int63n(100))
+			events[i] = q.Push(tm, nil)
+		}
+		for _, e := range events {
+			if rng.Intn(2) == 0 {
+				e.Cancel()
+			} else {
+				keep = append(keep, e.Time)
+			}
+		}
+		sort.Slice(keep, func(i, j int) bool { return keep[i] < keep[j] })
+		for _, want := range keep {
+			e := q.Pop()
+			if e == nil || e.Time != want {
+				return false
+			}
+		}
+		return q.Pop() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	var q Queue
+	rng := rand.New(rand.NewSource(42))
+	times := make([]units.Time, 1024)
+	for i := range times {
+		times[i] = units.Time(rng.Int63n(1 << 30))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(times[i%len(times)], nil)
+		if q.Len() > 512 {
+			q.Pop()
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"abm/internal/units"
+)
+
+// Ablations probe the design choices DESIGN.md calls out, each on the
+// Figure-6 style cell (web-search 40% + incast 30%, cubic) with ABM:
+//
+//   - the drain-rate estimator (scheduler share vs measured bytes),
+//   - the congestion-detection factor (the paper's 0.9),
+//   - the headroom reservation,
+//   - the unscheduled alpha (the paper's 64).
+//
+// RunAblation writes one TSV block per axis.
+func RunAblation(scale Scale, seed int64, w io.Writer) error {
+	base := Cell{
+		Scale: scale, Seed: seed,
+		BM: "ABM", Load: 0.4, WSCC: "cubic",
+		RequestFrac: 0.3,
+	}
+
+	row := func(label string, cell Cell) error {
+		res, err := Run(cell)
+		if err != nil {
+			return err
+		}
+		s := res.Summary
+		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.1f\t%.1f\n",
+			label, s.P99IncastSlowdown, s.P99ShortSlowdown,
+			100*s.P99BufferFrac, 100*s.AvgThroughputFrac)
+		return nil
+	}
+	header := func(title string) {
+		fmt.Fprintf(w, "# Ablation: %s\n", title)
+		fmt.Fprintln(w, "variant\tp99_incast\tp99_short\tp99_buffer_pct\tavg_tput_pct")
+	}
+
+	header("drain-rate estimator (ABM's mu/b source)")
+	c := base
+	if err := row("scheduler-share", c); err != nil {
+		return err
+	}
+	c.DrainRateMeasured = true
+	if err := row("measured", c); err != nil {
+		return err
+	}
+
+	header("congestion detection factor (queue congested above f*threshold)")
+	for _, f := range []float64{0.5, 0.7, 0.9, 0.99} {
+		c := base
+		c.CongestedFactor = f
+		if err := row(fmt.Sprintf("f=%.2f", f), c); err != nil {
+			return err
+		}
+	}
+
+	header("headroom reservation (fraction of the chip buffer)")
+	for _, hr := range []float64{-1, 1.0 / 16, 1.0 / 8, 1.0 / 4} {
+		c := base
+		c.HeadroomFrac = hr
+		label := fmt.Sprintf("headroom=%.3f", hr)
+		if hr < 0 {
+			label = "headroom=0"
+		}
+		if err := row(label, c); err != nil {
+			return err
+		}
+	}
+
+	header("unscheduled alpha (the paper uses 64)")
+	for _, au := range []float64{0.5, 8, 64, 512} {
+		c := base
+		c.AlphaUnscheduled = au
+		if err := row(fmt.Sprintf("alphaU=%g", au), c); err != nil {
+			return err
+		}
+	}
+
+	header("stats update interval (n_p and mu refresh; the paper uses 1 RTT)")
+	for _, mult := range []int{1, 4, 16} {
+		c := base
+		c.StatsIntervalOverride = units.Time(mult) * 80 * units.Microsecond
+		if err := row(fmt.Sprintf("interval=%dxRTT", mult), c); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,438 @@
+// Package experiments defines one runnable configuration per figure of
+// the paper's evaluation (§4) and the shared machinery to execute them:
+// building the fabric, attaching workloads, running to a deadline,
+// draining, and summarizing. The cmd/figures binary and the repository's
+// benchmarks are thin wrappers over this package.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"abm/internal/aqm"
+	"abm/internal/bm"
+	"abm/internal/cc"
+	"abm/internal/device"
+	"abm/internal/metrics"
+	"abm/internal/packet"
+	"abm/internal/randutil"
+	"abm/internal/sim"
+	"abm/internal/topo"
+	"abm/internal/units"
+	"abm/internal/workload"
+)
+
+// Scale selects the fabric size. The paper runs 8 spines x 8 leaves x 32
+// hosts; smaller scales preserve the 4:1 oversubscription and the
+// qualitative results at a fraction of the event count.
+type Scale int
+
+// Scales.
+const (
+	// ScaleSmall: 2x2x8 = 16 hosts, ~25ms of traffic. Used by benches.
+	ScaleSmall Scale = iota
+	// ScaleMedium: 4x4x16 = 64 hosts, ~50ms.
+	ScaleMedium
+	// ScalePaper: the full 8x8x32 = 256 hosts, 200ms. Slow; CLI only.
+	ScalePaper
+)
+
+// String names the scale.
+func (s Scale) String() string {
+	switch s {
+	case ScaleSmall:
+		return "small"
+	case ScaleMedium:
+		return "medium"
+	case ScalePaper:
+		return "paper"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseScale resolves a scale name.
+func ParseScale(name string) (Scale, error) {
+	switch name {
+	case "small":
+		return ScaleSmall, nil
+	case "medium":
+		return ScaleMedium, nil
+	case "paper":
+		return ScalePaper, nil
+	default:
+		return 0, fmt.Errorf("experiments: unknown scale %q", name)
+	}
+}
+
+// fabric returns the topology dimensions and run durations for a scale.
+func (s Scale) fabric() (spines, leaves, hostsPerLeaf int, duration units.Time) {
+	switch s {
+	case ScaleMedium:
+		return 4, 4, 16, 50 * units.Millisecond
+	case ScalePaper:
+		return 8, 8, 32, 200 * units.Millisecond
+	default:
+		return 2, 2, 8, 25 * units.Millisecond
+	}
+}
+
+// Cell is one experiment configuration: a point on one figure's axes.
+type Cell struct {
+	Scale Scale
+	Seed  int64
+
+	BM             string     // bm.New name
+	UpdateInterval units.Time // for ABM-approx, in absolute time
+
+	// Web-search workload.
+	Load   float64
+	WSCC   string // cc.NewFactory name
+	WSPrio uint8
+
+	// Incast workload; RequestFrac <= 0 disables it.
+	RequestFrac float64 // request size as a fraction of the buffer (§4.1)
+	IncastCC    string  // defaults to WSCC
+	IncastPrio  uint8
+	IncastLoad  float64 // fraction of aggregate bandwidth offered as incast, default 0.04
+	Fanout      int     // default 8
+
+	QueuesPerPort int  // default 1
+	RandomPrio    bool // spread flows across queues uniformly (fig10/fig12)
+
+	// Scheduler selects the per-port scheduler: "rr" (default), "dwrr",
+	// or "strict".
+	Scheduler string
+
+	// Workload selects the background flow-size distribution:
+	// "websearch" (default) or "datamining".
+	Workload string
+
+	// Trimming enables the cut-payload AQM (Figure 1's trimming-based
+	// family): above the trim threshold, payloads are removed and
+	// headers still delivered, converting timeout losses into immediate
+	// duplicate-ACK signals. Incompatible with DCTCP cells.
+	Trimming bool
+
+	// BufferKBPerPortGbps overrides the Trident2 default of 9.6 (§4.3).
+	BufferKBPerPortGbps float64
+
+	// MixedCC assigns web-search flows alternately to the given
+	// algorithm/priority pairs (fig8); overrides WSCC.
+	MixedCC []CCAssignment
+
+	// Duration overrides the scale's default traffic duration.
+	Duration units.Time
+
+	// Ablation knobs (DESIGN.md §6). Zero values select the defaults the
+	// figures use.
+	Alpha                 float64    // per-priority alpha, default 0.5
+	DrainRateMeasured     bool       // measured estimator instead of scheduler share
+	CongestedFactor       float64    // congestion detection factor, default 0.9
+	HeadroomFrac          float64    // headroom fraction; <0 disables, 0 selects scheme default
+	AlphaUnscheduled      float64    // default 64
+	StatsIntervalOverride units.Time // n_p / mu refresh period, default one base RTT
+}
+
+// CCAssignment binds a congestion-control algorithm to a priority.
+type CCAssignment struct {
+	CC   string
+	Prio uint8
+}
+
+// Result is a finished cell.
+type Result struct {
+	Cell    Cell
+	Summary metrics.Summary
+	// PerPrioP99Short holds the per-priority p99 short-flow slowdown for
+	// mixed-protocol cells (fig8).
+	PerPrioP99Short map[uint8]float64
+
+	Drops            int64
+	UnscheduledDrops int64
+	Events           uint64
+}
+
+// needsINT reports whether any configured algorithm requires telemetry.
+func (c Cell) needsINT() bool {
+	names := []string{c.WSCC, c.IncastCC}
+	for _, a := range c.MixedCC {
+		names = append(names, a.CC)
+	}
+	for _, n := range names {
+		if n == "powertcp" || n == "hpcc" {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes one cell and returns its result.
+func Run(cell Cell) (Result, error) {
+	res, _, err := RunDetailed(cell)
+	return res, err
+}
+
+// RunDetailed is Run, additionally returning the metrics collector with
+// every flow record for tracing and custom analysis.
+func RunDetailed(cell Cell) (Result, *metrics.Collector, error) {
+	spines, leaves, hostsPerLeaf, duration := cell.Scale.fabric()
+	if cell.Duration > 0 {
+		duration = cell.Duration
+	}
+	if cell.QueuesPerPort <= 0 {
+		cell.QueuesPerPort = 1
+	}
+	if cell.IncastCC == "" {
+		cell.IncastCC = cell.WSCC
+	}
+	if cell.IncastLoad <= 0 {
+		cell.IncastLoad = 0.04
+	}
+	if cell.Fanout <= 0 {
+		cell.Fanout = 8
+	}
+	kb := cell.BufferKBPerPortGbps
+	if kb <= 0 {
+		kb = 9.6 // Trident2
+	}
+
+	s := sim.New(cell.Seed)
+	rate := 10 * units.GigabitPerSec
+	ports := hostsPerLeaf + spines
+	totalBuffer := topo.BufferFor(kb, ports, rate)
+
+	// ABM-family schemes reserve 1/8 of the chip as headroom (§4.1: "uses
+	// headroom similar to IB"); others use the whole chip as shared pool.
+	// Cell.HeadroomFrac overrides for ablations.
+	hrFrac := 0.0
+	if cell.BM == "ABM" || cell.BM == "IB" || cell.BM == "ABM-approx" {
+		hrFrac = 1.0 / 8
+	}
+	if cell.HeadroomFrac > 0 {
+		hrFrac = cell.HeadroomFrac
+	}
+	if cell.HeadroomFrac < 0 {
+		hrFrac = 0
+	}
+	headroom := units.ByteCount(float64(totalBuffer) * hrFrac)
+	shared := totalBuffer - headroom
+
+	numQueues := cell.QueuesPerPort * ports
+	alphaVal := cell.Alpha
+	if alphaVal <= 0 {
+		alphaVal = 0.5
+	}
+	alphas := make([]float64, cell.QueuesPerPort)
+	for i := range alphas {
+		alphas[i] = alphaVal
+	}
+
+	alphaU := cell.AlphaUnscheduled
+	if alphaU <= 0 {
+		alphaU = 64
+	}
+	drainMode := device.DrainRateShare
+	if cell.DrainRateMeasured {
+		drainMode = device.DrainRateMeasured
+	}
+	cfg := topo.Config{
+		NumSpines:     spines,
+		NumLeaves:     leaves,
+		HostsPerLeaf:  hostsPerLeaf,
+		LinkRate:      rate,
+		LinkDelay:     10 * units.Microsecond,
+		QueuesPerPort: cell.QueuesPerPort,
+		BufferSize:    shared,
+		Headroom:      headroom,
+		BMFactory: func() bm.Policy {
+			p, err := bm.New(cell.BM, numQueues, cell.UpdateInterval)
+			if err != nil {
+				panic(err)
+			}
+			return p
+		},
+		Alphas:           alphas,
+		AlphaUnscheduled: alphaU,
+		CongestedFactor:  cell.CongestedFactor,
+		StatsInterval:    cell.StatsIntervalOverride,
+		DrainRate:        drainMode,
+		EnableINT:        cell.needsINT(),
+	}
+	switch cell.Scheduler {
+	case "", "rr":
+		// round robin, the device default
+	case "dwrr":
+		cfg.NewScheduler = func() device.Scheduler { return &device.DWRR{} }
+	case "strict":
+		cfg.NewScheduler = func() device.Scheduler { return device.StrictPriority{} }
+	default:
+		return Result{}, nil, fmt.Errorf("experiments: unknown scheduler %q", cell.Scheduler)
+	}
+	// DCTCP needs its marking threshold K = 65 packets (§4.1); the
+	// threshold only marks ECT packets, so it is safe fabric-wide.
+	if usesDCTCP(cell) {
+		if cell.Trimming {
+			return Result{}, nil, fmt.Errorf("experiments: trimming and DCTCP AQMs are mutually exclusive")
+		}
+		k := 65 * (1440 + packet.HeaderBytes)
+		cfg.AQMFactory = func() aqm.Policy { return aqm.ECNThreshold{K: k} }
+	} else if cell.Trimming {
+		// Trim once a queue holds an eighth of the chip — roughly where
+		// deep per-queue backlogs turn into timeout-inducing tail drops.
+		trimAt := totalBuffer / 8
+		cfg.AQMFactory = func() aqm.Policy { return aqm.CutPayload{TrimAbove: trimAt} }
+	}
+
+	n := topo.NewNetwork(s, cfg)
+	col := &metrics.Collector{}
+
+	// Incast requests are sized against the chip buffer, not the
+	// scheme-dependent shared pool, so every scheme sees the same load.
+	ws, ic, sampler, err := attachWorkloads(n, cell, col, totalBuffer)
+	if err != nil {
+		return Result{}, nil, err
+	}
+
+	s.RunUntil(duration)
+	if ws != nil {
+		ws.Stop()
+	}
+	if ic != nil {
+		ic.Stop()
+	}
+	// Drain: let in-flight flows finish (bounded so pathological cells
+	// still terminate).
+	s.RunUntil(duration + 500*units.Millisecond)
+	sampler.Stop()
+	n.Stop()
+	s.Run() // flush canceled tickers
+
+	var unschedDrops int64
+	for _, sw := range n.Switches() {
+		for p := 0; p < sw.NumPorts(); p++ {
+			for q := 0; q < sw.Prios(); q++ {
+				unschedDrops += sw.Port(p).Queue(q).DropsUnscheduled
+			}
+		}
+	}
+	res := Result{
+		Cell:             cell,
+		Summary:          col.Summarize(rate),
+		Drops:            n.TotalDrops(),
+		UnscheduledDrops: unschedDrops,
+		Events:           s.Executed(),
+	}
+	if len(cell.MixedCC) > 0 {
+		res.PerPrioP99Short = make(map[uint8]float64)
+		for _, a := range cell.MixedCC {
+			vals := col.Filter(func(r metrics.FlowRecord) bool {
+				return r.Prio == a.Prio && r.Size <= metrics.ShortFlowCut
+			})
+			res.PerPrioP99Short[a.Prio] = metrics.Percentile(vals, 99)
+		}
+		if cell.RequestFrac > 0 {
+			vals := col.Filter(metrics.ByClass(metrics.ClassIncast))
+			res.PerPrioP99Short[cell.IncastPrio] = metrics.Percentile(vals, 99)
+		}
+	}
+	return res, col, nil
+}
+
+func usesDCTCP(cell Cell) bool {
+	ecnBased := func(n string) bool { return n == "dctcp" || n == "dcqcn" }
+	if ecnBased(cell.WSCC) || ecnBased(cell.IncastCC) {
+		return true
+	}
+	for _, a := range cell.MixedCC {
+		if ecnBased(a.CC) {
+			return true
+		}
+	}
+	return false
+}
+
+// attachWorkloads builds and starts the cell's generators plus the
+// buffer sampler.
+func attachWorkloads(n *topo.Network, cell Cell, col *metrics.Collector,
+	shared units.ByteCount) (*workload.WebSearch, *workload.Incast, *workload.BufferSampler, error) {
+
+	// Workload randomness is isolated from simulation randomness so every
+	// scheme at the same seed sees identical arrivals.
+	rng := rand.New(rand.NewSource(cell.Seed + 1000))
+	qpp := cell.QueuesPerPort
+
+	var ws *workload.WebSearch
+	if cell.Load > 0 {
+		ws = &workload.WebSearch{Net: n, Load: cell.Load, Collect: col, Seed: cell.Seed + 1}
+		switch cell.Workload {
+		case "", "websearch":
+			// the default distribution
+		case "datamining":
+			ws.Sizes = randutil.DataMining
+		default:
+			return nil, nil, nil, fmt.Errorf("experiments: unknown workload %q", cell.Workload)
+		}
+		switch {
+		case len(cell.MixedCC) > 0:
+			factories := make([]cc.Factory, len(cell.MixedCC))
+			for i, a := range cell.MixedCC {
+				f, err := cc.NewFactory(a.CC)
+				if err != nil {
+					return nil, nil, nil, err
+				}
+				factories[i] = f
+			}
+			assignments := cell.MixedCC
+			ws.PickCC = func(i int) (cc.Factory, uint8) {
+				j := i % len(assignments)
+				return factories[j], assignments[j].Prio
+			}
+		case cell.RandomPrio:
+			f, err := cc.NewFactory(cell.WSCC)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			ws.PickCC = func(int) (cc.Factory, uint8) {
+				return f, uint8(rng.Intn(qpp))
+			}
+		default:
+			f, err := cc.NewFactory(cell.WSCC)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			ws.CC = f
+			ws.Prio = cell.WSPrio
+		}
+		ws.Start()
+	}
+
+	var ic *workload.Incast
+	if cell.RequestFrac > 0 {
+		f, err := cc.NewFactory(cell.IncastCC)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		reqSize := units.ByteCount(cell.RequestFrac * float64(shared))
+		bisection := float64(n.Cfg.LinkRate) * float64(n.Cfg.NumLeaves*n.Cfg.NumSpines)
+		qps := cell.IncastLoad * bisection / float64(reqSize.Bits())
+		ic = &workload.Incast{
+			Net:         n,
+			RequestSize: reqSize,
+			Fanout:      cell.Fanout,
+			QueryRate:   qps,
+			Prio:        cell.IncastPrio,
+			CC:          f,
+			Collect:     col,
+			Seed:        cell.Seed + 2,
+		}
+		if cell.RandomPrio {
+			ic.PickPrio = func() uint8 { return uint8(rng.Intn(qpp)) }
+		}
+		ic.Start()
+	}
+
+	sampler := &workload.BufferSampler{Net: n, Collect: col}
+	sampler.Start(100 * units.Microsecond)
+	return ws, ic, sampler, nil
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"abm/internal/units"
+)
+
+func TestScaleParsing(t *testing.T) {
+	for _, name := range []string{"small", "medium", "paper"} {
+		sc, err := ParseScale(name)
+		if err != nil {
+			t.Fatalf("ParseScale(%q): %v", name, err)
+		}
+		if sc.String() != name {
+			t.Fatalf("round trip %q -> %q", name, sc.String())
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRunBasicCell(t *testing.T) {
+	res, err := Run(Cell{
+		Scale: ScaleSmall, Seed: 1,
+		BM: "DT", Load: 0.3, WSCC: "cubic",
+		RequestFrac: 0.3,
+		Duration:    10 * units.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Summary
+	if s.Flows == 0 {
+		t.Fatal("no flows generated")
+	}
+	if s.Flows-s.Unfinished == 0 {
+		t.Fatal("no flows finished")
+	}
+	if s.P99IncastSlowdown < 1 {
+		t.Fatalf("incast slowdown = %v, must be >= 1", s.P99IncastSlowdown)
+	}
+	if s.P99BufferFrac <= 0 {
+		t.Fatal("no buffer occupancy observed")
+	}
+	if res.Events == 0 {
+		t.Fatal("no events executed")
+	}
+}
+
+func TestRunABMWithHeadroom(t *testing.T) {
+	res, err := Run(Cell{
+		Scale: ScaleSmall, Seed: 2,
+		BM: "ABM", Load: 0.3, WSCC: "dctcp",
+		RequestFrac: 0.3,
+		Duration:    10 * units.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Flows-res.Summary.Unfinished == 0 {
+		t.Fatal("no flows finished under ABM")
+	}
+}
+
+func TestRunRejectsUnknownNames(t *testing.T) {
+	if _, err := Run(Cell{Scale: ScaleSmall, BM: "DT", Load: 0.1, WSCC: "bogus",
+		Duration: units.Millisecond}); err == nil {
+		t.Fatal("expected cc error")
+	}
+}
+
+func TestRunUnknownBMPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown BM")
+		}
+	}()
+	Run(Cell{Scale: ScaleSmall, BM: "bogus", Load: 0.1, WSCC: "cubic",
+		Duration: units.Millisecond})
+}
+
+func TestMixedCCPerPrioResults(t *testing.T) {
+	res, err := Run(Cell{
+		Scale: ScaleSmall, Seed: 3,
+		BM: "ABM", Load: 0.4,
+		QueuesPerPort: 3,
+		MixedCC: []CCAssignment{
+			{CC: "cubic", Prio: 0},
+			{CC: "dctcp", Prio: 1},
+		},
+		RequestFrac: 0.2,
+		IncastCC:    "theta-powertcp",
+		IncastPrio:  2,
+		Duration:    10 * units.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerPrioP99Short) != 3 {
+		t.Fatalf("per-prio results = %v", res.PerPrioP99Short)
+	}
+}
+
+func TestFig4Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig4(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 4") || strings.Count(out, "\n") < 40 {
+		t.Fatalf("fig4 output too short:\n%s", out)
+	}
+}
+
+func TestFig5Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig5(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "\n") < 70 {
+		t.Fatal("fig5 output too short")
+	}
+}
+
+func TestRunFigureUnknown(t *testing.T) {
+	if err := RunFigure("fig99", ScaleSmall, 1, &bytes.Buffer{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// TestFigureRunnersSmoke runs the light analytic figures and one tiny
+// simulated cell from each family to keep CI fast; full figures run via
+// the benchmarks and cmd/figures.
+func TestFigureRunnersSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation smoke tests skipped in -short")
+	}
+	for _, id := range []string{"fig4", "fig5"} {
+		var buf bytes.Buffer
+		if err := RunFigure(id, ScaleSmall, 1, &buf); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s produced no output", id)
+		}
+	}
+}
+
+// TestFig8Runner exercises one full simulated figure end to end (the
+// cheapest one: six cells on the small fabric).
+func TestFig8Runner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	var buf bytes.Buffer
+	if err := Fig8(ScaleSmall, 1, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// Header comment + column header + 2 BMs x 3 loads.
+	if len(lines) != 8 {
+		t.Fatalf("fig8 rows = %d, want 8:\n%s", len(lines), buf.String())
+	}
+	for _, line := range lines[2:] {
+		if !strings.HasPrefix(line, "DT\t") && !strings.HasPrefix(line, "ABM\t") {
+			t.Fatalf("unexpected row %q", line)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// RunExtraCC extends Figure 9 beyond the paper: the related-work
+// transports the paper cites but does not evaluate (HPCC, DCQCN, Swift)
+// under the same incast sweep, with DT vs ABM. The expectation carries
+// over — the stronger the transport's own congestion signal, the less
+// ABM adds, until the burst exceeds what any end-host control can do
+// about the first RTT.
+func RunExtraCC(scale Scale, seed int64, w io.Writer) error {
+	fmt.Fprintln(w, "# Extension: related-work transports (HPCC, DCQCN, Swift) x request size, DT vs ABM")
+	fmt.Fprintln(w, "cc\treq_frac_pct\tp99_incast_DT\tp99_incast_ABM")
+	for _, ccName := range []string{"hpcc", "dcqcn", "swift"} {
+		for _, frac := range []float64{0.25, 0.5, 0.75} {
+			var vals [2]float64
+			for i, bmName := range []string{"DT", "ABM"} {
+				res, err := Run(Cell{
+					Scale: scale, Seed: seed,
+					BM: bmName, Load: 0.4, WSCC: ccName,
+					RequestFrac: frac,
+				})
+				if err != nil {
+					return err
+				}
+				vals[i] = res.Summary.P99IncastSlowdown
+			}
+			fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.1f\n", ccName, frac*100, vals[0], vals[1])
+		}
+	}
+	return nil
+}

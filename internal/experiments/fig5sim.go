@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"abm/internal/bm"
+	"abm/internal/burstlab"
+	"abm/internal/units"
+)
+
+// Fig5Sim regenerates Figure 5's burst-tolerance surfaces by measuring
+// them on the packet simulator (package burstlab) instead of the fluid
+// model — a cross-check that the analytic shapes of Fig5 survive
+// packetization, scheduling, and periodic statistics updates.
+func Fig5Sim(w io.Writer) error {
+	measure := func(scheme string, ports, queues, rateX10 int) units.ByteCount {
+		cfg := burstlab.Config{
+			Seed:           1,
+			CongestedPorts: ports,
+			QueuesPerPort:  queues,
+			BurstRate:      units.Rate(rateX10) * 10 * units.GigabitPerSec,
+		}
+		if scheme == "ABM" {
+			cfg.BM = func() bm.Policy { return bm.ABM{} }
+			cfg.Unscheduled = true
+			cfg.Headroom = 512 * units.Kilobyte
+			cfg.Buffer = 5*units.Megabyte - cfg.Headroom
+		} else {
+			cfg.BM = func() bm.Policy { return bm.DT{} }
+		}
+		return burstlab.Measure(cfg).Tolerance
+	}
+
+	fmt.Fprintln(w, "# Figure 5 (simulated): burst tolerance (MB) vs burst rate and congested ports")
+	fmt.Fprintln(w, "rate_x10G\tports\tDT_MB\tABM_MB")
+	for _, r := range []int{10, 15, 20} {
+		for ports := 2; ports <= 14; ports += 4 {
+			fmt.Fprintf(w, "%d\t%d\t%.3f\t%.3f\n", r, ports,
+				mb(measure("DT", ports, 1, r)), mb(measure("ABM", ports, 1, r)))
+		}
+	}
+	fmt.Fprintln(w, "# Figure 5 (simulated): burst tolerance (MB) vs burst rate and congested queues per port")
+	fmt.Fprintln(w, "rate_x10G\tqueues\tDT_MB\tABM_MB")
+	for _, r := range []int{10, 15, 20} {
+		for queues := 2; queues <= 8; queues += 2 {
+			fmt.Fprintf(w, "%d\t%d\t%.3f\t%.3f\n", r, queues,
+				mb(measure("DT", 4, queues, r)), mb(measure("ABM", 4, queues, r)))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+// Package host implements end hosts: a NIC that serializes packets onto
+// the access link, a demultiplexer for the transport layer, and the flow
+// factory the workload generators drive.
+package host
+
+import (
+	"fmt"
+
+	"abm/internal/cc"
+	"abm/internal/device"
+	"abm/internal/packet"
+	"abm/internal/sim"
+	"abm/internal/transport"
+	"abm/internal/units"
+)
+
+// Config parameterizes a host.
+type Config struct {
+	ID      packet.NodeID
+	Rate    units.Rate // NIC bandwidth
+	BaseRTT units.Time // fabric base RTT, for cc Config and unscheduled budget
+	MSS     units.ByteCount
+	MinRTO  units.Time
+
+	// UnscheduledBytes is the first-RTT budget tagged unscheduled; zero
+	// selects one bandwidth-delay product.
+	UnscheduledBytes units.ByteCount
+}
+
+// Host is one server: NIC plus transport endpoints.
+type Host struct {
+	sim  *sim.Simulator
+	cfg  Config
+	link *device.Link // egress toward the ToR
+
+	queue   []*packet.Packet // NIC FIFO
+	qhead   int
+	busy    bool
+	TxBytes units.ByteCount
+	RxBytes units.ByteCount // payload bytes received (goodput)
+
+	senders   map[uint64]*transport.Sender
+	receivers map[uint64]*transport.Receiver
+}
+
+// New creates a host. Attach the uplink with Connect before starting
+// flows.
+func New(s *sim.Simulator, cfg Config) *Host {
+	if cfg.Rate <= 0 {
+		panic(fmt.Sprintf("host %d: rate must be positive", cfg.ID))
+	}
+	if cfg.MSS <= 0 {
+		cfg.MSS = 1440
+	}
+	if cfg.UnscheduledBytes <= 0 {
+		cfg.UnscheduledBytes = cfg.Rate.BytesOver(cfg.BaseRTT)
+	}
+	return &Host{
+		sim:       s,
+		cfg:       cfg,
+		senders:   make(map[uint64]*transport.Sender),
+		receivers: make(map[uint64]*transport.Receiver),
+	}
+}
+
+// ID implements device.Endpoint.
+func (h *Host) ID() packet.NodeID { return h.cfg.ID }
+
+// Connect attaches the host's egress link (toward its leaf switch).
+func (h *Host) Connect(l *device.Link) { h.link = l }
+
+// Receive implements device.Endpoint: demultiplex to transport.
+func (h *Host) Receive(pkt *packet.Packet) {
+	if pkt.Dst != h.cfg.ID {
+		panic(fmt.Sprintf("host %d received packet for %d", h.cfg.ID, pkt.Dst))
+	}
+	if pkt.Is(packet.FlagACK) {
+		if sn, ok := h.senders[pkt.FlowID]; ok {
+			sn.OnAck(pkt)
+		}
+		return
+	}
+	h.RxBytes += pkt.Payload
+	rc, ok := h.receivers[pkt.FlowID]
+	if !ok {
+		rc = transport.NewReceiver(h.sim, pkt.FlowID, h.cfg.ID, pkt.Src, h.Output)
+		h.receivers[pkt.FlowID] = rc
+	}
+	rc.OnData(pkt)
+}
+
+// Output enqueues a packet into the NIC FIFO; the NIC serializes at line
+// rate onto the access link.
+func (h *Host) Output(pkt *packet.Packet) {
+	h.queue = append(h.queue, pkt)
+	h.maybeTransmit()
+}
+
+func (h *Host) maybeTransmit() {
+	if h.busy || h.qhead >= len(h.queue) {
+		return
+	}
+	pkt := h.queue[h.qhead]
+	h.queue[h.qhead] = nil
+	h.qhead++
+	if h.qhead > 64 && h.qhead*2 >= len(h.queue) {
+		n := copy(h.queue, h.queue[h.qhead:])
+		h.queue = h.queue[:n]
+		h.qhead = 0
+	}
+	h.busy = true
+	h.sim.After(h.cfg.Rate.TxTime(pkt.Size()), func() {
+		h.TxBytes += pkt.Size()
+		if h.link == nil {
+			panic(fmt.Sprintf("host %d has no uplink", h.cfg.ID))
+		}
+		h.link.Send(pkt)
+		h.busy = false
+		h.maybeTransmit()
+	})
+}
+
+// StartFlow creates a sender toward dst and begins transmitting
+// immediately. The returned sender completes when every byte is
+// acknowledged; onComplete may be nil.
+func (h *Host) StartFlow(flowID uint64, dst packet.NodeID, size units.ByteCount,
+	prio uint8, algo cc.Algorithm, onComplete func(now units.Time)) *transport.Sender {
+	algo.Init(cc.Config{
+		MSS:      h.cfg.MSS,
+		BaseRTT:  h.cfg.BaseRTT,
+		LineRate: h.cfg.Rate,
+	})
+	sn := transport.NewSender(h.sim, transport.Config{
+		MSS:              h.cfg.MSS,
+		MinRTO:           h.cfg.MinRTO,
+		UnscheduledBytes: h.cfg.UnscheduledBytes,
+		Prio:             prio,
+	}, algo, flowID, h.cfg.ID, dst, size, h.Output, onComplete)
+	h.senders[flowID] = sn
+	sn.Start()
+	return sn
+}
+
+// Backlog returns the NIC queue depth in packets.
+func (h *Host) Backlog() int { return len(h.queue) - h.qhead }
+
+// EachSender visits every sender created on this host.
+func (h *Host) EachSender(f func(*transport.Sender)) {
+	for _, sn := range h.senders {
+		f(sn)
+	}
+}
+
+// ActiveSenders counts unfinished flows originating here.
+func (h *Host) ActiveSenders() int {
+	n := 0
+	for _, sn := range h.senders {
+		if !sn.Finished() {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,152 @@
+package randutil
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"abm/internal/units"
+)
+
+func TestExponentialMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mean := 100 * units.Microsecond
+	var sum float64
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		sum += float64(Exponential(rng, mean))
+	}
+	got := sum / n
+	if math.Abs(got-float64(mean))/float64(mean) > 0.02 {
+		t.Errorf("empirical mean %v, want ~%v", units.Time(got), mean)
+	}
+}
+
+func TestExponentialNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10_000; i++ {
+		if Exponential(rng, units.Microsecond) < 0 {
+			t.Fatal("negative sample")
+		}
+	}
+}
+
+func TestExponentialPanicsOnBadMean(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Exponential(rand.New(rand.NewSource(1)), 0)
+}
+
+func TestNewEmpiricalCDFValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		pts  []CDFPoint
+	}{
+		{"empty", nil},
+		{"not ending at 1", []CDFPoint{{1, 0.5}}},
+		{"decreasing P", []CDFPoint{{1, 0.5}, {2, 0.4}, {3, 1}}},
+		{"unsorted values", []CDFPoint{{5, 0.5}, {2, 0.7}, {9, 1}}},
+		{"P out of range", []CDFPoint{{1, -0.1}, {2, 1}}},
+		{"negative value", []CDFPoint{{-1, 0.2}, {2, 1}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewEmpiricalCDF(tc.pts); err == nil {
+				t.Errorf("expected error for %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestSampleWithinSupport(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 100_000; i++ {
+		v := WebSearch.Sample(rng)
+		if v < WebSearch.Min() || v > WebSearch.Max() {
+			t.Fatalf("sample %v outside [%v, %v]", v, WebSearch.Min(), WebSearch.Max())
+		}
+	}
+}
+
+func TestSampleBytesAtLeastOne(t *testing.T) {
+	c := MustEmpiricalCDF([]CDFPoint{{0, 0}, {0, 1}})
+	rng := rand.New(rand.NewSource(1))
+	if got := c.SampleBytes(rng); got != 1 {
+		t.Fatalf("SampleBytes = %v, want clamped to 1", got)
+	}
+}
+
+func TestWebSearchShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n = 200_000
+	var under100K, total int
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := WebSearch.Sample(rng)
+		sum += v
+		total++
+		if v <= 100_000 {
+			under100K++
+		}
+	}
+	fracShort := float64(under100K) / float64(total)
+	// The distribution has ~53% of flows at or below 53KB, so >50% must be
+	// under 100KB (the paper's short-flow cut).
+	if fracShort < 0.5 || fracShort > 0.65 {
+		t.Errorf("fraction under 100KB = %.3f, want ~0.53-0.6", fracShort)
+	}
+	mean := sum / float64(n)
+	if mean < 1e6 || mean > 2.5e6 {
+		t.Errorf("mean = %.0f bytes, want ~1.6MB (heavy tail)", mean)
+	}
+	if math.Abs(mean-WebSearch.Mean())/WebSearch.Mean() > 0.05 {
+		t.Errorf("empirical mean %.0f differs from analytic %.0f", mean, WebSearch.Mean())
+	}
+}
+
+// Property: samples from any valid random CDF stay within its support,
+// and quantiles are monotone in u.
+func TestCDFSampleProperty(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(rawN%8) + 2
+		pts := make([]CDFPoint, n)
+		v, p := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			v += rng.Float64() * 100
+			p += rng.Float64()
+			pts[i] = CDFPoint{Value: v, P: p}
+		}
+		for i := range pts {
+			pts[i].P /= p // normalize so last = 1
+		}
+		pts[n-1].P = 1
+		c, err := NewEmpiricalCDF(pts)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 100; i++ {
+			s := c.Sample(rng)
+			if s < c.Min()-1e-9 || s > c.Max()+1e-9 {
+				return false
+			}
+		}
+		return c.Mean() >= c.Min() && c.Mean() <= c.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMustEmpiricalCDFPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustEmpiricalCDF(nil)
+}

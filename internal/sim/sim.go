@@ -1,0 +1,137 @@
+// Package sim provides the discrete-event simulation kernel: a virtual
+// clock, an event calendar, and a deterministic single-threaded run loop.
+//
+// All model components (links, switches, hosts) schedule closures on a
+// shared *Simulator. Determinism is guaranteed by the event queue's FIFO
+// tie-break and by the single seeded random source.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"abm/internal/eventq"
+	"abm/internal/units"
+)
+
+// Event is a cancelable handle to a scheduled callback.
+type Event = eventq.Event
+
+// Simulator owns the virtual clock and the event calendar.
+type Simulator struct {
+	now    units.Time
+	q      eventq.Queue
+	rng    *rand.Rand
+	nexec  uint64
+	halted bool
+}
+
+// New returns a simulator whose random source is seeded with seed.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() units.Time { return s.now }
+
+// Rand returns the simulator's deterministic random source.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Executed returns the number of events executed so far.
+func (s *Simulator) Executed() uint64 { return s.nexec }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// panics: it would silently reorder causality.
+func (s *Simulator) At(t units.Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
+	}
+	return s.q.Push(t, fn)
+}
+
+// After schedules fn to run d from now.
+func (s *Simulator) After(d units.Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return s.q.Push(s.now+d, fn)
+}
+
+// Halt stops the run loop after the currently executing event returns.
+func (s *Simulator) Halt() { s.halted = true }
+
+// Run executes events until the calendar is empty or Halt is called.
+func (s *Simulator) Run() {
+	s.halted = false
+	for !s.halted {
+		e := s.q.Pop()
+		if e == nil {
+			return
+		}
+		s.now = e.Time
+		s.nexec++
+		e.Fn()
+	}
+}
+
+// RunUntil executes events with firing time <= deadline, then advances
+// the clock to the deadline. Events scheduled beyond the deadline stay
+// queued and fire on a later call.
+func (s *Simulator) RunUntil(deadline units.Time) {
+	s.halted = false
+	for !s.halted {
+		e := s.q.Peek()
+		if e == nil || e.Time > deadline {
+			break
+		}
+		s.q.Pop()
+		s.now = e.Time
+		s.nexec++
+		e.Fn()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Pending returns the number of events still in the calendar (including
+// canceled events not yet discarded).
+func (s *Simulator) Pending() int { return s.q.Len() }
+
+// Ticker repeatedly invokes fn every interval until Stop is called.
+type Ticker struct {
+	sim      *Simulator
+	interval units.Time
+	fn       func()
+	ev       *Event
+	stopped  bool
+}
+
+// NewTicker schedules fn every interval, first firing one interval from
+// now. The interval must be positive.
+func (s *Simulator) NewTicker(interval units.Time, fn func()) *Ticker {
+	if interval <= 0 {
+		panic("sim: ticker interval must be positive")
+	}
+	t := &Ticker{sim: s, interval: interval, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.sim.After(t.interval, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		t.arm()
+	})
+}
+
+// Stop cancels future firings.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.ev != nil {
+		t.ev.Cancel()
+	}
+}

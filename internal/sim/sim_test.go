@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"testing"
+
+	"abm/internal/units"
+)
+
+func TestRunExecutesInOrder(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.At(30, func() { order = append(order, 3) })
+	s.At(10, func() { order = append(order, 1) })
+	s.At(20, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 30 {
+		t.Fatalf("clock = %v, want 30", s.Now())
+	}
+	if s.Executed() != 3 {
+		t.Fatalf("executed = %d", s.Executed())
+	}
+}
+
+func TestAfterUsesCurrentTime(t *testing.T) {
+	s := New(1)
+	var fired units.Time
+	s.At(100, func() {
+		s.After(50, func() { fired = s.Now() })
+	})
+	s.Run()
+	if fired != 150 {
+		t.Fatalf("fired at %v, want 150", fired)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New(1)
+	s.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic when scheduling in the past")
+			}
+		}()
+		s.At(50, func() {})
+	})
+	s.Run()
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	s := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative delay")
+		}
+	}()
+	s.After(-1, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(1)
+	var fired []units.Time
+	for _, tm := range []units.Time{10, 20, 30, 40} {
+		tm := tm
+		s.At(tm, func() { fired = append(fired, tm) })
+	}
+	s.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 10,20", fired)
+	}
+	if s.Now() != 25 {
+		t.Fatalf("clock = %v, want 25", s.Now())
+	}
+	s.RunUntil(100)
+	if len(fired) != 4 {
+		t.Fatalf("fired %v, want all four", fired)
+	}
+	// Clock advances to the deadline even with an empty calendar.
+	if s.Now() != 100 {
+		t.Fatalf("clock = %v, want 100", s.Now())
+	}
+}
+
+func TestHalt(t *testing.T) {
+	s := New(1)
+	count := 0
+	s.At(1, func() { count++; s.Halt() })
+	s.At(2, func() { count++ })
+	s.Run()
+	if count != 1 {
+		t.Fatalf("count = %d, want 1 (halted)", count)
+	}
+	s.Run()
+	if count != 2 {
+		t.Fatalf("count = %d, resume should execute remaining", count)
+	}
+}
+
+func TestCancelPreventsExecution(t *testing.T) {
+	s := New(1)
+	fired := false
+	e := s.At(10, func() { fired = true })
+	e.Cancel()
+	s.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+}
+
+func TestTicker(t *testing.T) {
+	s := New(1)
+	var ticks []units.Time
+	tk := s.NewTicker(10, func() {
+		ticks = append(ticks, s.Now())
+		if len(ticks) == 3 {
+			s.Halt()
+		}
+	})
+	s.Run()
+	tk.Stop()
+	want := []units.Time{10, 20, 30}
+	if len(ticks) != 3 {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+	s.Run()
+	if len(ticks) != 3 {
+		t.Fatal("ticker fired after Stop")
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	s := New(1)
+	n := 0
+	var tk *Ticker
+	tk = s.NewTicker(5, func() {
+		n++
+		tk.Stop()
+	})
+	s.RunUntil(1000)
+	if n != 1 {
+		t.Fatalf("ticker fired %d times after Stop in callback", n)
+	}
+}
+
+func TestZeroIntervalTickerPanics(t *testing.T) {
+	s := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.NewTicker(0, func() {})
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int64 {
+		s := New(99)
+		var vals []int64
+		for i := 0; i < 10; i++ {
+			s.After(units.Time(i), func() { vals = append(vals, s.Rand().Int63()) })
+		}
+		s.Run()
+		return vals
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must produce identical runs")
+		}
+	}
+}
+
+func TestPending(t *testing.T) {
+	s := New(1)
+	s.At(5, func() {})
+	s.At(6, func() {})
+	if s.Pending() != 2 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+	s.Run()
+	if s.Pending() != 0 {
+		t.Fatalf("pending after run = %d", s.Pending())
+	}
+}

@@ -1,0 +1,286 @@
+// Package topo builds the paper's evaluation fabric (§4.1): a leaf–spine
+// topology with ECMP per-flow routing, uniform link rates, and hosts
+// attached to leaf switches. Default dimensions follow the paper (8
+// spines, 8 leaves, 32 hosts per leaf, 10 Gb/s, 10us per link); the
+// experiment harness scales them down for CI-sized runs.
+package topo
+
+import (
+	"fmt"
+
+	"abm/internal/aqm"
+	"abm/internal/bm"
+	"abm/internal/cc"
+	"abm/internal/device"
+	"abm/internal/host"
+	"abm/internal/packet"
+	"abm/internal/sim"
+	"abm/internal/units"
+)
+
+// Config describes a leaf–spine fabric.
+type Config struct {
+	NumSpines    int
+	NumLeaves    int
+	HostsPerLeaf int
+
+	LinkRate  units.Rate
+	LinkDelay units.Time
+
+	QueuesPerPort int
+
+	BufferSize units.ByteCount // shared buffer per switch
+	Headroom   units.ByteCount
+
+	// BMFactory builds one buffer-management policy per switch; stateful
+	// policies (FAB, IB, ABM-approx) must not be shared across devices.
+	BMFactory  func() bm.Policy
+	AQMFactory aqm.Factory
+
+	Alphas           []float64
+	AlphaUnscheduled float64
+	CongestedFactor  float64
+	StatsInterval    units.Time // 0 selects one base RTT (§4.1)
+	DrainRate        device.DrainRateMode
+	NewScheduler     func() device.Scheduler
+
+	EnableINT bool
+
+	MSS    units.ByteCount
+	MinRTO units.Time
+}
+
+func (c *Config) fillDefaults() {
+	if c.NumSpines <= 0 {
+		c.NumSpines = 8
+	}
+	if c.NumLeaves <= 0 {
+		c.NumLeaves = 8
+	}
+	if c.HostsPerLeaf <= 0 {
+		c.HostsPerLeaf = 32
+	}
+	if c.LinkRate <= 0 {
+		c.LinkRate = 10 * units.GigabitPerSec
+	}
+	if c.LinkDelay <= 0 {
+		c.LinkDelay = 10 * units.Microsecond
+	}
+	if c.QueuesPerPort <= 0 {
+		c.QueuesPerPort = 1
+	}
+	if c.BufferSize <= 0 {
+		// Trident2: 9.6 KB per port per Gb/s (§4.1), sized by the leaf
+		// radix so leaves and spines share one config.
+		ports := c.HostsPerLeaf + c.NumSpines
+		c.BufferSize = BufferFor(9.6, ports, c.LinkRate)
+	}
+	if c.BMFactory == nil {
+		c.BMFactory = func() bm.Policy { return bm.DT{} }
+	}
+	if c.MSS <= 0 {
+		c.MSS = 1440
+	}
+	if c.MinRTO <= 0 {
+		c.MinRTO = 10 * units.Millisecond
+	}
+	if c.StatsInterval <= 0 {
+		c.StatsInterval = 8 * c.LinkDelay // one base RTT
+	}
+}
+
+// BufferFor computes a switch buffer from a KB-per-port-per-Gbps spec,
+// the sizing the paper sweeps in §4.3 (Trident2 9.6, Tomahawk 5.12,
+// Tofino 3.44, ...).
+func BufferFor(kbPerPortPerGbps float64, ports int, rate units.Rate) units.ByteCount {
+	return units.ByteCount(kbPerPortPerGbps * 1024 * float64(ports) * rate.Gbps())
+}
+
+// Network is a built fabric.
+type Network struct {
+	Sim    *sim.Simulator
+	Cfg    Config
+	Spines []*device.Switch
+	Leaves []*device.Switch
+	Hosts  []*host.Host
+
+	nextFlow uint64
+}
+
+// NodeID layout: hosts are 0..N-1, leaves 10000+l, spines 20000+s.
+const (
+	leafIDBase  = 10000
+	spineIDBase = 20000
+)
+
+// NewNetwork builds and wires the fabric.
+func NewNetwork(s *sim.Simulator, cfg Config) *Network {
+	cfg.fillDefaults()
+	n := &Network{Sim: s, Cfg: cfg}
+
+	mmuFor := func() device.MMUConfig {
+		return device.MMUConfig{
+			BufferSize:       cfg.BufferSize,
+			Headroom:         cfg.Headroom,
+			Alphas:           cfg.Alphas,
+			AlphaUnscheduled: cfg.AlphaUnscheduled,
+			BM:               cfg.BMFactory(),
+			AQMFactory:       cfg.AQMFactory,
+			CongestedFactor:  cfg.CongestedFactor,
+			StatsInterval:    cfg.StatsInterval,
+			DrainRate:        cfg.DrainRate,
+		}
+	}
+
+	for l := 0; l < cfg.NumLeaves; l++ {
+		sw := device.NewSwitch(s, device.SwitchConfig{
+			ID:            packet.NodeID(leafIDBase + l),
+			NumPorts:      cfg.HostsPerLeaf + cfg.NumSpines,
+			QueuesPerPort: cfg.QueuesPerPort,
+			PortRate:      cfg.LinkRate,
+			MMU:           mmuFor(),
+			NewScheduler:  cfg.NewScheduler,
+			EnableINT:     cfg.EnableINT,
+		})
+		sw.SetRouter(n.leafRouter(l))
+		n.Leaves = append(n.Leaves, sw)
+	}
+	for sp := 0; sp < cfg.NumSpines; sp++ {
+		sw := device.NewSwitch(s, device.SwitchConfig{
+			ID:            packet.NodeID(spineIDBase + sp),
+			NumPorts:      cfg.NumLeaves,
+			QueuesPerPort: cfg.QueuesPerPort,
+			PortRate:      cfg.LinkRate,
+			MMU:           mmuFor(),
+			NewScheduler:  cfg.NewScheduler,
+			EnableINT:     cfg.EnableINT,
+		})
+		sw.SetRouter(n.spineRouter())
+		n.Spines = append(n.Spines, sw)
+	}
+
+	numHosts := cfg.NumLeaves * cfg.HostsPerLeaf
+	for h := 0; h < numHosts; h++ {
+		leaf := n.Leaves[h/cfg.HostsPerLeaf]
+		hostPort := h % cfg.HostsPerLeaf
+		hs := host.New(s, host.Config{
+			ID:      packet.NodeID(h),
+			Rate:    cfg.LinkRate,
+			BaseRTT: n.BaseRTT(),
+			MSS:     cfg.MSS,
+			MinRTO:  cfg.MinRTO,
+		})
+		hs.Connect(device.NewLink(s, cfg.LinkDelay, leaf))
+		leaf.ConnectPort(hostPort, device.NewLink(s, cfg.LinkDelay, hs))
+		n.Hosts = append(n.Hosts, hs)
+	}
+
+	for l, leaf := range n.Leaves {
+		for sp, spine := range n.Spines {
+			leaf.ConnectPort(cfg.HostsPerLeaf+sp, device.NewLink(s, cfg.LinkDelay, spine))
+			spine.ConnectPort(l, device.NewLink(s, cfg.LinkDelay, leaf))
+		}
+	}
+	return n
+}
+
+// leafRouter forwards to the local host port or ECMP-hashes the flow
+// onto an uplink.
+func (n *Network) leafRouter(leafIdx int) device.Router {
+	hpl := n.Cfg.HostsPerLeaf
+	lo := packet.NodeID(leafIdx * hpl)
+	hi := lo + packet.NodeID(hpl)
+	return func(_ *device.Switch, pkt *packet.Packet) int {
+		if pkt.Dst >= lo && pkt.Dst < hi {
+			return int(pkt.Dst - lo)
+		}
+		return hpl + int(ecmpHash(pkt.FlowID)%uint64(n.Cfg.NumSpines))
+	}
+}
+
+// spineRouter forwards down to the destination's leaf.
+func (n *Network) spineRouter() device.Router {
+	hpl := n.Cfg.HostsPerLeaf
+	return func(_ *device.Switch, pkt *packet.Packet) int {
+		return int(pkt.Dst) / hpl
+	}
+}
+
+// ecmpHash mixes the flow ID (splitmix64 finalizer) so consecutive flow
+// IDs spread across spines.
+func ecmpHash(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// NumHosts returns the host count.
+func (n *Network) NumHosts() int { return len(n.Hosts) }
+
+// LeafOf returns the leaf (rack) index of a host index.
+func (n *Network) LeafOf(hostIdx int) int { return hostIdx / n.Cfg.HostsPerLeaf }
+
+// BaseRTT returns the propagation round-trip of the longest (inter-rack)
+// path: eight link traversals.
+func (n *Network) BaseRTT() units.Time { return 8 * n.Cfg.LinkDelay }
+
+// Hops returns the one-way hop-link count between two hosts.
+func (n *Network) Hops(src, dst int) int {
+	if n.LeafOf(src) == n.LeafOf(dst) {
+		return 2
+	}
+	return 4
+}
+
+// IdealFCT returns the completion time the flow would see alone in the
+// fabric: round-trip propagation (the FCT is measured at the sender, so
+// it includes the final ACK), serialization of the full wire size at the
+// line rate, and per-hop store-and-forward of one MTU.
+func (n *Network) IdealFCT(src, dst int, size units.ByteCount) units.Time {
+	hops := n.Hops(src, dst)
+	segs := int64(size+n.Cfg.MSS-1) / int64(n.Cfg.MSS)
+	wire := size + units.ByteCount(segs)*packet.HeaderBytes
+	prop := units.Time(2*hops) * n.Cfg.LinkDelay
+	tx := n.Cfg.LinkRate.TxTime(wire)
+	sf := units.Time(hops-1) * n.Cfg.LinkRate.TxTime(n.Cfg.MSS+packet.HeaderBytes)
+	ackBack := n.Cfg.LinkRate.TxTime(packet.HeaderBytes) * units.Time(hops)
+	return prop + tx + sf + ackBack
+}
+
+// StartFlow launches a flow from host src to host dst. class is an
+// opaque label recorded by metrics (e.g. "websearch", "incast").
+func (n *Network) StartFlow(src, dst int, size units.ByteCount, prio uint8,
+	algo cc.Algorithm, onComplete func(now units.Time)) uint64 {
+	if src == dst {
+		panic(fmt.Sprintf("topo: flow to self (host %d)", src))
+	}
+	n.nextFlow++
+	id := n.nextFlow
+	n.Hosts[src].StartFlow(id, packet.NodeID(dst), size, prio, algo, onComplete)
+	return id
+}
+
+// Switches returns all switches, leaves first.
+func (n *Network) Switches() []*device.Switch {
+	out := make([]*device.Switch, 0, len(n.Leaves)+len(n.Spines))
+	out = append(out, n.Leaves...)
+	out = append(out, n.Spines...)
+	return out
+}
+
+// Stop cancels all periodic switch tickers.
+func (n *Network) Stop() {
+	for _, sw := range n.Switches() {
+		sw.Stop()
+	}
+}
+
+// TotalDrops sums packet drops across the fabric.
+func (n *Network) TotalDrops() int64 {
+	var total int64
+	for _, sw := range n.Switches() {
+		total += sw.TotalDrops()
+	}
+	return total
+}

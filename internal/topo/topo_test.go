@@ -1,0 +1,231 @@
+package topo
+
+import (
+	"testing"
+
+	"abm/internal/bm"
+	"abm/internal/cc"
+	"abm/internal/sim"
+	"abm/internal/units"
+)
+
+func smallConfig() Config {
+	return Config{
+		NumSpines:    2,
+		NumLeaves:    2,
+		HostsPerLeaf: 4,
+		LinkRate:     10 * units.GigabitPerSec,
+		LinkDelay:    10 * units.Microsecond,
+	}
+}
+
+func TestTopologyWiring(t *testing.T) {
+	s := sim.New(1)
+	n := NewNetwork(s, smallConfig())
+	if n.NumHosts() != 8 {
+		t.Fatalf("hosts = %d, want 8", n.NumHosts())
+	}
+	if len(n.Leaves) != 2 || len(n.Spines) != 2 {
+		t.Fatalf("switches = %d leaves, %d spines", len(n.Leaves), len(n.Spines))
+	}
+	if n.Leaves[0].NumPorts() != 6 {
+		t.Fatalf("leaf ports = %d, want 4 hosts + 2 uplinks", n.Leaves[0].NumPorts())
+	}
+	if n.Spines[0].NumPorts() != 2 {
+		t.Fatalf("spine ports = %d, want 2", n.Spines[0].NumPorts())
+	}
+	if n.BaseRTT() != 80*units.Microsecond {
+		t.Fatalf("base RTT = %v, want 80us", n.BaseRTT())
+	}
+	if n.LeafOf(0) != 0 || n.LeafOf(5) != 1 {
+		t.Fatal("leaf mapping broken")
+	}
+	if n.Hops(0, 1) != 2 || n.Hops(0, 5) != 4 {
+		t.Fatal("hop counts broken")
+	}
+	n.Stop()
+}
+
+func TestSingleFlowIntraRack(t *testing.T) {
+	s := sim.New(1)
+	n := NewNetwork(s, smallConfig())
+	done := false
+	var fct units.Time
+	size := 100 * units.Kilobyte
+	s.At(0, func() {
+		n.StartFlow(0, 1, size, 0, cc.NewReno(), func(now units.Time) {
+			done = true
+			fct = now
+		})
+	})
+	s.RunUntil(100 * units.Millisecond)
+	if !done {
+		t.Fatal("intra-rack flow did not complete")
+	}
+	ideal := n.IdealFCT(0, 1, size)
+	slowdown := float64(fct) / float64(ideal)
+	// Alone in the fabric with slow start from IW=10: modest slowdown.
+	if slowdown < 1 {
+		t.Fatalf("slowdown %.2f below 1 (ideal=%v, fct=%v)", slowdown, ideal, fct)
+	}
+	if slowdown > 4 {
+		t.Fatalf("slowdown %.2f too high for an idle fabric (ideal=%v, fct=%v)", slowdown, ideal, fct)
+	}
+	n.Stop()
+}
+
+func TestSingleFlowInterRack(t *testing.T) {
+	s := sim.New(1)
+	n := NewNetwork(s, smallConfig())
+	done := false
+	s.At(0, func() {
+		n.StartFlow(0, 7, 50*units.Kilobyte, 0, cc.NewDCTCP(), func(units.Time) { done = true })
+	})
+	s.RunUntil(100 * units.Millisecond)
+	if !done {
+		t.Fatal("inter-rack flow did not complete")
+	}
+	if n.TotalDrops() != 0 {
+		t.Fatalf("idle fabric dropped %d packets", n.TotalDrops())
+	}
+	n.Stop()
+}
+
+func TestAllCCAlgorithmsCompleteOverFabric(t *testing.T) {
+	for _, name := range cc.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			s := sim.New(2)
+			cfg := smallConfig()
+			cfg.EnableINT = true // powertcp needs it
+			n := NewNetwork(s, cfg)
+			f, err := cc.NewFactory(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			done := 0
+			s.At(0, func() {
+				for i := 0; i < 4; i++ {
+					n.StartFlow(i, 4+i, 200*units.Kilobyte, 0, f(), func(units.Time) { done++ })
+				}
+			})
+			s.RunUntil(200 * units.Millisecond)
+			if done != 4 {
+				t.Fatalf("%d/4 flows completed under %s", done, name)
+			}
+			n.Stop()
+		})
+	}
+}
+
+func TestECMPSpreadsFlows(t *testing.T) {
+	s := sim.New(3)
+	cfg := smallConfig()
+	cfg.NumSpines = 4
+	n := NewNetwork(s, cfg)
+	done := 0
+	s.At(0, func() {
+		for i := 0; i < 16; i++ {
+			src := i % 4
+			dst := 4 + i%4
+			n.StartFlow(src, dst, 10*units.Kilobyte, 0, cc.NewReno(), func(units.Time) { done++ })
+		}
+	})
+	s.RunUntil(100 * units.Millisecond)
+	if done != 16 {
+		t.Fatalf("%d/16 flows completed", done)
+	}
+	// At least two spines must have carried traffic.
+	used := 0
+	for _, sp := range n.Spines {
+		if sp.RxPkts > 0 {
+			used++
+		}
+	}
+	if used < 2 {
+		t.Fatalf("ECMP used %d spines, want >= 2", used)
+	}
+	n.Stop()
+}
+
+func TestIncastCausesDropsAndRecovery(t *testing.T) {
+	s := sim.New(4)
+	cfg := smallConfig()
+	// Shallow buffer so the incast overflows.
+	cfg.BufferSize = 50 * units.Kilobyte
+	cfg.BMFactory = func() bm.Policy { return bm.DT{} }
+	cfg.Alphas = []float64{0.5}
+	n := NewNetwork(s, cfg)
+	done := 0
+	s.At(0, func() {
+		// 7-to-1 incast into host 0.
+		for i := 1; i < 8; i++ {
+			n.StartFlow(i, 0, 60*units.Kilobyte, 0, cc.NewReno(), func(units.Time) { done++ })
+		}
+	})
+	s.RunUntil(2 * units.Second)
+	if done != 7 {
+		t.Fatalf("%d/7 incast flows completed", done)
+	}
+	if n.TotalDrops() == 0 {
+		t.Fatal("expected drops under 7:1 incast with a 50KB buffer")
+	}
+	n.Stop()
+}
+
+func TestFlowToSelfPanics(t *testing.T) {
+	s := sim.New(1)
+	n := NewNetwork(s, smallConfig())
+	defer n.Stop()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.StartFlow(3, 3, 1000, 0, cc.NewReno(), nil)
+}
+
+func TestIdealFCTMonotone(t *testing.T) {
+	s := sim.New(1)
+	n := NewNetwork(s, smallConfig())
+	defer n.Stop()
+	small := n.IdealFCT(0, 5, 10*units.Kilobyte)
+	big := n.IdealFCT(0, 5, 10*units.Megabyte)
+	if small >= big {
+		t.Fatal("ideal FCT must grow with size")
+	}
+	near := n.IdealFCT(0, 1, 10*units.Kilobyte)
+	far := n.IdealFCT(0, 5, 10*units.Kilobyte)
+	if near >= far {
+		t.Fatal("inter-rack ideal FCT must exceed intra-rack")
+	}
+}
+
+func TestBufferFor(t *testing.T) {
+	// Trident2 leaf from §4.1: 9.6KB/port/Gbps * 40 ports * 10 Gbps.
+	got := BufferFor(9.6, 40, 10*units.GigabitPerSec)
+	want := units.ByteCount(9.6 * 1024 * 40 * 10)
+	if got != want {
+		t.Fatalf("BufferFor = %v, want %v", got, want)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() (int64, uint64) {
+		s := sim.New(77)
+		n := NewNetwork(s, smallConfig())
+		s.At(0, func() {
+			for i := 0; i < 6; i++ {
+				n.StartFlow(i, (i+4)%8, 30*units.Kilobyte, 0, cc.NewCubic(), nil)
+			}
+		})
+		s.RunUntil(50 * units.Millisecond)
+		n.Stop()
+		return n.TotalDrops(), s.Executed()
+	}
+	d1, e1 := run()
+	d2, e2 := run()
+	if d1 != d2 || e1 != e2 {
+		t.Fatalf("runs diverged: drops %d/%d events %d/%d", d1, d2, e1, e2)
+	}
+}

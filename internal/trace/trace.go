@@ -1,0 +1,113 @@
+// Package trace records simulation time series and flow logs in TSV
+// form: per-flow completion records and per-switch buffer/queue
+// occupancy samples. The cmd/abmsim binary exposes both as flags; they
+// are how a user inspects what happened inside an experiment beyond the
+// headline percentiles.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"abm/internal/metrics"
+	"abm/internal/sim"
+	"abm/internal/topo"
+	"abm/internal/units"
+)
+
+// WriteFlows dumps one TSV row per recorded flow, sorted by start time.
+func WriteFlows(w io.Writer, flows []metrics.FlowRecord) error {
+	if _, err := fmt.Fprintln(w, "id\tclass\tprio\tsize_bytes\tstart_us\tfct_us\tideal_us\tslowdown\tfinished"); err != nil {
+		return err
+	}
+	sorted := append([]metrics.FlowRecord(nil), flows...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+	for _, f := range sorted {
+		fct, slow := 0.0, 0.0
+		if f.Finished {
+			fct = f.FCT().Microseconds()
+			slow = f.Slowdown()
+		}
+		if _, err := fmt.Fprintf(w, "%d\t%s\t%d\t%d\t%.3f\t%.3f\t%.3f\t%.2f\t%v\n",
+			f.ID, f.Class, f.Prio, int64(f.Size),
+			f.Start.Microseconds(), fct, f.Ideal.Microseconds(), slow, f.Finished); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OccupancySample is one instant of fabric-wide buffer state.
+type OccupancySample struct {
+	At units.Time
+	// PerSwitch is the occupancy fraction of each switch (leaves first,
+	// in topo.Switches order).
+	PerSwitch []float64
+}
+
+// Recorder samples the fabric's buffer occupancy on a fixed interval.
+type Recorder struct {
+	Net      *topo.Network
+	Interval units.Time
+
+	Samples []OccupancySample
+	ticker  *sim.Ticker
+}
+
+// Start begins sampling; interval must be positive.
+func (r *Recorder) Start() {
+	if r.Interval <= 0 {
+		panic("trace: recorder interval must be positive")
+	}
+	r.ticker = r.Net.Sim.NewTicker(r.Interval, func() {
+		switches := r.Net.Switches()
+		s := OccupancySample{At: r.Net.Sim.Now(), PerSwitch: make([]float64, len(switches))}
+		for i, sw := range switches {
+			s.PerSwitch[i] = float64(sw.MMU().TotalUsed()) / float64(r.Net.Cfg.BufferSize)
+		}
+		r.Samples = append(r.Samples, s)
+	})
+}
+
+// Stop halts sampling.
+func (r *Recorder) Stop() {
+	if r.ticker != nil {
+		r.ticker.Stop()
+	}
+}
+
+// Write dumps the samples as TSV: time plus one column per switch.
+func (r *Recorder) Write(w io.Writer) error {
+	if _, err := fmt.Fprint(w, "time_us"); err != nil {
+		return err
+	}
+	for i := range r.Net.Leaves {
+		fmt.Fprintf(w, "\tleaf%d", i)
+	}
+	for i := range r.Net.Spines {
+		fmt.Fprintf(w, "\tspine%d", i)
+	}
+	fmt.Fprintln(w)
+	for _, s := range r.Samples {
+		fmt.Fprintf(w, "%.3f", s.At.Microseconds())
+		for _, v := range s.PerSwitch {
+			fmt.Fprintf(w, "\t%.4f", v)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// MaxOccupancy returns the largest per-switch fraction observed.
+func (r *Recorder) MaxOccupancy() float64 {
+	max := 0.0
+	for _, s := range r.Samples {
+		for _, v := range s.PerSwitch {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	return max
+}

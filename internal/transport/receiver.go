@@ -1,0 +1,114 @@
+package transport
+
+import (
+	"abm/internal/packet"
+	"abm/internal/sim"
+	"abm/internal/units"
+)
+
+// Receiver is the receiving half of a flow: it tracks received byte
+// ranges, advances the cumulative ACK point, and acknowledges every data
+// packet with per-packet ECN echo (DCTCP-style accurate ECN), timestamp
+// echo, and telemetry echo.
+type Receiver struct {
+	sim *sim.Simulator
+	out func(*packet.Packet) // host NIC enqueue, toward the sender
+
+	FlowID uint64
+	Peer   packet.NodeID // the data sender
+	Self   packet.NodeID
+
+	rcvNxt int64
+	ooo    []span // out-of-order ranges beyond rcvNxt, sorted, disjoint
+
+	BytesReceived units.ByteCount // cumulative payload, including out of order
+	TrimmedSeen   int64
+	LastArrival   units.Time
+}
+
+type span struct{ start, end int64 }
+
+// NewReceiver creates the receiving half of a flow.
+func NewReceiver(s *sim.Simulator, flowID uint64, self, peer packet.NodeID,
+	out func(*packet.Packet)) *Receiver {
+	return &Receiver{sim: s, out: out, FlowID: flowID, Self: self, Peer: peer}
+}
+
+// RcvNxt returns the cumulative in-order point.
+func (r *Receiver) RcvNxt() int64 { return r.rcvNxt }
+
+// OnData processes a data packet and responds with an ACK.
+func (r *Receiver) OnData(pkt *packet.Packet) {
+	r.LastArrival = r.sim.Now()
+	if pkt.Is(packet.FlagTrimmed) {
+		// The payload was cut in the fabric: acknowledge what we have so
+		// the sender learns about the hole quickly.
+		r.TrimmedSeen++
+	} else if pkt.Payload > 0 {
+		r.insert(pkt.Seq, pkt.Seq+int64(pkt.Payload))
+		r.BytesReceived += pkt.Payload
+	}
+
+	ack := &packet.Packet{
+		FlowID: pkt.FlowID,
+		Src:    r.Self,
+		Dst:    r.Peer,
+		Prio:   pkt.Prio,
+		AckNo:  r.rcvNxt,
+		Flags:  packet.FlagACK,
+		SentAt: r.sim.Now(),
+		EchoTS: pkt.SentAt,
+		AckINT: pkt.Hops,
+	}
+	if pkt.Is(packet.FlagCE) {
+		ack.Set(packet.FlagECE)
+	}
+	r.out(ack)
+}
+
+// insert merges [start, end) into the received set and advances rcvNxt
+// over any now-contiguous prefix.
+func (r *Receiver) insert(start, end int64) {
+	if end <= r.rcvNxt {
+		return // entirely duplicate
+	}
+	if start < r.rcvNxt {
+		start = r.rcvNxt
+	}
+	// Insert into the sorted disjoint span list, merging overlaps.
+	out := r.ooo[:0]
+	inserted := false
+	for _, s := range r.ooo {
+		switch {
+		case s.end < start:
+			out = append(out, s)
+		case end < s.start:
+			if !inserted {
+				out = append(out, span{start, end})
+				inserted = true
+			}
+			out = append(out, s)
+		default: // overlap or adjacency: merge
+			if s.start < start {
+				start = s.start
+			}
+			if s.end > end {
+				end = s.end
+			}
+		}
+	}
+	if !inserted {
+		out = append(out, span{start, end})
+	}
+	r.ooo = out
+	// Advance the cumulative point over the contiguous prefix.
+	for len(r.ooo) > 0 && r.ooo[0].start <= r.rcvNxt {
+		if r.ooo[0].end > r.rcvNxt {
+			r.rcvNxt = r.ooo[0].end
+		}
+		r.ooo = r.ooo[1:]
+	}
+}
+
+// Gaps returns the number of out-of-order spans currently held.
+func (r *Receiver) Gaps() int { return len(r.ooo) }

@@ -1,0 +1,322 @@
+// Package transport implements the host byte-stream transport the
+// paper's workloads run over: a TCP-like reliable sender/receiver pair
+// with cumulative ACKs, duplicate-ACK fast retransmit, NewReno-style
+// recovery, RFC 6298 retransmission timeouts (minRTO = 10ms, §4.1),
+// per-packet ECN echo for DCTCP, telemetry echo for PowerTCP, and
+// first-RTT "unscheduled" tagging for ABM (§3.3).
+package transport
+
+import (
+	"fmt"
+
+	"abm/internal/cc"
+	"abm/internal/packet"
+	"abm/internal/sim"
+	"abm/internal/units"
+)
+
+// Config parameterizes one flow's transport.
+type Config struct {
+	MSS             units.ByteCount // payload bytes per segment
+	MinRTO          units.Time
+	MaxRTO          units.Time
+	DupAckThreshold int
+
+	// UnscheduledBytes caps how much of the flow's head is tagged
+	// unscheduled; the tag also requires that no ACK has arrived yet
+	// (i.e. the segment really is a first-RTT packet).
+	UnscheduledBytes units.ByteCount
+
+	Prio uint8
+}
+
+func (c *Config) fillDefaults() {
+	if c.MSS <= 0 {
+		c.MSS = 1440
+	}
+	if c.MinRTO <= 0 {
+		c.MinRTO = 10 * units.Millisecond
+	}
+	if c.MaxRTO <= 0 {
+		c.MaxRTO = 320 * units.Millisecond
+	}
+	if c.DupAckThreshold <= 0 {
+		c.DupAckThreshold = 3
+	}
+}
+
+// Sender is the sending half of a flow.
+type Sender struct {
+	sim *sim.Simulator
+	out func(*packet.Packet) // host NIC enqueue
+	cfg Config
+	alg cc.Algorithm
+
+	FlowID uint64
+	Src    packet.NodeID
+	Dst    packet.NodeID
+	Size   units.ByteCount
+
+	StartedAt  units.Time
+	FinishedAt units.Time
+	finished   bool
+	onComplete func(now units.Time)
+
+	sndUna int64
+	sndNxt int64
+
+	dupAcks    int
+	inRecovery bool
+	recover    int64
+
+	srtt, rttvar units.Time
+	rto          units.Time
+	rtoBackoff   uint
+	rtoTimer     *sim.Event
+	pacingTimer  *sim.Event
+	pacingNext   units.Time
+
+	// Counters.
+	PktsSent    int64
+	PktsRetrans int64
+	Timeouts    int64
+	FastRetrans int64
+}
+
+// NewSender creates a flow sender. The congestion-control algorithm must
+// already be initialized (cc.Algorithm.Init). out enqueues packets into
+// the host NIC; onComplete fires when every byte has been cumulatively
+// acknowledged.
+func NewSender(s *sim.Simulator, cfg Config, alg cc.Algorithm,
+	flowID uint64, src, dst packet.NodeID, size units.ByteCount,
+	out func(*packet.Packet), onComplete func(now units.Time)) *Sender {
+	if size <= 0 {
+		panic(fmt.Sprintf("transport: flow %d has size %v", flowID, size))
+	}
+	cfg.fillDefaults()
+	return &Sender{
+		sim: s, out: out, cfg: cfg, alg: alg,
+		FlowID: flowID, Src: src, Dst: dst, Size: size,
+		onComplete: onComplete,
+		rto:        cfg.MinRTO,
+	}
+}
+
+// Start begins transmission at the current simulated time.
+func (sn *Sender) Start() {
+	sn.StartedAt = sn.sim.Now()
+	sn.pacingNext = sn.sim.Now()
+	sn.trySend()
+}
+
+// Finished reports whether every byte has been acknowledged.
+func (sn *Sender) Finished() bool { return sn.finished }
+
+// FCT returns the flow completion time; it panics if the flow has not
+// finished.
+func (sn *Sender) FCT() units.Time {
+	if !sn.finished {
+		panic(fmt.Sprintf("transport: flow %d not finished", sn.FlowID))
+	}
+	return sn.FinishedAt - sn.StartedAt
+}
+
+// inflight returns the unacknowledged bytes.
+func (sn *Sender) inflight() units.ByteCount {
+	return units.ByteCount(sn.sndNxt - sn.sndUna)
+}
+
+// trySend emits new segments while the window and pacing allow.
+func (sn *Sender) trySend() {
+	if sn.finished {
+		return
+	}
+	rate := sn.alg.PacingRate()
+	for int64(sn.Size) > sn.sndNxt {
+		payload := units.MinBytes(sn.cfg.MSS, sn.Size-units.ByteCount(sn.sndNxt))
+		if sn.inflight()+payload > sn.alg.Window() {
+			return // window-limited; ACKs will reopen
+		}
+		now := sn.sim.Now()
+		if rate > 0 && now < sn.pacingNext {
+			sn.armPacing(sn.pacingNext)
+			return
+		}
+		sn.emit(sn.sndNxt, payload, false)
+		sn.sndNxt += int64(payload)
+		if rate > 0 {
+			next := units.MaxTime(now, sn.pacingNext) + rate.TxTime(payload+packet.HeaderBytes)
+			sn.pacingNext = next
+		}
+	}
+}
+
+func (sn *Sender) armPacing(at units.Time) {
+	if sn.pacingTimer != nil && sn.pacingTimer.Scheduled() {
+		return
+	}
+	sn.pacingTimer = sn.sim.At(at, func() { sn.trySend() })
+}
+
+// emit builds and sends one segment.
+func (sn *Sender) emit(seq int64, payload units.ByteCount, retrans bool) {
+	pkt := &packet.Packet{
+		FlowID:  sn.FlowID,
+		Src:     sn.Src,
+		Dst:     sn.Dst,
+		Prio:    sn.cfg.Prio,
+		Seq:     seq,
+		Payload: payload,
+		SentAt:  sn.sim.Now(),
+	}
+	if sn.alg.UsesECN() {
+		pkt.Set(packet.FlagECT)
+	}
+	if retrans {
+		pkt.Set(packet.FlagRetransmit)
+		sn.PktsRetrans++
+	} else if sn.sndUna == 0 && seq < int64(sn.cfg.UnscheduledBytes) {
+		// First-RTT packet: no feedback has arrived and the byte offset is
+		// within the unscheduled budget.
+		pkt.Set(packet.FlagUnscheduled)
+	}
+	if seq+int64(payload) >= int64(sn.Size) {
+		pkt.Set(packet.FlagFIN)
+	}
+	sn.PktsSent++
+	sn.out(pkt)
+	sn.armRTO()
+}
+
+// OnAck processes an incoming acknowledgment.
+func (sn *Sender) OnAck(pkt *packet.Packet) {
+	if sn.finished {
+		return
+	}
+	now := sn.sim.Now()
+	ackNo := pkt.AckNo
+	if ackNo > sn.sndUna {
+		acked := units.ByteCount(ackNo - sn.sndUna)
+		sn.sndUna = ackNo
+		sn.dupAcks = 0
+		var rtt units.Time
+		if pkt.EchoTS > 0 {
+			rtt = now - pkt.EchoTS
+			sn.updateRTO(rtt)
+		}
+		sn.alg.OnAck(cc.AckEvent{
+			Now:        now,
+			AckedBytes: acked,
+			RTT:        rtt,
+			ECNMarked:  pkt.Is(packet.FlagECE),
+			INT:        pkt.AckINT,
+		})
+		if sn.inRecovery {
+			if ackNo >= sn.recover {
+				sn.inRecovery = false
+			} else {
+				// Partial ACK: the next hole is at the new sndUna.
+				sn.retransmitHead()
+			}
+		}
+		sn.rtoBackoff = 0
+		if sn.sndUna >= int64(sn.Size) {
+			sn.complete(now)
+			return
+		}
+		sn.armRTO()
+		sn.trySend()
+		return
+	}
+	// Duplicate ACK.
+	if sn.inflight() == 0 {
+		return
+	}
+	sn.dupAcks++
+	sn.alg.OnDupAck(now)
+	if sn.dupAcks == sn.cfg.DupAckThreshold && !sn.inRecovery {
+		sn.inRecovery = true
+		sn.recover = sn.sndNxt
+		sn.alg.OnRecovery(now)
+		sn.FastRetrans++
+		sn.retransmitHead()
+	}
+	sn.trySend()
+}
+
+// retransmitHead resends the segment at sndUna.
+func (sn *Sender) retransmitHead() {
+	payload := units.MinBytes(sn.cfg.MSS, sn.Size-units.ByteCount(sn.sndUna))
+	sn.emit(sn.sndUna, payload, true)
+}
+
+func (sn *Sender) armRTO() {
+	if sn.rtoTimer != nil {
+		sn.rtoTimer.Cancel()
+	}
+	d := sn.rto << sn.rtoBackoff
+	if d > sn.cfg.MaxRTO {
+		d = sn.cfg.MaxRTO
+	}
+	sn.rtoTimer = sn.sim.After(d, sn.onRTO)
+}
+
+func (sn *Sender) onRTO() {
+	if sn.finished {
+		return
+	}
+	sn.Timeouts++
+	sn.alg.OnTimeout(sn.sim.Now())
+	sn.inRecovery = false
+	sn.dupAcks = 0
+	// Go-back-N: rewind and resend from the first unacknowledged byte.
+	sn.sndNxt = sn.sndUna
+	sn.pacingNext = sn.sim.Now()
+	if sn.rtoBackoff < 16 {
+		sn.rtoBackoff++
+	}
+	sn.retransmitHead()
+	sn.sndNxt = sn.sndUna + int64(units.MinBytes(sn.cfg.MSS, sn.Size-units.ByteCount(sn.sndUna)))
+}
+
+// updateRTO applies the RFC 6298 estimator.
+func (sn *Sender) updateRTO(rtt units.Time) {
+	if sn.srtt == 0 {
+		sn.srtt = rtt
+		sn.rttvar = rtt / 2
+	} else {
+		diff := sn.srtt - rtt
+		if diff < 0 {
+			diff = -diff
+		}
+		sn.rttvar = (3*sn.rttvar + diff) / 4
+		sn.srtt = (7*sn.srtt + rtt) / 8
+	}
+	sn.rto = sn.srtt + 4*sn.rttvar
+	if sn.rto < sn.cfg.MinRTO {
+		sn.rto = sn.cfg.MinRTO
+	}
+	if sn.rto > sn.cfg.MaxRTO {
+		sn.rto = sn.cfg.MaxRTO
+	}
+}
+
+// SRTT exposes the smoothed RTT estimate.
+func (sn *Sender) SRTT() units.Time { return sn.srtt }
+
+// RTO exposes the current retransmission timeout.
+func (sn *Sender) RTO() units.Time { return sn.rto }
+
+func (sn *Sender) complete(now units.Time) {
+	sn.finished = true
+	sn.FinishedAt = now
+	if sn.rtoTimer != nil {
+		sn.rtoTimer.Cancel()
+	}
+	if sn.pacingTimer != nil {
+		sn.pacingTimer.Cancel()
+	}
+	if sn.onComplete != nil {
+		sn.onComplete(now)
+	}
+}

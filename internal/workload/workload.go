@@ -1,0 +1,301 @@
+// Package workload generates the paper's two traffic patterns (§4.1):
+// a Poisson web-search workload whose flow sizes follow the DCTCP
+// measurement CDF, at a configurable fraction of the fabric's access
+// bandwidth, and a synthetic incast workload modeling distributed
+// file-system query/response fan-in.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"abm/internal/cc"
+	"abm/internal/metrics"
+	"abm/internal/randutil"
+	"abm/internal/sim"
+	"abm/internal/topo"
+	"abm/internal/units"
+)
+
+// WebSearch drives the background workload: flows arrive as a global
+// Poisson process with rate chosen so the expected inter-rack offered
+// load equals Load times the fabric's bisection capacity; sizes follow
+// the web-search CDF; sources and destinations are distinct uniform
+// hosts.
+type WebSearch struct {
+	Net     *topo.Network
+	Load    float64 // fraction of bisection (uplink) capacity, e.g. 0.4
+	Prio    uint8
+	CC      cc.Factory
+	Sizes   *randutil.EmpiricalCDF
+	Collect *metrics.Collector
+
+	// PickCC optionally overrides CC per flow (used by the mixed-protocol
+	// isolation experiment); it receives the flow index.
+	PickCC func(i int) (cc.Factory, uint8)
+
+	// Seed isolates the workload's randomness from the rest of the
+	// simulation, so two runs that differ only in switch configuration
+	// see identical arrival patterns. Zero derives a fixed default.
+	Seed int64
+
+	rng     *rand.Rand
+	started int
+	stopped bool
+}
+
+// Start begins generating flows until Stop. It panics on a non-positive
+// load.
+func (w *WebSearch) Start() {
+	if w.Load <= 0 || w.Load > 1 {
+		panic(fmt.Sprintf("workload: load %v out of (0,1]", w.Load))
+	}
+	if w.Sizes == nil {
+		w.Sizes = randutil.WebSearch
+	}
+	if w.CC == nil && w.PickCC == nil {
+		panic("workload: WebSearch needs a cc factory")
+	}
+	seed := w.Seed
+	if seed == 0 {
+		seed = 0x5eed_ab1e
+	}
+	w.rng = rand.New(rand.NewSource(seed))
+	w.scheduleNext()
+}
+
+// interArrival returns the mean gap between flow arrivals for the target
+// load. Load is defined against the fabric's bisection (leaf-spine
+// uplink) capacity: with the paper's 4:1 oversubscription, defining it
+// against host bandwidth would saturate the uplinks at 25% already.
+// Uniform source/destination selection sends an interRack fraction of
+// the bytes across the bisection, so the arrival rate is scaled to make
+// that fraction equal Load * bisection capacity.
+func (w *WebSearch) interArrival() units.Time {
+	cfg := w.Net.Cfg
+	bisection := float64(cfg.LinkRate) * float64(cfg.NumLeaves*cfg.NumSpines) // bits/s
+	n := float64(w.Net.NumHosts())
+	interRackFrac := (n - float64(cfg.HostsPerLeaf)) / (n - 1)
+	flowsPerSec := w.Load * bisection / (w.Sizes.Mean() * 8 * interRackFrac)
+	return units.Time(float64(units.Second) / flowsPerSec)
+}
+
+func (w *WebSearch) scheduleNext() {
+	if w.stopped {
+		return
+	}
+	gap := randutil.Exponential(w.rng, w.interArrival())
+	w.Net.Sim.After(gap, func() {
+		if w.stopped {
+			return
+		}
+		w.launch()
+		w.scheduleNext()
+	})
+}
+
+func (w *WebSearch) launch() {
+	rng := w.rng
+	n := w.Net.NumHosts()
+	src := rng.Intn(n)
+	dst := rng.Intn(n - 1)
+	if dst >= src {
+		dst++
+	}
+	size := w.Sizes.SampleBytes(rng)
+	factory, prio := w.CC, w.Prio
+	if w.PickCC != nil {
+		factory, prio = w.PickCC(w.started)
+	}
+	w.started++
+	w.record(src, dst, size, prio, factory(), metrics.ClassWebSearch)
+}
+
+func (w *WebSearch) record(src, dst int, size units.ByteCount, prio uint8,
+	algo cc.Algorithm, class metrics.FlowClass) {
+	start := w.Net.Sim.Now()
+	rec := metrics.FlowRecord{
+		Class: class,
+		Prio:  prio,
+		Size:  size,
+		Start: start,
+		Ideal: w.Net.IdealFCT(src, dst, size),
+	}
+	idx := -1
+	if w.Collect != nil {
+		w.Collect.AddFlow(rec)
+		idx = len(w.Collect.Flows) - 1
+	}
+	id := w.Net.StartFlow(src, dst, size, prio, algo, func(now units.Time) {
+		if idx >= 0 {
+			w.Collect.Flows[idx].End = now
+			w.Collect.Flows[idx].Finished = true
+		}
+	})
+	if idx >= 0 {
+		w.Collect.Flows[idx].ID = id
+	}
+}
+
+// Started returns the number of flows launched so far.
+func (w *WebSearch) Started() int { return w.started }
+
+// Stop halts flow generation (flows in flight keep running).
+func (w *WebSearch) Stop() { w.stopped = true }
+
+// Incast drives the query/response workload: queries arrive as a Poisson
+// process; each query picks a requester and Fanout responders uniformly
+// from a different rack, and every responder sends RequestSize/Fanout
+// bytes back simultaneously — the paper's distributed file-system
+// behaviour (§4.1).
+type Incast struct {
+	Net         *topo.Network
+	RequestSize units.ByteCount // total bytes fanned in per query
+	Fanout      int             // responding servers per query
+	QueryRate   float64         // queries per second across the fabric
+	Prio        uint8
+	CC          cc.Factory
+	Collect     *metrics.Collector
+
+	// PickPrio optionally overrides Prio per response flow (used when the
+	// load is spread across queues, §4.4).
+	PickPrio func() uint8
+
+	// Seed isolates the workload's randomness; zero derives a default.
+	Seed int64
+
+	rng     *rand.Rand
+	queries int
+	stopped bool
+}
+
+// Start begins generating queries until Stop.
+func (ic *Incast) Start() {
+	if ic.Fanout <= 0 {
+		ic.Fanout = 8
+	}
+	if ic.RequestSize <= 0 {
+		panic("workload: incast needs a request size")
+	}
+	if ic.QueryRate <= 0 {
+		panic("workload: incast needs a query rate")
+	}
+	if ic.CC == nil {
+		panic("workload: incast needs a cc factory")
+	}
+	seed := ic.Seed
+	if seed == 0 {
+		seed = 0x1ca57
+	}
+	ic.rng = rand.New(rand.NewSource(seed))
+	ic.scheduleNext()
+}
+
+func (ic *Incast) scheduleNext() {
+	if ic.stopped {
+		return
+	}
+	mean := units.Time(float64(units.Second) / ic.QueryRate)
+	gap := randutil.Exponential(ic.rng, mean)
+	ic.Net.Sim.After(gap, func() {
+		if ic.stopped {
+			return
+		}
+		ic.launchQuery()
+		ic.scheduleNext()
+	})
+}
+
+func (ic *Incast) launchQuery() {
+	rng := ic.rng
+	n := ic.Net.NumHosts()
+	requester := rng.Intn(n)
+	reqLeaf := ic.Net.LeafOf(requester)
+
+	// Responders come from racks other than the requester's.
+	var candidates []int
+	for h := 0; h < n; h++ {
+		if ic.Net.LeafOf(h) != reqLeaf {
+			candidates = append(candidates, h)
+		}
+	}
+	fanout := ic.Fanout
+	if fanout > len(candidates) {
+		fanout = len(candidates)
+	}
+	rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	per := ic.RequestSize / units.ByteCount(fanout)
+	if per < 1 {
+		per = 1
+	}
+	ic.queries++
+	for _, responder := range candidates[:fanout] {
+		ic.recordFlow(responder, requester, per)
+	}
+}
+
+func (ic *Incast) recordFlow(src, dst int, size units.ByteCount) {
+	start := ic.Net.Sim.Now()
+	prio := ic.Prio
+	if ic.PickPrio != nil {
+		prio = ic.PickPrio()
+	}
+	rec := metrics.FlowRecord{
+		Class: metrics.ClassIncast,
+		Prio:  prio,
+		Size:  size,
+		Start: start,
+		Ideal: ic.Net.IdealFCT(src, dst, size),
+	}
+	idx := -1
+	if ic.Collect != nil {
+		ic.Collect.AddFlow(rec)
+		idx = len(ic.Collect.Flows) - 1
+	}
+	id := ic.Net.StartFlow(src, dst, size, prio, ic.CC(), func(now units.Time) {
+		if idx >= 0 {
+			ic.Collect.Flows[idx].End = now
+			ic.Collect.Flows[idx].Finished = true
+		}
+	})
+	if idx >= 0 {
+		ic.Collect.Flows[idx].ID = id
+	}
+}
+
+// Queries returns the number of queries issued.
+func (ic *Incast) Queries() int { return ic.queries }
+
+// Stop halts query generation.
+func (ic *Incast) Stop() { ic.stopped = true }
+
+// BufferSampler periodically records the fabric's worst-switch occupancy
+// fraction into the collector.
+type BufferSampler struct {
+	Net     *topo.Network
+	Collect *metrics.Collector
+	ticker  *sim.Ticker
+}
+
+// Start samples every interval until Stop.
+func (b *BufferSampler) Start(interval units.Time) {
+	b.ticker = b.Net.Sim.NewTicker(interval, func() {
+		var worst float64
+		for _, sw := range b.Net.Switches() {
+			frac := float64(sw.MMU().TotalUsed()) / float64(b.Net.Cfg.BufferSize)
+			if frac > worst {
+				worst = frac
+			}
+		}
+		b.Collect.SampleBuffer(worst)
+	})
+}
+
+// Stop halts sampling.
+func (b *BufferSampler) Stop() {
+	if b.ticker != nil {
+		b.ticker.Stop()
+	}
+}
