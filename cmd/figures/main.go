@@ -1,7 +1,10 @@
 // Command figures regenerates the paper's evaluation tables: one TSV
 // per figure (4 through 12, plus the ablation and alpha-sensitivity
-// extras), written to stdout or a directory. With -out, figures run in
-// parallel across workers.
+// extras), written to stdout or a directory. Execution rides on
+// internal/runner: figures are jobs on a worker pool with panic
+// isolation and progress reporting, and with -out every simulated cell
+// additionally lands as one JSON record under <out>/jobs/ with a
+// manifest (the runner Store schema shared with cmd/sweep).
 //
 // Examples:
 //
@@ -10,15 +13,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
-	"sync"
-	"time"
 
-	"abm"
+	"abm/internal/experiments"
+	"abm/internal/runner"
 )
 
 func main() {
@@ -26,12 +29,13 @@ func main() {
 		fig     = flag.String("fig", "all", "figure id (fig4..fig12, ablation, alphasweep) or 'all'")
 		scale   = flag.String("scale", "small", "fabric scale: small, medium, paper")
 		seed    = flag.Int64("seed", 1, "random seed")
-		out     = flag.String("out", "", "output directory (default: stdout, sequential)")
+		out     = flag.String("out", "", "output directory (default: stdout, figures sequential)")
 		workers = flag.Int("workers", runtime.NumCPU(), "parallel figure workers (with -out)")
+		noJSON  = flag.Bool("no-json", false, "with -out, skip the per-cell JSON record store")
 	)
 	flag.Parse()
 
-	sc, err := abm.ParseScale(*scale)
+	sc, err := experiments.ParseScale(*scale)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -39,12 +43,15 @@ func main() {
 
 	ids := []string{*fig}
 	if *fig == "all" {
-		ids = abm.FigureIDs()
+		ids = experiments.FigureIDs
 	}
 
 	if *out == "" {
+		// Stdout mode: figures render sequentially (their tables would
+		// interleave otherwise); each figure's cells still run in
+		// parallel on the pool.
 		for _, id := range ids {
-			if err := abm.RunFigure(id, sc, *seed, os.Stdout); err != nil {
+			if err := experiments.RunFigure(id, sc, *seed, os.Stdout); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
@@ -56,43 +63,55 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if *workers < 1 {
-		*workers = 1
+	var store *runner.Store
+	if !*noJSON {
+		store, err = runner.OpenStore(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer store.Close()
 	}
-	jobs := make(chan string)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	failed := false
-	for w := 0; w < *workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for id := range jobs {
-				start := time.Now()
-				f, err := os.Create(filepath.Join(*out, id+".tsv"))
-				if err == nil {
-					err = abm.RunFigure(id, sc, *seed, f)
-					if cerr := f.Close(); err == nil {
-						err = cerr
-					}
-				}
-				mu.Lock()
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
-					failed = true
-				} else {
-					fmt.Printf("%s written in %.1fs\n", id, time.Since(start).Seconds())
-				}
-				mu.Unlock()
-			}
-		}()
-	}
+
+	// One pool job per figure; each figure's cells run on its own inner
+	// pool with one worker, so total parallelism stays at -workers and
+	// per-cell JSON records land in the shared store as they complete.
+	plan := &runner.Plan{Name: "figures"}
 	for _, id := range ids {
-		jobs <- id
+		id := id
+		plan.Add(runner.Spec{
+			ID:         "figures/" + id,
+			Experiment: id,
+			Seed:       *seed,
+			Run: func(_ context.Context, _ int64) (runner.Result, error) {
+				opts := &experiments.RunOptions{Workers: 1, Store: store}
+				f, err := os.Create(filepath.Join(*out, id+".tsv"))
+				if err != nil {
+					return runner.Result{}, err
+				}
+				err = experiments.RunFigureOpts(opts, id, sc, *seed, f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+				return runner.Result{}, err
+			},
+		})
 	}
-	close(jobs)
-	wg.Wait()
-	if failed {
+	pool := &runner.Pool{Workers: *workers, Progress: os.Stderr}
+	records, err := pool.Run(context.Background(), plan)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	failed := runner.Failed(records)
+	for _, rec := range records {
+		if rec.OK() {
+			fmt.Printf("%s written in %.1fs\n", rec.Experiment, rec.WallMS/1e3)
+		} else {
+			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", rec.Experiment, rec.Error, rec.Status)
+		}
+	}
+	if len(failed) > 0 {
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,193 @@
+// Command sweep drives a multi-seed experiment grid through the
+// internal/runner pool: it expands a plan (flags or a JSON plan file)
+// into the cross product of buffer-management schemes, congestion
+// controls, loads, request sizes and alphas, replicated across derived
+// seeds, runs the jobs on parallel fault-isolated workers, persists one
+// JSON record per job under -out, and aggregates replications into
+// mean/p95/p99 with bootstrap confidence intervals.
+//
+// Per-job seeds derive from the plan seed and the job's index, so a
+// sweep's results are identical at any -workers value, and a re-run
+// with -resume skips every job the manifest already records as
+// complete.
+//
+// Examples:
+//
+//	sweep -bms DT,ABM -ccs cubic -loads 0.2,0.4,0.6,0.8 -reps 3 -out results/sweep
+//	sweep -plan plan.json -out results/sweep -workers 8
+//	sweep -plan plan.json -out results/sweep -resume
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"abm/internal/experiments"
+	"abm/internal/runner"
+)
+
+func main() {
+	var (
+		planFile = flag.String("plan", "", "JSON plan file (see internal/experiments.Grid); flags below override nothing when set")
+		name     = flag.String("name", "sweep", "sweep name (prefixes job IDs)")
+		scale    = flag.String("scale", "small", "fabric scale: small, medium, paper")
+		seed     = flag.Int64("seed", 1, "plan seed; per-job seeds derive from it")
+		reps     = flag.Int("reps", 1, "seed replications per configuration")
+		bms      = flag.String("bms", "ABM", "comma-separated buffer-management schemes")
+		ccs      = flag.String("ccs", "cubic", "comma-separated congestion-control algorithms")
+		loads    = flag.String("loads", "0.4", "comma-separated web-search loads")
+		requests = flag.String("requests", "0.3", "comma-separated incast request fractions of the buffer")
+		alphas   = flag.String("alphas", "", "comma-separated alphas (empty = scheme default)")
+		qpp      = flag.Int("queues", 0, "queues per port (0 = default)")
+		workload = flag.String("workload", "", "background workload: websearch (default), datamining")
+		duration = flag.Float64("duration-ms", 0, "traffic duration override in milliseconds (0 = scale default)")
+
+		out         = flag.String("out", "sweep-results", "result store directory (jobs/, manifest.jsonl, aggregate.json)")
+		workers     = flag.Int("workers", runtime.NumCPU(), "parallel workers")
+		timeout     = flag.Duration("timeout", 0, "per-job wall-clock timeout (0 = none)")
+		retries     = flag.Int("retries", 1, "retries for jobs failing with an error")
+		resume      = flag.Bool("resume", false, "skip jobs already completed in the -out manifest")
+		dryRun      = flag.Bool("dry-run", false, "print the expanded job list and exit")
+		injectPanic = flag.String("inject-panic", "", "make jobs whose ID contains this substring panic (fault-injection testing)")
+	)
+	flag.Parse()
+
+	grid := experiments.Grid{
+		Name: *name, Scale: *scale, Seed: *seed, Reps: *reps,
+		BMs: splitCSV(*bms), CCs: splitCSV(*ccs),
+		Loads: floatsCSV(*loads), RequestFracs: floatsCSV(*requests), Alphas: floatsCSV(*alphas),
+		QueuesPerPort: *qpp, Workload: *workload, DurationMS: *duration,
+		TimeoutSec: timeout.Seconds(),
+	}
+	if *planFile != "" {
+		data, err := os.ReadFile(*planFile)
+		if err != nil {
+			fatal(err)
+		}
+		grid = experiments.Grid{}
+		if err := json.Unmarshal(data, &grid); err != nil {
+			fatal(fmt.Errorf("%s: %w", *planFile, err))
+		}
+	}
+
+	plan, err := grid.Plan()
+	if err != nil {
+		fatal(err)
+	}
+	if *injectPanic != "" {
+		for i := range plan.Specs {
+			if strings.Contains(plan.Specs[i].ID, *injectPanic) {
+				id := plan.Specs[i].ID
+				plan.Specs[i].Run = func(context.Context, int64) (runner.Result, error) {
+					panic(fmt.Sprintf("injected panic in %s", id))
+				}
+			}
+		}
+	}
+	if *dryRun {
+		for i, s := range plan.Specs {
+			fmt.Printf("%s\tseed=%d\n", s.ID, plan.SeedFor(i))
+		}
+		return
+	}
+
+	if !*resume {
+		// A fresh sweep into a dir holding an old manifest would silently
+		// skip jobs; require the explicit flag for that behavior.
+		if _, err := os.Stat(filepath.Join(*out, "manifest.jsonl")); err == nil {
+			fatal(fmt.Errorf("%s already holds a sweep manifest; pass -resume to continue it or choose a fresh -out", *out))
+		}
+	}
+	store, err := runner.OpenStore(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer store.Close()
+
+	fmt.Fprintf(os.Stderr, "sweep %q: %d jobs on %d workers -> %s\n",
+		plan.Name, len(plan.Specs), *workers, *out)
+	start := time.Now()
+	pool := &runner.Pool{
+		Workers: *workers, Timeout: *timeout, Retries: *retries,
+		Progress: os.Stderr, Store: store,
+	}
+	records, err := pool.Run(context.Background(), plan)
+	if err != nil {
+		fatal(err)
+	}
+
+	groups := runner.Aggregate(records)
+	aggPath := filepath.Join(*out, "aggregate.json")
+	data, err := json.MarshalIndent(groups, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(aggPath, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+
+	ok, cached := 0, 0
+	for _, rec := range records {
+		if rec.OK() {
+			ok++
+		}
+		if rec.Cached {
+			cached++
+		}
+	}
+	failed := runner.Failed(records)
+	fmt.Print(runner.FormatGroups(groups))
+	fmt.Fprintf(os.Stderr, "done in %s: %d ok (%d from manifest), %d failed; aggregate -> %s\n",
+		time.Since(start).Round(100*time.Millisecond), ok, cached, len(failed), aggPath)
+	for _, rec := range failed {
+		fmt.Fprintf(os.Stderr, "  FAILED %s: %s (%s)\n", rec.ID, firstLine(rec.Error), rec.Status)
+	}
+	if len(failed) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}
+
+func splitCSV(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func floatsCSV(s string) []float64 {
+	var out []float64
+	for _, f := range splitCSV(s) {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad number %q: %w", f, err))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

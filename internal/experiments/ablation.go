@@ -17,48 +17,42 @@ import (
 //
 // RunAblation writes one TSV block per axis.
 func RunAblation(scale Scale, seed int64, w io.Writer) error {
+	return runAblation(nil, scale, seed, w)
+}
+
+func runAblation(o *RunOptions, scale Scale, seed int64, w io.Writer) error {
 	base := Cell{
 		Scale: scale, Seed: seed,
 		BM: "ABM", Load: 0.4, WSCC: "cubic",
 		RequestFrac: 0.3,
 	}
 
-	row := func(label string, cell Cell) error {
-		res, err := Run(cell)
-		if err != nil {
-			return err
-		}
-		s := res.Summary
-		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.1f\t%.1f\n",
-			label, s.P99IncastSlowdown, s.P99ShortSlowdown,
-			100*s.P99BufferFrac, 100*s.AvgThroughputFrac)
-		return nil
+	// Each block is a titled group of labeled variants; the whole grid
+	// runs as one parallel plan, then renders block by block.
+	type block struct {
+		title string
+		jobs  []cellJob
 	}
-	header := func(title string) {
-		fmt.Fprintf(w, "# Ablation: %s\n", title)
-		fmt.Fprintln(w, "variant\tp99_incast\tp99_short\tp99_buffer_pct\tavg_tput_pct")
+	var blocks []block
+	add := func(title string, jobs ...cellJob) {
+		blocks = append(blocks, block{title: title, jobs: jobs})
 	}
 
-	header("drain-rate estimator (ABM's mu/b source)")
-	c := base
-	if err := row("scheduler-share", c); err != nil {
-		return err
-	}
-	c.DrainRateMeasured = true
-	if err := row("measured", c); err != nil {
-		return err
-	}
+	measured := base
+	measured.DrainRateMeasured = true
+	add("drain-rate estimator (ABM's mu/b source)",
+		cellJob{label: "scheduler-share", cell: base},
+		cellJob{label: "measured", cell: measured})
 
-	header("congestion detection factor (queue congested above f*threshold)")
+	var factors []cellJob
 	for _, f := range []float64{0.5, 0.7, 0.9, 0.99} {
 		c := base
 		c.CongestedFactor = f
-		if err := row(fmt.Sprintf("f=%.2f", f), c); err != nil {
-			return err
-		}
+		factors = append(factors, cellJob{label: fmt.Sprintf("f=%.2f", f), cell: c})
 	}
+	add("congestion detection factor (queue congested above f*threshold)", factors...)
 
-	header("headroom reservation (fraction of the chip buffer)")
+	var headrooms []cellJob
 	for _, hr := range []float64{-1, 1.0 / 16, 1.0 / 8, 1.0 / 4} {
 		c := base
 		c.HeadroomFrac = hr
@@ -66,26 +60,44 @@ func RunAblation(scale Scale, seed int64, w io.Writer) error {
 		if hr < 0 {
 			label = "headroom=0"
 		}
-		if err := row(label, c); err != nil {
-			return err
-		}
+		headrooms = append(headrooms, cellJob{label: label, cell: c})
 	}
+	add("headroom reservation (fraction of the chip buffer)", headrooms...)
 
-	header("unscheduled alpha (the paper uses 64)")
+	var alphaUs []cellJob
 	for _, au := range []float64{0.5, 8, 64, 512} {
 		c := base
 		c.AlphaUnscheduled = au
-		if err := row(fmt.Sprintf("alphaU=%g", au), c); err != nil {
-			return err
-		}
+		alphaUs = append(alphaUs, cellJob{label: fmt.Sprintf("alphaU=%g", au), cell: c})
 	}
+	add("unscheduled alpha (the paper uses 64)", alphaUs...)
 
-	header("stats update interval (n_p and mu refresh; the paper uses 1 RTT)")
+	var intervals []cellJob
 	for _, mult := range []int{1, 4, 16} {
 		c := base
 		c.StatsIntervalOverride = units.Time(mult) * 80 * units.Microsecond
-		if err := row(fmt.Sprintf("interval=%dxRTT", mult), c); err != nil {
-			return err
+		intervals = append(intervals, cellJob{label: fmt.Sprintf("interval=%dxRTT", mult), cell: c})
+	}
+	add("stats update interval (n_p and mu refresh; the paper uses 1 RTT)", intervals...)
+
+	var jobs []cellJob
+	for _, b := range blocks {
+		jobs = append(jobs, b.jobs...)
+	}
+	results, err := runCells(o, "ablation", jobs)
+	if err != nil {
+		return err
+	}
+	i := 0
+	for _, b := range blocks {
+		fmt.Fprintf(w, "# Ablation: %s\n", b.title)
+		fmt.Fprintln(w, "variant\tp99_incast\tp99_short\tp99_buffer_pct\tavg_tput_pct")
+		for _, job := range b.jobs {
+			s := results[i].Summary
+			i++
+			fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.1f\t%.1f\n",
+				job.label, s.P99IncastSlowdown, s.P99ShortSlowdown,
+				100*s.P99BufferFrac, 100*s.AvgThroughputFrac)
 		}
 	}
 	return nil

@@ -5,6 +5,17 @@ import (
 	"io"
 )
 
+// alphaPresets are the vendor DT alpha defaults §2.3 cites.
+var alphaPresets = []struct {
+	label string
+	alpha float64
+}{
+	{"0.5 (paper)", 0.5},
+	{"1 (Arista)", 1},
+	{"8 (Yahoo)", 8},
+	{"14 (Cisco)", 14},
+}
+
 // RunAlphaSweep probes the §2.3 operator question: vendors ship very
 // different DT alphas (Arista 1, Yahoo 8, Cisco 14) — how sensitive is
 // each scheme to the choice? DT's behaviour swings wildly with alpha
@@ -13,29 +24,35 @@ import (
 // essential lessons on how to configure alpha" argument (§3.4) made
 // measurable.
 func RunAlphaSweep(scale Scale, seed int64, w io.Writer) error {
+	return runAlphaSweep(nil, scale, seed, w)
+}
+
+func runAlphaSweep(o *RunOptions, scale Scale, seed int64, w io.Writer) error {
+	var jobs []cellJob
+	for _, p := range alphaPresets {
+		for _, bmName := range []string{"DT", "ABM"} {
+			jobs = append(jobs, cellJob{
+				label: fmt.Sprintf("alpha=%g,bm=%s", p.alpha, bmName),
+				cell: Cell{
+					Scale: scale, Seed: seed,
+					BM: bmName, Load: 0.4, WSCC: "cubic",
+					RequestFrac: 0.3,
+					Alpha:       p.alpha,
+				},
+			})
+		}
+	}
+	results, err := runCells(o, "alphasweep", jobs)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "# Alpha sensitivity: DT vs ABM across vendor alpha presets (load 40%, incast 30%)")
 	fmt.Fprintln(w, "alpha\tbm\tp99_incast\tp99_short\tp99_buffer_pct\tavg_tput_pct")
-	presets := []struct {
-		label string
-		alpha float64
-	}{
-		{"0.5 (paper)", 0.5},
-		{"1 (Arista)", 1},
-		{"8 (Yahoo)", 8},
-		{"14 (Cisco)", 14},
-	}
-	for _, p := range presets {
+	i := 0
+	for _, p := range alphaPresets {
 		for _, bmName := range []string{"DT", "ABM"} {
-			res, err := Run(Cell{
-				Scale: scale, Seed: seed,
-				BM: bmName, Load: 0.4, WSCC: "cubic",
-				RequestFrac: 0.3,
-				Alpha:       p.alpha,
-			})
-			if err != nil {
-				return err
-			}
-			s := res.Summary
+			s := results[i].Summary
+			i++
 			fmt.Fprintf(w, "%s\t%s\t%.1f\t%.1f\t%.1f\t%.1f\n",
 				p.label, bmName, s.P99IncastSlowdown, s.P99ShortSlowdown,
 				100*s.P99BufferFrac, 100*s.AvgThroughputFrac)

@@ -12,35 +12,44 @@ import (
 // the simulated (packet-level) cross-check of the analytic Figure 5.
 var FigureIDs = []string{"fig4", "fig5", "fig5sim", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablation", "alphasweep", "extracc"}
 
-// RunFigure dispatches a figure by id, writing a TSV table to w.
+// RunFigure dispatches a figure by id, writing a TSV table to w. Cells
+// run in parallel on the runner pool with default options; the output
+// is identical at any worker count.
 func RunFigure(id string, scale Scale, seed int64, w io.Writer) error {
+	return RunFigureOpts(nil, id, scale, seed, w)
+}
+
+// RunFigureOpts is RunFigure with explicit execution options: worker
+// count, per-cell timeout and retries, an optional JSON record store,
+// and progress reporting.
+func RunFigureOpts(o *RunOptions, id string, scale Scale, seed int64, w io.Writer) error {
 	switch id {
 	case "fig4":
 		return Fig4(w)
 	case "fig5":
 		return Fig5(w)
 	case "fig5sim":
-		return Fig5Sim(w)
+		return fig5sim(o, w)
 	case "fig6":
-		return Fig6(scale, seed, w)
+		return fig6(o, scale, seed, w)
 	case "fig7":
-		return Fig7(scale, seed, w)
+		return fig7(o, scale, seed, w)
 	case "fig8":
-		return Fig8(scale, seed, w)
+		return fig8(o, scale, seed, w)
 	case "fig9":
-		return Fig9(scale, seed, w)
+		return fig9(o, scale, seed, w)
 	case "fig10":
-		return Fig10(scale, seed, w)
+		return fig10(o, scale, seed, w)
 	case "fig11":
-		return Fig11(scale, seed, w)
+		return fig11(o, scale, seed, w)
 	case "fig12":
-		return Fig12(scale, seed, w)
+		return fig12(o, scale, seed, w)
 	case "ablation":
-		return RunAblation(scale, seed, w)
+		return runAblation(o, scale, seed, w)
 	case "alphasweep":
-		return RunAlphaSweep(scale, seed, w)
+		return runAlphaSweep(o, scale, seed, w)
 	case "extracc":
-		return RunExtraCC(scale, seed, w)
+		return runExtraCC(o, scale, seed, w)
 	default:
 		return fmt.Errorf("experiments: unknown figure %q (known: %v)", id, FigureIDs)
 	}
@@ -111,22 +120,38 @@ func mb(b units.ByteCount) float64 { return float64(b) / float64(units.Megabyte)
 // Fig6BMs are the buffer-management baselines of Figures 6-7.
 var Fig6BMs = []string{"DT", "FAB", "CS", "IB", "ABM"}
 
+// fig6Loads are Figure 6's web-search load points.
+var fig6Loads = []float64{0.2, 0.4, 0.6, 0.8}
+
 // Fig6 regenerates Figure 6: BM schemes under web-search load 20-80%
 // plus incast at 30% of the buffer, all flows Cubic.
-func Fig6(scale Scale, seed int64, w io.Writer) error {
+func Fig6(scale Scale, seed int64, w io.Writer) error { return fig6(nil, scale, seed, w) }
+
+func fig6(o *RunOptions, scale Scale, seed int64, w io.Writer) error {
+	var jobs []cellJob
+	for _, bmName := range Fig6BMs {
+		for _, load := range fig6Loads {
+			jobs = append(jobs, cellJob{
+				label: fmt.Sprintf("bm=%s,load=%g", bmName, load),
+				cell: Cell{
+					Scale: scale, Seed: seed,
+					BM: bmName, Load: load, WSCC: "cubic",
+					RequestFrac: 0.3,
+				},
+			})
+		}
+	}
+	results, err := runCells(o, "fig6", jobs)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "# Figure 6: BM under load (incast 30% of buffer, cubic)")
 	fmt.Fprintln(w, "bm\tload\tp99_incast_slowdown\tp99_short_slowdown\tp99_buffer_pct\tavg_tput_pct\tflows\tunfinished")
+	i := 0
 	for _, bmName := range Fig6BMs {
-		for _, load := range []float64{0.2, 0.4, 0.6, 0.8} {
-			res, err := Run(Cell{
-				Scale: scale, Seed: seed,
-				BM: bmName, Load: load, WSCC: "cubic",
-				RequestFrac: 0.3,
-			})
-			if err != nil {
-				return err
-			}
-			s := res.Summary
+		for _, load := range fig6Loads {
+			s := results[i].Summary
+			i++
 			fmt.Fprintf(w, "%s\t%.0f\t%.1f\t%.1f\t%.1f\t%.1f\t%d\t%d\n",
 				bmName, load*100, s.P99IncastSlowdown, s.P99ShortSlowdown,
 				100*s.P99BufferFrac, 100*s.AvgThroughputFrac, s.Flows, s.Unfinished)
@@ -135,22 +160,39 @@ func Fig6(scale Scale, seed int64, w io.Writer) error {
 	return nil
 }
 
+// fig7Fracs are Figure 7's incast request sizes (fractions of the
+// buffer).
+var fig7Fracs = []float64{0.1, 0.25, 0.5, 0.75}
+
 // Fig7 regenerates Figure 7: BM schemes across incast request sizes at
 // 40% web-search load.
-func Fig7(scale Scale, seed int64, w io.Writer) error {
+func Fig7(scale Scale, seed int64, w io.Writer) error { return fig7(nil, scale, seed, w) }
+
+func fig7(o *RunOptions, scale Scale, seed int64, w io.Writer) error {
+	var jobs []cellJob
+	for _, bmName := range Fig6BMs {
+		for _, frac := range fig7Fracs {
+			jobs = append(jobs, cellJob{
+				label: fmt.Sprintf("bm=%s,req=%g", bmName, frac),
+				cell: Cell{
+					Scale: scale, Seed: seed,
+					BM: bmName, Load: 0.4, WSCC: "cubic",
+					RequestFrac: frac,
+				},
+			})
+		}
+	}
+	results, err := runCells(o, "fig7", jobs)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "# Figure 7: BM under request sizes (load 40%, cubic)")
 	fmt.Fprintln(w, "bm\treq_frac_pct\tp99_incast_slowdown\tp99_short_slowdown\tp99_buffer_pct\tavg_tput_pct\tflows\tunfinished")
+	i := 0
 	for _, bmName := range Fig6BMs {
-		for _, frac := range []float64{0.1, 0.25, 0.5, 0.75} {
-			res, err := Run(Cell{
-				Scale: scale, Seed: seed,
-				BM: bmName, Load: 0.4, WSCC: "cubic",
-				RequestFrac: frac,
-			})
-			if err != nil {
-				return err
-			}
-			s := res.Summary
+		for _, frac := range fig7Fracs {
+			s := results[i].Summary
+			i++
 			fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%d\t%d\n",
 				bmName, frac*100, s.P99IncastSlowdown, s.P99ShortSlowdown,
 				100*s.P99BufferFrac, 100*s.AvgThroughputFrac, s.Flows, s.Unfinished)
@@ -159,30 +201,47 @@ func Fig7(scale Scale, seed int64, w io.Writer) error {
 	return nil
 }
 
+// fig8Loads are Figure 8's Cubic load points.
+var fig8Loads = []float64{0.2, 0.4, 0.6}
+
 // Fig8 regenerates Figure 8: three priorities carrying Cubic, DCTCP and
 // θ-PowerTCP; the Cubic load grows while the others stay fixed; DT vs
 // ABM. Reports per-priority p99 short-flow slowdowns.
-func Fig8(scale Scale, seed int64, w io.Writer) error {
+func Fig8(scale Scale, seed int64, w io.Writer) error { return fig8(nil, scale, seed, w) }
+
+func fig8(o *RunOptions, scale Scale, seed int64, w io.Writer) error {
+	var jobs []cellJob
+	for _, bmName := range []string{"DT", "ABM"} {
+		for _, load := range fig8Loads {
+			jobs = append(jobs, cellJob{
+				label: fmt.Sprintf("bm=%s,load=%g", bmName, load),
+				cell: Cell{
+					Scale: scale, Seed: seed,
+					BM:            bmName,
+					Load:          load + 0.2, // cubic at `load` + dctcp fixed at 0.2, interleaved
+					QueuesPerPort: 3,
+					MixedCC: []CCAssignment{
+						{CC: "cubic", Prio: 0},
+						{CC: "dctcp", Prio: 1},
+					},
+					RequestFrac: 0.25,
+					IncastCC:    "theta-powertcp",
+					IncastPrio:  2,
+				},
+			})
+		}
+	}
+	results, err := runCells(o, "fig8", jobs)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "# Figure 8: isolation across priorities (cubic prio0, dctcp prio1, theta-powertcp incast prio2)")
 	fmt.Fprintln(w, "bm\tcubic_load\tp99_cubic\tp99_dctcp\tp99_theta\tp99_buffer_pct")
+	i := 0
 	for _, bmName := range []string{"DT", "ABM"} {
-		for _, load := range []float64{0.2, 0.4, 0.6} {
-			res, err := Run(Cell{
-				Scale: scale, Seed: seed,
-				BM:            bmName,
-				Load:          load + 0.2, // cubic at `load` + dctcp fixed at 0.2, interleaved
-				QueuesPerPort: 3,
-				MixedCC: []CCAssignment{
-					{CC: "cubic", Prio: 0},
-					{CC: "dctcp", Prio: 1},
-				},
-				RequestFrac: 0.25,
-				IncastCC:    "theta-powertcp",
-				IncastPrio:  2,
-			})
-			if err != nil {
-				return err
-			}
+		for _, load := range fig8Loads {
+			res := results[i]
+			i++
 			fmt.Fprintf(w, "%s\t%.0f\t%.1f\t%.1f\t%.1f\t%.1f\n",
 				bmName, load*100,
 				res.PerPrioP99Short[0], res.PerPrioP99Short[1], res.PerPrioP99Short[2],
@@ -192,52 +251,86 @@ func Fig8(scale Scale, seed int64, w io.Writer) error {
 	return nil
 }
 
+// fig9CCs are Figure 9's congestion-control algorithms.
+var fig9CCs = []string{"cubic", "dctcp", "timely", "powertcp"}
+
 // Fig9 regenerates Figure 9: advanced congestion control with default
 // buffer management (DT) vs with ABM, across incast request sizes.
-func Fig9(scale Scale, seed int64, w io.Writer) error {
+func Fig9(scale Scale, seed int64, w io.Writer) error { return fig9(nil, scale, seed, w) }
+
+func fig9(o *RunOptions, scale Scale, seed int64, w io.Writer) error {
+	var jobs []cellJob
+	for _, ccName := range fig9CCs {
+		for _, frac := range fig7Fracs {
+			for _, bmName := range []string{"DT", "ABM"} {
+				jobs = append(jobs, cellJob{
+					label: fmt.Sprintf("cc=%s,req=%g,bm=%s", ccName, frac, bmName),
+					cell: Cell{
+						Scale: scale, Seed: seed,
+						BM: bmName, Load: 0.4, WSCC: ccName,
+						RequestFrac: frac,
+					},
+				})
+			}
+		}
+	}
+	results, err := runCells(o, "fig9", jobs)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "# Figure 9: advanced CC x request size, DT (default) vs ABM")
 	fmt.Fprintln(w, "cc\treq_frac_pct\tp99_incast_DT\tp99_incast_ABM")
-	for _, ccName := range []string{"cubic", "dctcp", "timely", "powertcp"} {
-		for _, frac := range []float64{0.1, 0.25, 0.5, 0.75} {
-			var vals [2]float64
-			for i, bmName := range []string{"DT", "ABM"} {
-				res, err := Run(Cell{
-					Scale: scale, Seed: seed,
-					BM: bmName, Load: 0.4, WSCC: ccName,
-					RequestFrac: frac,
-				})
-				if err != nil {
-					return err
-				}
-				vals[i] = res.Summary.P99IncastSlowdown
-			}
-			fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.1f\n", ccName, frac*100, vals[0], vals[1])
+	i := 0
+	for _, ccName := range fig9CCs {
+		for _, frac := range fig7Fracs {
+			dt := results[i].Summary.P99IncastSlowdown
+			abm := results[i+1].Summary.P99IncastSlowdown
+			i += 2
+			fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.1f\n", ccName, frac*100, dt, abm)
 		}
 	}
 	return nil
 }
 
+// fig10QPPs are Figure 10's queues-per-port points.
+var fig10QPPs = []int{2, 4, 6, 8}
+
 // Fig10 regenerates Figure 10: the queues-per-port sweep under stable
 // load, Cubic and DCTCP, DT vs ABM.
-func Fig10(scale Scale, seed int64, w io.Writer) error {
-	fmt.Fprintln(w, "# Figure 10: queues per port (load 40%, incast 25%)")
-	fmt.Fprintln(w, "cc\tbm\tqueues_per_port\tp99_slowdown\tp99_buffer_pct")
+func Fig10(scale Scale, seed int64, w io.Writer) error { return fig10(nil, scale, seed, w) }
+
+func fig10(o *RunOptions, scale Scale, seed int64, w io.Writer) error {
+	var jobs []cellJob
 	for _, ccName := range []string{"cubic", "dctcp"} {
 		for _, bmName := range []string{"DT", "ABM"} {
-			for _, qpp := range []int{2, 4, 6, 8} {
-				res, err := Run(Cell{
-					Scale: scale, Seed: seed,
-					BM: bmName, Load: 0.4, WSCC: ccName,
-					RequestFrac:   0.25,
-					QueuesPerPort: qpp,
-					RandomPrio:    true,
+			for _, qpp := range fig10QPPs {
+				jobs = append(jobs, cellJob{
+					label: fmt.Sprintf("cc=%s,bm=%s,qpp=%d", ccName, bmName, qpp),
+					cell: Cell{
+						Scale: scale, Seed: seed,
+						BM: bmName, Load: 0.4, WSCC: ccName,
+						RequestFrac:   0.25,
+						QueuesPerPort: qpp,
+						RandomPrio:    true,
+					},
 				})
-				if err != nil {
-					return err
-				}
+			}
+		}
+	}
+	results, err := runCells(o, "fig10", jobs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "# Figure 10: queues per port (load 40%, incast 25%)")
+	fmt.Fprintln(w, "cc\tbm\tqueues_per_port\tp99_slowdown\tp99_buffer_pct")
+	i := 0
+	for _, ccName := range []string{"cubic", "dctcp"} {
+		for _, bmName := range []string{"DT", "ABM"} {
+			for _, qpp := range fig10QPPs {
+				s := results[i].Summary
+				i++
 				fmt.Fprintf(w, "%s\t%s\t%d\t%.1f\t%.1f\n",
-					ccName, bmName, qpp, res.Summary.P99ShortSlowdown,
-					100*res.Summary.P99BufferFrac)
+					ccName, bmName, qpp, s.P99ShortSlowdown, 100*s.P99BufferFrac)
 			}
 		}
 	}
@@ -257,27 +350,45 @@ var ShallowBuffers = []struct {
 	{"Tofino", 3.44},
 }
 
+// fig11BMs are Figure 11's schemes, in column order.
+var fig11BMs = []string{"DT", "IB", "ABM"}
+
 // Fig11 regenerates Figure 11: shallow buffers across device
 // generations, DCTCP and PowerTCP, DT vs IB vs ABM.
-func Fig11(scale Scale, seed int64, w io.Writer) error {
+func Fig11(scale Scale, seed int64, w io.Writer) error { return fig11(nil, scale, seed, w) }
+
+func fig11(o *RunOptions, scale Scale, seed int64, w io.Writer) error {
+	var jobs []cellJob
+	for _, ccName := range []string{"dctcp", "powertcp"} {
+		for _, dev := range ShallowBuffers {
+			for _, bmName := range fig11BMs {
+				jobs = append(jobs, cellJob{
+					label: fmt.Sprintf("cc=%s,dev=%s,bm=%s", ccName, dev.Name, bmName),
+					cell: Cell{
+						Scale: scale, Seed: seed,
+						BM: bmName, Load: 0.4, WSCC: ccName,
+						// Request sized against the Trident2 buffer so the burst
+						// is constant while the buffer shrinks (§4.3).
+						RequestFrac:         0.25 * 9.6 / dev.KB,
+						BufferKBPerPortGbps: dev.KB,
+					},
+				})
+			}
+		}
+	}
+	results, err := runCells(o, "fig11", jobs)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "# Figure 11: shallow buffers (load 40%, incast 25% of Trident2 buffer)")
 	fmt.Fprintln(w, "cc\tdevice\tkb_per_port_gbps\tp99_DT\tp99_IB\tp99_ABM")
+	i := 0
 	for _, ccName := range []string{"dctcp", "powertcp"} {
 		for _, dev := range ShallowBuffers {
 			var vals [3]float64
-			for i, bmName := range []string{"DT", "IB", "ABM"} {
-				res, err := Run(Cell{
-					Scale: scale, Seed: seed,
-					BM: bmName, Load: 0.4, WSCC: ccName,
-					// Request sized against the Trident2 buffer so the burst
-					// is constant while the buffer shrinks (§4.3).
-					RequestFrac:         0.25 * 9.6 / dev.KB,
-					BufferKBPerPortGbps: dev.KB,
-				})
-				if err != nil {
-					return err
-				}
-				vals[i] = res.Summary.P99IncastSlowdown
+			for j := range fig11BMs {
+				vals[j] = results[i].Summary.P99IncastSlowdown
+				i++
 			}
 			fmt.Fprintf(w, "%s\t%s\t%.2f\t%.1f\t%.1f\t%.1f\n",
 				ccName, dev.Name, dev.KB, vals[0], vals[1], vals[2])
@@ -286,42 +397,47 @@ func Fig11(scale Scale, seed int64, w io.Writer) error {
 	return nil
 }
 
+// fig12Intervals are Figure 12's update intervals in base RTTs.
+var fig12Intervals = []int{1, 10, 100, 1000}
+
 // Fig12 regenerates Figure 12: approximating ABM on DT with periodic
 // alpha reconfiguration; the update interval sweeps 1x to 1000x RTT,
 // with plain DT as the limit.
-func Fig12(scale Scale, seed int64, w io.Writer) error {
-	fmt.Fprintln(w, "# Figure 12: ABM-approx update interval (load 40%, incast 75%, 8 queues/port)")
-	fmt.Fprintln(w, "update_rtts\tp999_short_slowdown\tmedian_long_slowdown")
+func Fig12(scale Scale, seed int64, w io.Writer) error { return fig12(nil, scale, seed, w) }
+
+func fig12(o *RunOptions, scale Scale, seed int64, w io.Writer) error {
 	baseRTT := 80 * units.Microsecond
-	for _, rtts := range []int{1, 10, 100, 1000} {
-		res, err := Run(Cell{
-			Scale: scale, Seed: seed,
-			BM:             "ABM-approx",
-			UpdateInterval: units.Time(rtts) * baseRTT,
-			Load:           0.4, WSCC: "cubic",
-			RequestFrac:   0.75,
-			Fanout:        16, // responses sized within the first RTT (§3.3 traffic)
-			QueuesPerPort: 8,
-			RandomPrio:    true,
-		})
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "%d\t%.1f\t%.2f\n", rtts,
-			res.Summary.P999AllShortSlowdown, res.Summary.MedianLongSlowdown)
-	}
-	res, err := Run(Cell{
+	base := Cell{
 		Scale: scale, Seed: seed,
-		BM: "DT", Load: 0.4, WSCC: "cubic",
+		Load: 0.4, WSCC: "cubic",
 		RequestFrac:   0.75,
-		Fanout:        16,
+		Fanout:        16, // responses sized within the first RTT (§3.3 traffic)
 		QueuesPerPort: 8,
 		RandomPrio:    true,
-	})
+	}
+	var jobs []cellJob
+	for _, rtts := range fig12Intervals {
+		cell := base
+		cell.BM = "ABM-approx"
+		cell.UpdateInterval = units.Time(rtts) * baseRTT
+		jobs = append(jobs, cellJob{label: fmt.Sprintf("update=%drtt", rtts), cell: cell})
+	}
+	dtCell := base
+	dtCell.BM = "DT"
+	jobs = append(jobs, cellJob{label: "bm=DT", cell: dtCell})
+
+	results, err := runCells(o, "fig12", jobs)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "DT\t%.1f\t%.2f\n",
-		res.Summary.P999AllShortSlowdown, res.Summary.MedianLongSlowdown)
+	fmt.Fprintln(w, "# Figure 12: ABM-approx update interval (load 40%, incast 75%, 8 queues/port)")
+	fmt.Fprintln(w, "update_rtts\tp999_short_slowdown\tmedian_long_slowdown")
+	for i, rtts := range fig12Intervals {
+		s := results[i].Summary
+		fmt.Fprintf(w, "%d\t%.1f\t%.2f\n", rtts,
+			s.P999AllShortSlowdown, s.MedianLongSlowdown)
+	}
+	s := results[len(results)-1].Summary
+	fmt.Fprintf(w, "DT\t%.1f\t%.2f\n", s.P999AllShortSlowdown, s.MedianLongSlowdown)
 	return nil
 }

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"abm/internal/runner"
+	"abm/internal/units"
+)
+
+// Grid describes a cross-product sweep of evaluation cells for
+// cmd/sweep: every combination of buffer-management scheme, congestion
+// control, load, incast request size and alpha, replicated Reps times
+// with per-replication seeds derived from the plan seed. It is the
+// JSON schema of a plan file.
+type Grid struct {
+	// Name labels the sweep; it prefixes every job ID.
+	Name string `json:"name"`
+	// Scale is the fabric scale: small, medium or paper. Default small.
+	Scale string `json:"scale"`
+	// Seed is the plan seed replication seeds derive from. Default 1.
+	Seed int64 `json:"seed"`
+	// Reps is the number of seed replications per configuration.
+	// Default 1.
+	Reps int `json:"reps"`
+
+	// Axes. Empty axes collapse to a single default point.
+	BMs          []string  `json:"bms"`           // default ["ABM"]
+	CCs          []string  `json:"ccs"`           // default ["cubic"]
+	Loads        []float64 `json:"loads"`         // default [0.4]
+	RequestFracs []float64 `json:"request_fracs"` // default [0.3]
+	Alphas       []float64 `json:"alphas"`        // default [0] = scheme default (0.5)
+
+	// Scalar knobs applied to every cell.
+	QueuesPerPort int     `json:"queues_per_port,omitempty"`
+	Workload      string  `json:"workload,omitempty"`
+	Trimming      bool    `json:"trimming,omitempty"`
+	DurationMS    float64 `json:"duration_ms,omitempty"`
+	// TimeoutSec bounds each job's wall-clock seconds; 0 means none.
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+}
+
+// normalized fills the documented defaults.
+func (g Grid) normalized() Grid {
+	if g.Name == "" {
+		g.Name = "sweep"
+	}
+	if g.Scale == "" {
+		g.Scale = "small"
+	}
+	if g.Seed == 0 {
+		g.Seed = 1
+	}
+	if g.Reps <= 0 {
+		g.Reps = 1
+	}
+	if len(g.BMs) == 0 {
+		g.BMs = []string{"ABM"}
+	}
+	if len(g.CCs) == 0 {
+		g.CCs = []string{"cubic"}
+	}
+	if len(g.Loads) == 0 {
+		g.Loads = []float64{0.4}
+	}
+	if len(g.RequestFracs) == 0 {
+		g.RequestFracs = []float64{0.3}
+	}
+	if len(g.Alphas) == 0 {
+		g.Alphas = []float64{0}
+	}
+	return g
+}
+
+// Jobs returns the number of jobs the grid expands to.
+func (g Grid) Jobs() int {
+	g = g.normalized()
+	return len(g.BMs) * len(g.CCs) * len(g.Loads) * len(g.RequestFracs) * len(g.Alphas) * g.Reps
+}
+
+// Plan expands the grid into a runner plan: one job per configuration
+// and replication, in a fixed axis order (bm, cc, load, request, alpha,
+// rep), so job indexes — and therefore derived seeds — are stable
+// across runs and worker counts.
+func (g Grid) Plan() (*runner.Plan, error) {
+	g = g.normalized()
+	scale, err := ParseScale(g.Scale)
+	if err != nil {
+		return nil, err
+	}
+	timeout := time.Duration(g.TimeoutSec * float64(time.Second))
+	plan := &runner.Plan{Name: g.Name, Seed: g.Seed}
+	for _, bmName := range g.BMs {
+		for _, ccName := range g.CCs {
+			for _, load := range g.Loads {
+				for _, frac := range g.RequestFracs {
+					for _, alpha := range g.Alphas {
+						cell := Cell{
+							Scale: scale,
+							BM:    bmName, Load: load, WSCC: ccName,
+							RequestFrac:   frac,
+							Alpha:         alpha,
+							QueuesPerPort: g.QueuesPerPort,
+							Workload:      g.Workload,
+							Trimming:      g.Trimming,
+							Duration:      units.Time(g.DurationMS * float64(units.Millisecond)),
+						}
+						group := fmt.Sprintf("bm=%s,cc=%s,load=%g,req=%g,alpha=%g",
+							bmName, ccName, load, frac, alpha)
+						for rep := 0; rep < g.Reps; rep++ {
+							cell := cell
+							plan.Add(runner.Spec{
+								ID:         fmt.Sprintf("%s/%04d-%s,rep=%d", g.Name, len(plan.Specs), group, rep),
+								Experiment: g.Name,
+								Group:      group,
+								Timeout:    timeout,
+								Config:     cell,
+								Run: func(ctx context.Context, seed int64) (runner.Result, error) {
+									c := cell
+									c.Seed = seed
+									res, err := Run(c)
+									if err != nil {
+										return runner.Result{}, err
+									}
+									return runnerResult(res), nil
+								},
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return plan, nil
+}

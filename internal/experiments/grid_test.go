@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"abm/internal/runner"
+	"abm/internal/units"
+)
+
+func TestGridExpansion(t *testing.T) {
+	g := Grid{
+		Name: "t", BMs: []string{"DT", "ABM"}, CCs: []string{"cubic", "dctcp"},
+		Loads: []float64{0.2, 0.4}, RequestFracs: []float64{0.3},
+		Reps: 3, TimeoutSec: 7,
+	}
+	if got := g.Jobs(); got != 2*2*2*1*1*3 {
+		t.Fatalf("Jobs() = %d", got)
+	}
+	plan, err := g.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Specs) != g.Jobs() {
+		t.Fatalf("expanded %d, want %d", len(plan.Specs), g.Jobs())
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	groups := map[string]int{}
+	for i, s := range plan.Specs {
+		if s.Timeout != 7*time.Second {
+			t.Fatalf("timeout not propagated: %v", s.Timeout)
+		}
+		groups[s.Group]++
+		if s.Seed != 0 {
+			t.Fatalf("grid jobs must derive seeds, spec %d has %d", i, s.Seed)
+		}
+	}
+	if len(groups) != 8 {
+		t.Fatalf("groups = %d, want 8", len(groups))
+	}
+	for gname, n := range groups {
+		if n != 3 {
+			t.Fatalf("group %s has %d reps, want 3", gname, n)
+		}
+	}
+	// Defaults fill empty axes; unknown scales are rejected.
+	if n := (Grid{}).Jobs(); n != 1 {
+		t.Fatalf("default grid jobs = %d", n)
+	}
+	if _, err := (Grid{Scale: "galactic"}).Plan(); err == nil {
+		t.Fatal("bad scale accepted")
+	}
+}
+
+// tinyGrid is a real-simulation grid small enough for tests: 2 schemes
+// x 2 replications of a 2ms small-fabric cell.
+func tinyGrid() Grid {
+	return Grid{
+		Name: "tiny", Scale: "small", Seed: 11, Reps: 2,
+		BMs: []string{"DT", "ABM"}, CCs: []string{"cubic"},
+		Loads: []float64{0.3}, RequestFracs: []float64{0.25},
+		DurationMS: 2,
+	}
+}
+
+// TestGridDeterminismAcrossWorkers runs a real multi-seed grid at 1 and
+// 4 workers and requires byte-identical aggregated output — the
+// acceptance property of the runner subsystem on the actual simulator
+// (the pure-runner version at 1/4/16 workers lives in
+// internal/runner/determinism_test.go).
+func TestGridDeterminismAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	var golden []byte
+	for _, workers := range []int{1, 4} {
+		plan, err := tinyGrid().Plan()
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, err := (&runner.Pool{Workers: workers}).Run(context.Background(), plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := len(runner.Failed(recs)); n != 0 {
+			t.Fatalf("%d failed jobs: %+v", n, runner.Failed(recs))
+		}
+		out, err := json.MarshalIndent(runner.Aggregate(recs), "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if golden == nil {
+			golden = out
+			continue
+		}
+		if string(out) != string(golden) {
+			t.Fatalf("worker count changed simulation aggregate:\n%s\nvs\n%s", out, golden)
+		}
+	}
+	// Replications must actually differ (distinct derived seeds), or
+	// the confidence intervals are fiction.
+	var groups []runner.Group
+	if err := json.Unmarshal(golden, &groups); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range groups {
+		if g.N != 2 {
+			t.Fatalf("group %s aggregated %d reps", g.Group, g.N)
+		}
+		if len(g.Seeds) != 2 || g.Seeds[0] == g.Seeds[1] {
+			t.Fatalf("group %s seeds: %v", g.Group, g.Seeds)
+		}
+	}
+}
+
+// TestRunCellsStoreRoundTrip checks that a figure rendered from cached
+// store records is identical to one rendered from fresh runs —
+// including the per-priority extras that ride in Extra.
+func TestRunCellsStoreRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	jobs := []cellJob{{
+		label: "mixed",
+		cell: Cell{
+			Scale: ScaleSmall, Seed: 3,
+			BM: "ABM", Load: 0.4, QueuesPerPort: 3,
+			MixedCC: []CCAssignment{
+				{CC: "cubic", Prio: 0},
+				{CC: "dctcp", Prio: 1},
+			},
+			RequestFrac: 0.2, IncastCC: "theta-powertcp", IncastPrio: 2,
+			Duration: 2 * units.Millisecond,
+		},
+	}}
+	dir := t.TempDir()
+	run := func() []Result {
+		st, err := runner.OpenStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		res, err := runCells(&RunOptions{Store: st}, "roundtrip", jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fresh := run()
+	cached := run()
+	if len(fresh[0].PerPrioP99Short) != 3 {
+		t.Fatalf("per-prio metrics missing: %+v", fresh[0].PerPrioP99Short)
+	}
+	if !reflect.DeepEqual(fresh, cached) {
+		t.Fatalf("cached render differs:\nfresh:  %+v\ncached: %+v", fresh[0], cached[0])
+	}
+}
+
+// TestRunCellsPropagatesFailure checks that a failing cell surfaces its
+// job ID and does not take the figure's process down even when it
+// panics (unknown BM names panic inside the simulator's factory).
+func TestRunCellsPropagatesFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	_, err := runCells(nil, "boom", []cellJob{{
+		label: "bad",
+		cell: Cell{Scale: ScaleSmall, BM: "nonsense", Load: 0.1, WSCC: "cubic",
+			Duration: units.Millisecond},
+	}})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "boom/000-bad") || !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("error lacks job identity: %v", err)
+	}
+}

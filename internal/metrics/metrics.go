@@ -172,19 +172,20 @@ func (c *Collector) FinishedCount() int {
 	return n
 }
 
-// Summary holds the headline numbers for one experiment cell.
+// Summary holds the headline numbers for one experiment cell. The JSON
+// tags define the schema of the runner's per-job result records.
 type Summary struct {
-	P99IncastSlowdown float64
-	P99ShortSlowdown  float64 // web-search short flows
-	P999ShortSlowdown float64 // web-search short flows
+	P99IncastSlowdown float64 `json:"p99_incast_slowdown"`
+	P99ShortSlowdown  float64 `json:"p99_short_slowdown"`  // web-search short flows
+	P999ShortSlowdown float64 `json:"p999_short_slowdown"` // web-search short flows
 	// P999AllShortSlowdown covers short flows of every class (web-search
 	// and incast) — the population §4.4 reports.
-	P999AllShortSlowdown float64
-	MedianLongSlowdown   float64
-	P99BufferFrac        float64
-	AvgThroughputFrac    float64
-	Flows                int
-	Unfinished           int
+	P999AllShortSlowdown float64 `json:"p999_all_short_slowdown"`
+	MedianLongSlowdown   float64 `json:"median_long_slowdown"`
+	P99BufferFrac        float64 `json:"p99_buffer_frac"`
+	AvgThroughputFrac    float64 `json:"avg_tput_frac"`
+	Flows                int     `json:"flows"`
+	Unfinished           int     `json:"unfinished"`
 }
 
 // Summarize computes the standard panel set.

@@ -13,6 +13,32 @@ import (
 	"abm/internal/units"
 )
 
+// splitMixGamma is the golden-ratio increment of the SplitMix64
+// sequence (Steele, Lea & Flood, OOPSLA 2014).
+const splitMixGamma = 0x9e3779b97f4a7c15
+
+// SplitMix64 returns the index-th output of the SplitMix64 pseudo-random
+// sequence seeded with seed. Outputs for distinct (seed, index) pairs
+// are statistically independent, which makes the function the standard
+// way to derive per-job seeds from one plan seed: the derivation depends
+// only on the job's position, never on scheduling order or worker count.
+func SplitMix64(seed, index uint64) uint64 {
+	z := seed + (index+1)*splitMixGamma
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// DeriveSeed maps one base seed and a job index to a positive int64
+// simulation seed via SplitMix64.
+func DeriveSeed(seed int64, index int) int64 {
+	v := int64(SplitMix64(uint64(seed), uint64(index)) &^ (1 << 63))
+	if v == 0 {
+		v = 1
+	}
+	return v
+}
+
 // Exponential samples an exponentially distributed duration with the
 // given mean. It panics on a non-positive mean.
 func Exponential(rng *rand.Rand, mean units.Time) units.Time {

@@ -150,3 +150,41 @@ func TestMustEmpiricalCDFPanics(t *testing.T) {
 	}()
 	MustEmpiricalCDF(nil)
 }
+
+func TestSplitMix64(t *testing.T) {
+	// Reference values: the first outputs of the canonical SplitMix64
+	// generator seeded with 0 (Steele, Lea & Flood; also used by JDK
+	// SplittableRandom): 0xe220a8397b1dcdaf, 0x6e789e6aa1b965f4.
+	if got := SplitMix64(0, 0); got != 0xe220a8397b1dcdaf {
+		t.Fatalf("SplitMix64(0,0) = %#x", got)
+	}
+	if got := SplitMix64(0, 1); got != 0x6e789e6aa1b965f4 {
+		t.Fatalf("SplitMix64(0,1) = %#x", got)
+	}
+	// Distinct (seed, index) pairs give distinct outputs.
+	seen := map[uint64]bool{}
+	for seed := uint64(0); seed < 8; seed++ {
+		for idx := uint64(0); idx < 1000; idx++ {
+			v := SplitMix64(seed*1_000_000, idx)
+			if seen[v] {
+				t.Fatalf("collision at seed=%d idx=%d", seed, idx)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		s := DeriveSeed(42, i)
+		if s <= 0 {
+			t.Fatalf("DeriveSeed(42,%d) = %d, want positive", i, s)
+		}
+		if s != DeriveSeed(42, i) {
+			t.Fatal("not deterministic")
+		}
+	}
+	if DeriveSeed(1, 0) == DeriveSeed(2, 0) {
+		t.Fatal("seed ignored")
+	}
+}

@@ -1,0 +1,171 @@
+package runner
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+
+	"abm/internal/metrics"
+	"abm/internal/randutil"
+)
+
+// Stat summarizes one metric across a group's replicated seeds.
+type Stat struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	// CILo/CIHi bound the 95% bootstrap confidence interval of the mean.
+	CILo float64 `json:"ci95_lo"`
+	CIHi float64 `json:"ci95_hi"`
+}
+
+// Group is the aggregate of every successful replication of one
+// configuration (same Experiment and Group key, different seeds).
+type Group struct {
+	Experiment string          `json:"experiment,omitempty"`
+	Group      string          `json:"group"`
+	N          int             `json:"n"`
+	Failed     int             `json:"failed,omitempty"`
+	Seeds      []int64         `json:"seeds,omitempty"`
+	Metrics    map[string]Stat `json:"metrics"`
+}
+
+// bootstrapResamples is the bootstrap sample count for the CIs.
+const bootstrapResamples = 1000
+
+// Aggregate reduces job records into per-group statistics: mean, p50,
+// p95, p99 and a 95% bootstrap confidence interval of the mean for
+// every metric, across the seeds replicated within each (Experiment,
+// Group) pair. The reduction is deterministic: records are ordered by
+// ID before any arithmetic and the bootstrap RNG is seeded from the
+// group name, so output bytes do not depend on worker count or
+// completion order. Wall times and attempt counts are deliberately
+// excluded for the same reason.
+func Aggregate(records []Record) []Group {
+	ordered := append([]Record(nil), records...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
+
+	type key struct{ exp, group string }
+	groups := make(map[key]*Group)
+	vals := make(map[key]map[string][]float64)
+	var keys []key
+	for _, rec := range ordered {
+		k := key{rec.Experiment, rec.Group}
+		g, ok := groups[k]
+		if !ok {
+			g = &Group{Experiment: k.exp, Group: k.group, Metrics: map[string]Stat{}}
+			groups[k] = g
+			vals[k] = map[string][]float64{}
+			keys = append(keys, k)
+		}
+		if !rec.OK() {
+			g.Failed++
+			continue
+		}
+		g.N++
+		g.Seeds = append(g.Seeds, rec.Seed)
+		for name, v := range metricsOf(rec) {
+			vals[k][name] = append(vals[k][name], v)
+		}
+	}
+
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].exp != keys[j].exp {
+			return keys[i].exp < keys[j].exp
+		}
+		return keys[i].group < keys[j].group
+	})
+	out := make([]Group, 0, len(keys))
+	for _, k := range keys {
+		g := groups[k]
+		names := make([]string, 0, len(vals[k]))
+		for name := range vals[k] {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			g.Metrics[name] = statOf(vals[k][name], k.exp+"/"+k.group+"/"+name)
+		}
+		out = append(out, *g)
+	}
+	return out
+}
+
+// statOf computes one metric's statistics; tag seeds the bootstrap RNG
+// deterministically.
+func statOf(vs []float64, tag string) Stat {
+	st := Stat{
+		Mean: metrics.Mean(vs),
+		P50:  metrics.Percentile(vs, 50),
+		P95:  metrics.Percentile(vs, 95),
+		P99:  metrics.Percentile(vs, 99),
+	}
+	st.CILo, st.CIHi = bootstrapCI(vs, tag)
+	return st
+}
+
+// bootstrapCI returns the 2.5th and 97.5th percentiles of the
+// resampled mean. With fewer than two observations the interval
+// degenerates to the point estimate.
+func bootstrapCI(vs []float64, tag string) (lo, hi float64) {
+	if len(vs) == 0 {
+		return 0, 0
+	}
+	if len(vs) < 2 {
+		return vs[0], vs[0]
+	}
+	h := fnv.New64a()
+	h.Write([]byte(tag))
+	rng := rand.New(rand.NewSource(randutil.DeriveSeed(int64(h.Sum64()), 0)))
+	means := make([]float64, bootstrapResamples)
+	for b := range means {
+		var sum float64
+		for range vs {
+			sum += vs[rng.Intn(len(vs))]
+		}
+		means[b] = sum / float64(len(vs))
+	}
+	return metrics.Percentile(means, 2.5), metrics.Percentile(means, 97.5)
+}
+
+// metricsOf flattens a record's result into named scalar metrics.
+func metricsOf(rec Record) map[string]float64 {
+	if rec.Result == nil {
+		return nil
+	}
+	s := rec.Result.Summary
+	m := map[string]float64{
+		"p99_incast_slowdown":     s.P99IncastSlowdown,
+		"p99_short_slowdown":      s.P99ShortSlowdown,
+		"p999_short_slowdown":     s.P999ShortSlowdown,
+		"p999_all_short_slowdown": s.P999AllShortSlowdown,
+		"median_long_slowdown":    s.MedianLongSlowdown,
+		"p99_buffer_frac":         s.P99BufferFrac,
+		"avg_tput_frac":           s.AvgThroughputFrac,
+		"flows":                   float64(s.Flows),
+		"unfinished":              float64(s.Unfinished),
+		"drops":                   float64(rec.Result.Drops),
+		"events":                  float64(rec.Result.Events),
+	}
+	for name, v := range rec.Result.Extra {
+		m[name] = v
+	}
+	return m
+}
+
+// FormatGroups renders aggregated groups as a TSV table (group rows x
+// one headline metric column set), for quick terminal inspection.
+func FormatGroups(groups []Group) string {
+	out := "experiment\tgroup\tn\tfailed\tp99_incast_mean\tp99_incast_ci95\tp99_short_mean\tavg_tput_mean\n"
+	for _, g := range groups {
+		inc := g.Metrics["p99_incast_slowdown"]
+		short := g.Metrics["p99_short_slowdown"]
+		tput := g.Metrics["avg_tput_frac"]
+		out += fmt.Sprintf("%s\t%s\t%d\t%d\t%.2f\t[%.2f,%.2f]\t%.2f\t%.3f\n",
+			g.Experiment, g.Group, g.N, g.Failed,
+			inc.Mean, inc.CILo, inc.CIHi, short.Mean, tput.Mean)
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// detPlan is a 48-job multi-seed grid of deterministic fake
+// simulations: 6 groups x 8 replications.
+func detPlan() *Plan {
+	plan := &Plan{Name: "det", Seed: 1234}
+	for g := 0; g < 6; g++ {
+		for rep := 0; rep < 8; rep++ {
+			group := fmt.Sprintf("cfg=%d", g)
+			plan.Add(Spec{
+				ID:         fmt.Sprintf("det/%02d-%s,rep=%d", g*8+rep, group, rep),
+				Experiment: "det",
+				Group:      group,
+				Run:        fakeJob(nil),
+			})
+		}
+	}
+	return plan
+}
+
+// TestDeterminismAcrossWorkerCounts is the core runner guarantee: the
+// aggregated output of one plan seed is byte-identical at 1, 4 and 16
+// workers, because seeds derive from job indexes and aggregation orders
+// records before any arithmetic.
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	var golden []byte
+	for _, workers := range []int{1, 4, 16} {
+		recs, err := (&Pool{Workers: workers}).Run(context.Background(), detPlan())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := json.MarshalIndent(Aggregate(recs), "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if golden == nil {
+			golden = out
+			continue
+		}
+		if string(out) != string(golden) {
+			t.Fatalf("workers=%d changed the aggregate:\n%s\nvs\n%s", workers, out, golden)
+		}
+	}
+	if len(golden) == 0 {
+		t.Fatal("empty aggregate")
+	}
+}
+
+// TestDeterminismSameSeedTwice guards against hidden global state: two
+// fresh runs of the same plan produce identical records.
+func TestDeterminismSameSeedTwice(t *testing.T) {
+	run := func() []Record {
+		recs, err := (&Pool{Workers: 8}).Run(context.Background(), detPlan())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range recs {
+			recs[i].WallMS = 0 // the only legitimately nondeterministic field
+		}
+		return recs
+	}
+	a, _ := json.Marshal(run())
+	b, _ := json.Marshal(run())
+	if string(a) != string(b) {
+		t.Fatal("same plan produced different records")
+	}
+}
+
+func TestAggregateStatistics(t *testing.T) {
+	var recs []Record
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for i, v := range vals {
+		recs = append(recs, Record{
+			ID: fmt.Sprintf("a/%02d", i), Experiment: "a", Group: "g",
+			Seed: int64(i + 1), Status: StatusOK,
+			Result: &Result{Extra: map[string]float64{"v": v}},
+		})
+	}
+	recs = append(recs, Record{
+		ID: "a/98", Experiment: "a", Group: "g", Status: StatusFailed, Error: "x",
+	})
+	recs = append(recs, Record{
+		ID: "a/99", Experiment: "a", Group: "h", Status: StatusOK,
+		Result: &Result{Extra: map[string]float64{"v": 7}},
+	})
+
+	groups := Aggregate(recs)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(groups))
+	}
+	g := groups[0]
+	if g.Group != "g" || g.N != 10 || g.Failed != 1 {
+		t.Fatalf("group g: %+v", g)
+	}
+	st := g.Metrics["v"]
+	if math.Abs(st.Mean-5.5) > 1e-12 {
+		t.Fatalf("mean = %v", st.Mean)
+	}
+	if st.P99 != 10 || st.P50 != 5 {
+		t.Fatalf("percentiles: %+v", st)
+	}
+	if !(st.CILo <= st.Mean && st.Mean <= st.CIHi) {
+		t.Fatalf("CI does not bracket the mean: %+v", st)
+	}
+	if st.CILo == st.CIHi {
+		t.Fatal("degenerate CI for n=10")
+	}
+	// Singleton group degenerates to the point estimate.
+	h := groups[1]
+	if hs := h.Metrics["v"]; hs.CILo != 7 || hs.CIHi != 7 || hs.Mean != 7 {
+		t.Fatalf("singleton group: %+v", hs)
+	}
+	if out := FormatGroups(groups); len(out) == 0 {
+		t.Fatal("empty FormatGroups")
+	}
+}

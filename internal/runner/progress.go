@@ -1,0 +1,61 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// progress prints live completion counts and a throughput-based ETA to
+// one line of the given writer. A nil writer disables all output.
+type progress struct {
+	w     io.Writer
+	name  string
+	total int
+
+	mu     sync.Mutex
+	start  time.Time
+	done   int
+	failed int
+	cached int
+}
+
+func newProgress(w io.Writer, name string, total int) *progress {
+	return &progress{w: w, name: name, total: total, start: time.Now()}
+}
+
+// record accounts one finished job and repaints the status line.
+func (p *progress) record(rec Record) {
+	if p.w == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	if !rec.OK() {
+		p.failed++
+	}
+	if rec.Cached {
+		p.cached++
+	}
+	elapsed := time.Since(p.start)
+	// Completions arrive at the pool's aggregate throughput, so
+	// elapsed/done predicts the remaining wall time at any worker count.
+	eta := time.Duration(float64(elapsed) / float64(p.done) * float64(p.total-p.done))
+	fmt.Fprintf(p.w, "\r%s: %d/%d done, %d failed, %d cached, %s elapsed, eta %s   ",
+		p.name, p.done, p.total, p.failed, p.cached,
+		elapsed.Round(100*time.Millisecond), eta.Round(100*time.Millisecond))
+}
+
+// finish terminates the status line.
+func (p *progress) finish() {
+	if p.w == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.done > 0 {
+		fmt.Fprintln(p.w)
+	}
+}

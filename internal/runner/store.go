@@ -1,0 +1,158 @@
+package runner
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Store persists one JSON record per job under dir/jobs/ plus an
+// append-only manifest (dir/manifest.jsonl) naming every completed job.
+// The manifest is what makes sweeps resumable: a pool pointed at an
+// existing store skips jobs the manifest lists as ok, and re-runs
+// failed ones. Writes are atomic (temp file + rename) and safe for
+// concurrent use by one process.
+type Store struct {
+	dir string
+
+	mu       sync.Mutex
+	manifest *os.File
+}
+
+// manifestEntry is one line of manifest.jsonl.
+type manifestEntry struct {
+	ID     string `json:"id"`
+	Status Status `json:"status"`
+	File   string `json:"file"`
+}
+
+// OpenStore creates (or reopens) a result store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "jobs"), 0o755); err != nil {
+		return nil, err
+	}
+	mf, err := os.OpenFile(filepath.Join(dir, "manifest.jsonl"),
+		os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, manifest: mf}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close releases the manifest handle.
+func (s *Store) Close() error { return s.manifest.Close() }
+
+// Put persists one record and registers it in the manifest.
+func (s *Store) Put(rec Record) error {
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("runner: marshal record %s: %w", rec.ID, err)
+	}
+	rel := filepath.Join("jobs", fileFor(rec.ID))
+	path := filepath.Join(s.dir, rel)
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".rec-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	line, err := json.Marshal(manifestEntry{ID: rec.ID, Status: rec.Status, File: rel})
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err = s.manifest.Write(append(line, '\n'))
+	return err
+}
+
+// Completed replays the manifest and loads the latest record of every
+// job whose final entry says ok. Corrupt or missing job files are
+// treated as incomplete (the job will simply re-run), so a sweep killed
+// mid-write resumes cleanly.
+func (s *Store) Completed() (map[string]Record, error) {
+	f, err := os.Open(filepath.Join(s.dir, "manifest.jsonl"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+
+	latest := make(map[string]manifestEntry)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var e manifestEntry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			continue // torn final line from a killed run
+		}
+		latest[e.ID] = e
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	done := make(map[string]Record)
+	for id, e := range latest {
+		if e.Status != StatusOK {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.dir, e.File))
+		if err != nil {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(data, &rec); err != nil || rec.ID != id || !rec.OK() {
+			continue
+		}
+		done[id] = rec
+	}
+	return done, nil
+}
+
+// fileFor maps a job ID to a unique, filesystem-safe file name: the
+// sanitized ID plus a short hash of the raw ID so that IDs differing
+// only in sanitized characters cannot collide.
+func fileFor(id string) string {
+	safe := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		case r == '.', r == '_', r == '=', r == ',', r == '-':
+			return r
+		default:
+			return '-'
+		}
+	}, id)
+	if len(safe) > 150 {
+		safe = safe[:150]
+	}
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return fmt.Sprintf("%s-%08x.json", safe, h.Sum32())
+}

@@ -1,0 +1,162 @@
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	rec := Record{
+		ID: "sweep/0001-bm=ABM", Experiment: "sweep", Group: "bm=ABM",
+		Seed: 99, Status: StatusOK, Attempts: 1, WallMS: 12.5,
+		Config: map[string]any{"BM": "ABM"},
+		Result: &Result{Events: 1234, Extra: map[string]float64{"x": 1}},
+	}
+	if err := st.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	done, err := st.Completed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := done[rec.ID]
+	if !ok {
+		t.Fatalf("record not found; have %v", done)
+	}
+	if got.Seed != 99 || got.Result == nil || got.Result.Events != 1234 || got.Result.Extra["x"] != 1 {
+		t.Fatalf("round trip mangled record: %+v", got)
+	}
+	// The job file itself is valid standalone JSON.
+	data, err := os.ReadFile(filepath.Join(st.Dir(), "jobs", fileFor(rec.ID)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plain map[string]any
+	if err := json.Unmarshal(data, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if plain["status"] != "ok" {
+		t.Fatalf("job file schema: %v", plain)
+	}
+}
+
+func TestStoreFailedNotCompleted(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Put(Record{ID: "a", Status: StatusFailed, Error: "boom"}); err != nil {
+		t.Fatal(err)
+	}
+	done, err := st.Completed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 0 {
+		t.Fatalf("failed record treated as completed: %v", done)
+	}
+	// A later successful attempt supersedes the failure.
+	if err := st.Put(Record{ID: "a", Status: StatusOK, Result: &Result{}}); err != nil {
+		t.Fatal(err)
+	}
+	if done, _ = st.Completed(); len(done) != 1 {
+		t.Fatalf("ok record not visible: %v", done)
+	}
+}
+
+func TestFileForCollisionSafety(t *testing.T) {
+	a, b := fileFor("fig6/00-bm=DT"), fileFor("fig6 00-bm=DT")
+	if a == b {
+		t.Fatalf("sanitized collision: %s", a)
+	}
+	for _, name := range []string{a, b} {
+		if strings.ContainsAny(name, "/ ") {
+			t.Fatalf("unsafe file name %q", name)
+		}
+	}
+	long := fileFor(strings.Repeat("x", 500))
+	if len(long) > 170 {
+		t.Fatalf("file name not truncated: %d bytes", len(long))
+	}
+}
+
+func TestPoolResumeFromManifest(t *testing.T) {
+	dir := t.TempDir()
+	var calls atomic.Int64
+	var fixed atomic.Bool // flips the injected failure off for the resume sweep
+	build := func() *Plan {
+		plan := &Plan{Name: "resume", Seed: 5}
+		for i := 0; i < 12; i++ {
+			plan.Add(Spec{Experiment: "resume", Run: fakeJob(&calls)})
+		}
+		// Job 7 fails until "fixed".
+		inner := plan.Specs[7].Run
+		plan.Specs[7].Run = func(ctx context.Context, seed int64) (Result, error) {
+			if !fixed.Load() {
+				return Result{}, errors.New("transient infrastructure failure")
+			}
+			return inner(ctx, seed)
+		}
+		return plan
+	}
+
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := (&Pool{Workers: 4, Store: st}).Run(context.Background(), build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	if len(Failed(recs)) != 1 || recs[7].Status != StatusFailed {
+		t.Fatalf("first sweep: %+v", Failed(recs))
+	}
+	firstCalls := calls.Load()
+	if firstCalls != 11 {
+		t.Fatalf("first sweep calls = %d, want 11", firstCalls)
+	}
+
+	// Second sweep: completed jobs come from the manifest, only the
+	// failed one re-runs (and now succeeds).
+	fixed.Store(true)
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	recs2, err := (&Pool{Workers: 4, Store: st2}).Run(context.Background(), build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := calls.Load() - firstCalls; n != 1 {
+		t.Fatalf("resume re-ran %d jobs, want 1", n)
+	}
+	cached := 0
+	for i, r := range recs2 {
+		if !r.OK() {
+			t.Fatalf("record %d: %+v", i, r)
+		}
+		if r.Cached {
+			cached++
+		}
+		if r.Seed != recs[i].Seed {
+			t.Fatalf("resume changed seed of job %d: %d vs %d", i, r.Seed, recs[i].Seed)
+		}
+	}
+	if cached != 11 {
+		t.Fatalf("cached = %d, want 11", cached)
+	}
+}
