@@ -1,0 +1,162 @@
+// Command benchreport runs the repository's benchmarks and records a
+// machine-readable snapshot. It shells out to `go test -bench`, parses
+// the standard benchmark output (including custom metrics such as
+// events/s and the -benchmem columns), and writes one JSON document —
+// by default BENCH_<yyyy-mm-dd>.json in the current directory.
+//
+// Snapshots committed at the repo root are the performance baseline:
+// compare a working tree against the last one with
+//
+//	go run ./cmd/benchreport -bench 'Fig6|PacketLifecycle|EventQueue' -out /tmp/now.json
+//	# then diff the events/s and allocs/op fields against BENCH_*.json
+//
+// See DESIGN.md ("Event engine internals") for the workflow.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name    string             `json:"name"`
+	Runs    int64              `json:"runs"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the snapshot schema.
+type Report struct {
+	Date       string      `json:"date"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	CPU        string      `json:"cpu,omitempty"`
+	Packages   []string    `json:"packages"`
+	BenchFlags []string    `json:"bench_flags"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		bench     = flag.String("bench", ".", "benchmark regexp passed to go test -bench")
+		benchtime = flag.String("benchtime", "1s", "go test -benchtime value")
+		count     = flag.Int("count", 1, "go test -count value")
+		pkgs      = flag.String("pkgs", "./...", "comma-separated packages to benchmark")
+		out       = flag.String("out", "", "output file (default BENCH_<date>.json)")
+		verbose   = flag.Bool("v", false, "echo the raw go test output to stderr")
+	)
+	flag.Parse()
+
+	date := time.Now().Format("2006-01-02")
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", date)
+	}
+
+	args := []string{
+		"test", "-run=NONE",
+		"-bench=" + *bench,
+		"-benchtime=" + *benchtime,
+		"-benchmem",
+		fmt.Sprintf("-count=%d", *count),
+	}
+	pkgList := strings.Split(*pkgs, ",")
+	args = append(args, pkgList...)
+
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: go %s: %v\n", strings.Join(args, " "), err)
+		os.Exit(1)
+	}
+	if *verbose {
+		os.Stderr.Write(buf.Bytes())
+	}
+
+	rep := &Report{
+		Date:       date,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Packages:   pkgList,
+		BenchFlags: args[1:],
+	}
+	parse(&buf, rep)
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchreport: no benchmark lines in go test output")
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%d benchmarks -> %s\n", len(rep.Benchmarks), path)
+}
+
+// parse consumes `go test -bench` output: `cpu:` header lines and
+// benchmark result lines of the form
+//
+//	BenchmarkName-8   123   456.7 ns/op   89 events/s   0 B/op   0 allocs/op
+func parse(buf *bytes.Buffer, rep *Report) {
+	sc := bufio.NewScanner(buf)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			rep.CPU = cpu
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		runs, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{
+			// Strip the -GOMAXPROCS suffix so snapshots from different
+			// machines compare by name.
+			Name:    strings.TrimSuffix(fields[0], fmt.Sprintf("-%d", runtime.GOMAXPROCS(0))),
+			Runs:    runs,
+			Metrics: map[string]float64{},
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			unit := fields[i+1]
+			if unit == "ns/op" {
+				b.NsPerOp = val
+				continue
+			}
+			b.Metrics[unit] = val
+		}
+		if len(b.Metrics) == 0 {
+			b.Metrics = nil
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+}

@@ -6,10 +6,15 @@
 // additionally lands as one JSON record under <out>/jobs/ with a
 // manifest (the runner Store schema shared with cmd/sweep).
 //
+// Profiling: -cpuprofile, -memprofile and -trace capture the run for
+// performance work on the simulator core (see DESIGN.md, "Event engine
+// internals").
+//
 // Examples:
 //
 //	figures -fig fig6 -scale medium
 //	figures -fig all -scale small -out results/ -workers 4
+//	figures -fig fig6 -scale small -cpuprofile cpu.out
 package main
 
 import (
@@ -21,10 +26,15 @@ import (
 	"runtime"
 
 	"abm/internal/experiments"
+	"abm/internal/prof"
 	"abm/internal/runner"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main's body with normal control flow, so deferred profile
+// writers fire on every exit path.
+func run() int {
 	var (
 		fig     = flag.String("fig", "all", "figure id (fig4..fig12, ablation, alphasweep) or 'all'")
 		scale   = flag.String("scale", "small", "fabric scale: small, medium, paper")
@@ -32,13 +42,22 @@ func main() {
 		out     = flag.String("out", "", "output directory (default: stdout, figures sequential)")
 		workers = flag.Int("workers", runtime.NumCPU(), "parallel figure workers (with -out)")
 		noJSON  = flag.Bool("no-json", false, "with -out, skip the per-cell JSON record store")
+		pf      prof.Flags
 	)
+	pf.AddFlags()
 	flag.Parse()
+
+	stopProf, err := pf.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	defer stopProf()
 
 	sc, err := experiments.ParseScale(*scale)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 
 	ids := []string{*fig}
@@ -53,22 +72,22 @@ func main() {
 		for _, id := range ids {
 			if err := experiments.RunFigure(id, sc, *seed, os.Stdout); err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return 1
 			}
 		}
-		return
+		return 0
 	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	var store *runner.Store
 	if !*noJSON {
 		store, err = runner.OpenStore(*out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		defer store.Close()
 	}
@@ -101,7 +120,7 @@ func main() {
 	records, err := pool.Run(context.Background(), plan)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	failed := runner.Failed(records)
 	for _, rec := range records {
@@ -112,6 +131,7 @@ func main() {
 		}
 	}
 	if len(failed) > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

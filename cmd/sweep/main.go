@@ -11,6 +11,10 @@
 // with -resume skips every job the manifest already records as
 // complete.
 //
+// Profiling: -cpuprofile, -memprofile and -trace capture the run for
+// performance work on the simulator core (see DESIGN.md, "Event engine
+// internals").
+//
 // Examples:
 //
 //	sweep -bms DT,ABM -ccs cubic -loads 0.2,0.4,0.6,0.8 -reps 3 -out results/sweep
@@ -31,10 +35,15 @@ import (
 	"time"
 
 	"abm/internal/experiments"
+	"abm/internal/prof"
 	"abm/internal/runner"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main's body with normal control flow, so deferred profile
+// writers and the store close fire on every exit path.
+func run() int {
 	var (
 		planFile = flag.String("plan", "", "JSON plan file (see internal/experiments.Grid); flags below override nothing when set")
 		name     = flag.String("name", "sweep", "sweep name (prefixes job IDs)")
@@ -57,8 +66,17 @@ func main() {
 		resume      = flag.Bool("resume", false, "skip jobs already completed in the -out manifest")
 		dryRun      = flag.Bool("dry-run", false, "print the expanded job list and exit")
 		injectPanic = flag.String("inject-panic", "", "make jobs whose ID contains this substring panic (fault-injection testing)")
+		pf          prof.Flags
 	)
+	pf.AddFlags()
 	flag.Parse()
+
+	stopProf, err := pf.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	defer stopProf()
 
 	grid := experiments.Grid{
 		Name: *name, Scale: *scale, Seed: *seed, Reps: *reps,
@@ -70,17 +88,17 @@ func main() {
 	if *planFile != "" {
 		data, err := os.ReadFile(*planFile)
 		if err != nil {
-			fatal(err)
+			return die(err)
 		}
 		grid = experiments.Grid{}
 		if err := json.Unmarshal(data, &grid); err != nil {
-			fatal(fmt.Errorf("%s: %w", *planFile, err))
+			return die(fmt.Errorf("%s: %w", *planFile, err))
 		}
 	}
 
 	plan, err := grid.Plan()
 	if err != nil {
-		fatal(err)
+		return die(err)
 	}
 	if *injectPanic != "" {
 		for i := range plan.Specs {
@@ -96,19 +114,19 @@ func main() {
 		for i, s := range plan.Specs {
 			fmt.Printf("%s\tseed=%d\n", s.ID, plan.SeedFor(i))
 		}
-		return
+		return 0
 	}
 
 	if !*resume {
 		// A fresh sweep into a dir holding an old manifest would silently
 		// skip jobs; require the explicit flag for that behavior.
 		if _, err := os.Stat(filepath.Join(*out, "manifest.jsonl")); err == nil {
-			fatal(fmt.Errorf("%s already holds a sweep manifest; pass -resume to continue it or choose a fresh -out", *out))
+			return die(fmt.Errorf("%s already holds a sweep manifest; pass -resume to continue it or choose a fresh -out", *out))
 		}
 	}
 	store, err := runner.OpenStore(*out)
 	if err != nil {
-		fatal(err)
+		return die(err)
 	}
 	defer store.Close()
 
@@ -121,17 +139,17 @@ func main() {
 	}
 	records, err := pool.Run(context.Background(), plan)
 	if err != nil {
-		fatal(err)
+		return die(err)
 	}
 
 	groups := runner.Aggregate(records)
 	aggPath := filepath.Join(*out, "aggregate.json")
 	data, err := json.MarshalIndent(groups, "", "  ")
 	if err != nil {
-		fatal(err)
+		return die(err)
 	}
 	if err := os.WriteFile(aggPath, append(data, '\n'), 0o644); err != nil {
-		fatal(err)
+		return die(err)
 	}
 
 	ok, cached := 0, 0
@@ -151,8 +169,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  FAILED %s: %s (%s)\n", rec.ID, firstLine(rec.Error), rec.Status)
 	}
 	if len(failed) > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// die reports a fatal setup error; run returns its value so deferred
+// cleanups still execute.
+func die(err error) int {
+	fmt.Fprintln(os.Stderr, err)
+	return 2
 }
 
 func fatal(err error) {

@@ -99,11 +99,14 @@ type Result struct {
 	SteadyOccupancy units.ByteCount
 }
 
-// sink discards packets.
-type sink struct{ id packet.NodeID }
+// sink retires packets, returning them to the simulator's free list.
+type sink struct {
+	id  packet.NodeID
+	sim *sim.Simulator
+}
 
-func (s *sink) ID() packet.NodeID      { return s.id }
-func (s *sink) Receive(*packet.Packet) {}
+func (s *sink) ID() packet.NodeID          { return s.id }
+func (s *sink) Receive(pkt *packet.Packet) { s.sim.FreePacket(pkt) }
 
 // Measure runs one burst-tolerance experiment.
 func Measure(cfg Config) Result {
@@ -140,7 +143,7 @@ func Measure(cfg Config) Result {
 	// the Dst field (port index).
 	sw.SetRouter(func(_ *device.Switch, pkt *packet.Packet) int { return int(pkt.Dst) })
 	for i := 0; i < numPorts; i++ {
-		sw.ConnectPort(i, device.NewLink(s, units.Microsecond, &sink{id: packet.NodeID(100 + i)}))
+		sw.ConnectPort(i, device.NewLink(s, units.Microsecond, &sink{id: packet.NodeID(100 + i), sim: s}))
 	}
 
 	payload := cfg.PacketPayload
@@ -157,7 +160,9 @@ func Measure(cfg Config) Result {
 		id := flowID
 		var inject func()
 		inject = func() {
-			sw.Receive(&packet.Packet{FlowID: id, Dst: packet.NodeID(port), Prio: prio, Payload: payload})
+			pkt := s.NewPacket()
+			pkt.FlowID, pkt.Dst, pkt.Prio, pkt.Payload = id, packet.NodeID(port), prio, payload
+			sw.Receive(pkt)
 			s.After(interArrival, inject)
 		}
 		inject()
@@ -199,7 +204,8 @@ func Measure(cfg Config) Result {
 			s.Halt()
 			return
 		}
-		pkt := &packet.Packet{FlowID: burstID, Dst: 0, Prio: burstPrio, Payload: payload}
+		pkt := s.NewPacket()
+		pkt.FlowID, pkt.Dst, pkt.Prio, pkt.Payload = burstID, 0, burstPrio, payload
 		if cfg.Unscheduled {
 			pkt.Set(packet.FlagUnscheduled)
 		}

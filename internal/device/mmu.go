@@ -89,6 +89,13 @@ type MMU struct {
 	nCongested []int       // per priority
 	normDrain  [][]float64 // [port][prio]
 
+	// Per-admission scratch space, reused so the hot path performs no
+	// allocation. Policies receive pointers to these for the duration
+	// of one call and must not retain them (bm.Policy contract).
+	bmCtx     bm.Ctx
+	aqmCtx    aqm.Ctx
+	activeSet []int
+
 	rng *rand.Rand
 
 	// Counters.
@@ -208,30 +215,41 @@ func (m *MMU) CongestedSamePrio(prio int) int {
 // -------------------------------------------------------------------------
 
 // instantNormDrain computes the share-based estimate from live queue
-// state.
+// state. The active set is built in reused scratch space (NormShare
+// only reads it).
 func (m *MMU) instantNormDrain(port, prio int) float64 {
 	p := m.sw.ports[port]
-	active := make([]int, 0, len(p.queues))
+	active := m.activeSet[:0]
 	for i, q := range p.queues {
 		if q.bytes > 0 || i == prio {
 			active = append(active, i)
 		}
 	}
+	m.activeSet = active
 	return NormShare(p.sched, active, prio)
 }
 
 // countCongested counts queues of the given priority whose occupancy is
-// at or above CongestedFactor of their last threshold.
+// at or above CongestedFactor of their last threshold. It compares the
+// cached float mirrors (bytesF, congestedAtF) maintained on enqueue/
+// dequeue and threshold update, so the per-admission scan performs no
+// int→float conversions or multiplies.
 func (m *MMU) countCongested(prio int) int {
 	n := 0
 	for _, p := range m.sw.ports {
 		q := p.queues[prio]
-		if q.bytes > 0 && q.lastThreshold > 0 &&
-			float64(q.bytes) >= m.cfg.CongestedFactor*float64(q.lastThreshold) {
+		if q.bytes > 0 && q.lastThreshold > 0 && q.bytesF >= q.congestedAtF {
 			n++
 		}
 	}
 	return n
+}
+
+// setThreshold records a freshly computed BM threshold on the queue,
+// keeping the cached congestion cutoff in sync.
+func (m *MMU) setThreshold(q *Queue, thr units.ByteCount) {
+	q.lastThreshold = thr
+	q.congestedAtF = m.cfg.CongestedFactor * float64(thr)
 }
 
 // tick refreshes the cached statistics: thresholds (for congestion
@@ -265,7 +283,7 @@ func (m *MMU) tick(now units.Time) {
 	for _, p := range m.sw.ports {
 		for qi, q := range p.queues {
 			ctx := m.ctx(p.idx, qi, q, nil)
-			q.lastThreshold = m.cfg.BM.Threshold(ctx)
+			m.setThreshold(q, m.cfg.BM.Threshold(ctx))
 		}
 	}
 	for prio := 0; prio < m.sw.prios; prio++ {
@@ -276,10 +294,12 @@ func (m *MMU) tick(now units.Time) {
 	}
 }
 
-// ctx builds the BM context for a queue; pkt may be nil for stats-only
-// threshold computation.
+// ctx builds the BM context for a queue in the MMU's scratch space;
+// pkt may be nil for stats-only threshold computation. The returned
+// pointer is valid until the next ctx call.
 func (m *MMU) ctx(port, prio int, q *Queue, pkt *packet.Packet) *bm.Ctx {
-	c := &bm.Ctx{
+	c := &m.bmCtx
+	*c = bm.Ctx{
 		Total:             m.cfg.BufferSize,
 		Occupied:          m.used,
 		QueueLen:          q.bytes,
@@ -326,7 +346,7 @@ func (m *MMU) Admit(port, prio int, pkt *packet.Packet) AdmitResult {
 
 	// Stage 1: buffer-management threshold (Ψ).
 	thr := m.cfg.BM.Threshold(ctx)
-	q.lastThreshold = thr
+	m.setThreshold(q, thr)
 	size := pkt.Size()
 	fitsThreshold := q.bytes+size <= thr
 	if pkt.Payload == 0 && !m.cfg.DropControl {
@@ -351,13 +371,14 @@ func (m *MMU) Admit(port, prio int, pkt *packet.Packet) AdmitResult {
 	}
 
 	// Stage 2: AQM verdict (Φ).
-	decision := m.aqms[port][prio].OnArrival(&aqm.Ctx{
+	m.aqmCtx = aqm.Ctx{
 		QueueLen:   q.bytes,
 		PacketSize: size,
 		DrainRate:  m.drainRateAbs(port, prio),
 		ECNCapable: pkt.Is(packet.FlagECT),
 		Now:        m.sw.sim.Now(),
-	}, m.rng)
+	}
+	decision := m.aqms[port][prio].OnArrival(&m.aqmCtx, m.rng)
 
 	switch decision {
 	case aqm.Drop:

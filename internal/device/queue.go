@@ -29,12 +29,21 @@ type Queue struct {
 
 	bytes units.ByteCount
 
+	// bytesF mirrors bytes as float64, refreshed on every enqueue and
+	// dequeue, so the MMU's congestion scan avoids per-queue int→float
+	// conversions on the admission hot path.
+	bytesF float64
+
 	// MaxBytes is the occupancy high-water mark since creation.
 	MaxBytes units.ByteCount
 
 	// lastThreshold is the most recent BM threshold computed for this
 	// queue; the MMU uses it for congestion detection (q >= 0.9*T).
 	lastThreshold units.ByteCount
+
+	// congestedAtF caches CongestedFactor*lastThreshold, refreshed
+	// whenever lastThreshold is, for the same reason as bytesF.
+	congestedAtF float64
 
 	// dequeuedInTick counts bytes dequeued since the last stats tick,
 	// feeding the measured drain-rate estimator.
@@ -67,6 +76,7 @@ func (q *Queue) LastThreshold() units.ByteCount { return q.lastThreshold }
 func (q *Queue) push(p *packet.Packet, now units.Time) {
 	q.items = append(q.items, queued{pkt: p, enqAt: now})
 	q.bytes += p.Size()
+	q.bytesF = float64(q.bytes)
 	if q.bytes > q.MaxBytes {
 		q.MaxBytes = q.bytes
 	}
@@ -80,9 +90,11 @@ func (q *Queue) pop() (pkt *packet.Packet, enqAt units.Time, ok bool) {
 	item := q.items[q.head]
 	q.items[q.head] = queued{}
 	q.head++
-	q.bytes -= item.pkt.Size()
-	q.dequeuedInTick += item.pkt.Size()
-	q.DequeuedBytes += item.pkt.Size()
+	size := item.pkt.Size()
+	q.bytes -= size
+	q.bytesF = float64(q.bytes)
+	q.dequeuedInTick += size
+	q.DequeuedBytes += size
 	// Compact once the dead prefix dominates, keeping amortized O(1).
 	if q.head > 64 && q.head*2 >= len(q.items) {
 		n := copy(q.items, q.items[q.head:])

@@ -17,9 +17,10 @@ type Endpoint interface {
 // Link is a unidirectional wire with fixed propagation delay. The sender
 // models serialization; the link only adds latency.
 type Link struct {
-	sim   *sim.Simulator
-	delay units.Time
-	dst   Endpoint
+	sim     *sim.Simulator
+	delay   units.Time
+	dst     Endpoint
+	deliver func(any) // prebound: delivery schedules without allocating
 
 	Delivered      int64
 	DeliveredBytes units.ByteCount
@@ -33,17 +34,21 @@ func NewLink(s *sim.Simulator, delay units.Time, dst Endpoint) *Link {
 	if delay < 0 {
 		panic("device: negative link delay")
 	}
-	return &Link{sim: s, delay: delay, dst: dst}
+	l := &Link{sim: s, delay: delay, dst: dst}
+	l.deliver = func(a any) { l.dst.Receive(a.(*packet.Packet)) }
+	return l
 }
 
 // Dst returns the link's destination endpoint.
 func (l *Link) Dst() Endpoint { return l.dst }
 
 // Send delivers pkt to the destination after the propagation delay.
+// Any number of packets may be in flight at once, so the packet rides
+// as the event argument rather than in link state.
 func (l *Link) Send(pkt *packet.Packet) {
 	l.Delivered++
 	l.DeliveredBytes += pkt.Size()
-	l.sim.After(l.delay, func() { l.dst.Receive(pkt) })
+	l.sim.AfterArg(l.delay, l.deliver, pkt)
 }
 
 // Router maps a packet to an egress port index on a given switch.
@@ -149,6 +154,9 @@ func (sw *Switch) Receive(pkt *packet.Packet) {
 	}
 	res := sw.mmu.Admit(out, prio, pkt)
 	if res.Dropped() {
+		// The MMU is the drop point and thus the release point: the
+		// packet has no owner beyond this frame.
+		sw.sim.FreePacket(pkt)
 		return
 	}
 	sw.ports[out].maybeTransmit()
@@ -175,7 +183,14 @@ type Port struct {
 	sched  Scheduler
 	link   *Link
 
-	busy    bool
+	busy bool
+	// txPkt/txQ hold the single in-flight transmission (the port is
+	// busy while it serializes); txDone is the prebound completion
+	// callback so per-packet transmission allocates no closure.
+	txPkt  *packet.Packet
+	txQ    *Queue
+	txDone func()
+
 	TxPkts  int64
 	TxBytes units.ByteCount
 }
@@ -191,6 +206,7 @@ func newPort(sw *Switch, idx int, rate units.Rate, prios int, newSched func() Sc
 	} else {
 		p.sched = &RoundRobin{}
 	}
+	p.txDone = p.finishTx
 	return p
 }
 
@@ -230,6 +246,7 @@ func (p *Port) maybeTransmit() {
 			now := p.sw.sim.Now()
 			if hook.OnDequeue(now-enqAt, now) {
 				q.DropsAQM++
+				p.sw.sim.FreePacket(pkt)
 				continue
 			}
 		}
@@ -240,23 +257,29 @@ func (p *Port) maybeTransmit() {
 
 func (p *Port) transmit(pkt *packet.Packet, q *Queue) {
 	p.busy = true
-	txTime := p.rate.TxTime(pkt.Size())
-	p.sw.sim.After(txTime, func() {
-		p.TxPkts++
-		p.TxBytes += pkt.Size()
-		if p.sw.cfg.EnableINT && !pkt.Is(packet.FlagACK) {
-			pkt.Hops = append(pkt.Hops, packet.HopINT{
-				QLen:    q.bytes,
-				TxBytes: p.TxBytes,
-				TS:      p.sw.sim.Now(),
-				Rate:    p.rate,
-			})
-		}
-		if p.link == nil {
-			panic(fmt.Sprintf("device: switch %d port %d has no link", p.sw.id, p.idx))
-		}
-		p.link.Send(pkt)
-		p.busy = false
-		p.maybeTransmit()
-	})
+	p.txPkt, p.txQ = pkt, q
+	p.sw.sim.After(p.rate.TxTime(pkt.Size()), p.txDone)
+}
+
+// finishTx completes the in-flight transmission: stamp INT, hand the
+// packet to the egress link, and restart the transmitter.
+func (p *Port) finishTx() {
+	pkt, q := p.txPkt, p.txQ
+	p.txPkt, p.txQ = nil, nil
+	p.TxPkts++
+	p.TxBytes += pkt.Size()
+	if p.sw.cfg.EnableINT && !pkt.Is(packet.FlagACK) {
+		pkt.Hops = append(pkt.Hops, packet.HopINT{
+			QLen:    q.bytes,
+			TxBytes: p.TxBytes,
+			TS:      p.sw.sim.Now(),
+			Rate:    p.rate,
+		})
+	}
+	if p.link == nil {
+		panic(fmt.Sprintf("device: switch %d port %d has no link", p.sw.id, p.idx))
+	}
+	p.link.Send(pkt)
+	p.busy = false
+	p.maybeTransmit()
 }

@@ -1,109 +1,271 @@
 // Package eventq implements the priority queue that drives the
-// discrete-event simulator: a binary min-heap of events ordered by
-// firing time with insertion order as tie-break, so simultaneous events
-// execute deterministically in the order they were scheduled.
+// discrete-event simulator: a hand-specialized 4-ary min-heap of events
+// ordered by firing time with insertion order as tie-break, so
+// simultaneous events execute deterministically in the order they were
+// scheduled.
+//
+// # Design
+//
+// Events live in an index-based arena ([]node) and the heap orders
+// int32 arena slots, so a Push performs no per-event heap allocation
+// and no interface conversions (the container/heap + boxed `any`
+// implementation this replaced cost one node allocation plus two
+// interface conversions per event). Fired and discarded slots go onto
+// a LIFO free list and are reused by later Pushes; reuse is safe
+// because every slot carries a generation counter and every Event
+// handle captures the generation it was created under.
+//
+// # Cancel semantics
+//
+// Cancel is O(1): it only marks the node, and the heap discards
+// canceled nodes lazily when they reach the head (Pop and PeekTime
+// share that discard path). The generation check makes every handle
+// operation safe and precise:
+//
+//   - Cancel on a fired, discarded, or already-canceled event is a
+//     no-op, even if the arena slot has since been reused by a new
+//     event.
+//   - Scheduled reports false as soon as the event is popped, before
+//     its callback runs (the previous implementation left popped
+//     events looking scheduled until container/heap happened to
+//     overwrite their index).
+//   - Canceled reports true only while the canceled node still
+//     occupies the calendar; once it is lazily discarded the handle is
+//     stale and Canceled reports false. Use it directly after Cancel.
+//
+// The zero Event handle is valid and inert: Cancel is a no-op and
+// Scheduled/Canceled report false.
 package eventq
 
-import (
-	"container/heap"
+import "abm/internal/units"
 
-	"abm/internal/units"
-)
+// node is one arena slot: the event payload plus heap bookkeeping.
+type node struct {
+	time units.Time
+	seq  uint64    // monotonic push counter: FIFO tie-break
+	fn   func(any) // callback; nil while the slot is free
+	arg  any
 
-// Event is a scheduled callback. Events are created by Queue.Push and may
-// be canceled; a canceled event is skipped when popped.
-type Event struct {
-	Time units.Time
-	Fn   func()
-
-	seq      uint64
-	index    int // heap position, -1 once removed
+	gen      uint32 // bumped on release; validates handles
+	pos      int32  // heap position, -1 while free
 	canceled bool
 }
 
-// Cancel marks the event so that it will not fire. Canceling an already
-// fired or canceled event is a no-op.
-func (e *Event) Cancel() { e.canceled = true }
+// Event is a cancelable handle to a scheduled event. It is a small
+// value (copy freely); the zero value is inert.
+type Event struct {
+	q    *Queue
+	slot int32
+	gen  uint32
+}
 
-// Canceled reports whether Cancel has been called.
-func (e *Event) Canceled() bool { return e.canceled }
+// live returns the node the handle refers to, or nil if the event has
+// fired, been discarded, or the handle is zero.
+func (e Event) live() *node {
+	if e.q == nil {
+		return nil
+	}
+	nd := &e.q.nodes[e.slot]
+	if nd.gen != e.gen {
+		return nil
+	}
+	return nd
+}
 
-// Scheduled reports whether the event is still in the queue.
-func (e *Event) Scheduled() bool { return e.index >= 0 && !e.canceled }
+// Cancel marks the event so that it will not fire. Canceling an
+// already fired, discarded, or canceled event is a no-op.
+func (e Event) Cancel() {
+	if nd := e.live(); nd != nil {
+		nd.canceled = true
+	}
+}
+
+// Canceled reports whether the event is canceled and still occupies
+// the calendar (see the package comment for the post-discard caveat).
+func (e Event) Canceled() bool {
+	nd := e.live()
+	return nd != nil && nd.canceled
+}
+
+// Scheduled reports whether the event is still pending: in the
+// calendar, not canceled, and not yet popped for execution.
+func (e Event) Scheduled() bool {
+	nd := e.live()
+	return nd != nil && !nd.canceled
+}
+
+// Time returns the event's firing time, or zero if the handle is no
+// longer live.
+func (e Event) Time() units.Time {
+	if nd := e.live(); nd != nil {
+		return nd.time
+	}
+	return 0
+}
 
 // Queue is a time-ordered event queue. The zero value is ready to use.
 type Queue struct {
-	h   eventHeap
-	seq uint64
+	nodes []node  // arena; handles index into it
+	heap  []int32 // 4-ary min-heap of arena slots
+	free  []int32 // LIFO free slots (deterministic reuse order)
+	seq   uint64
 }
 
-// Len returns the number of events in the queue, including canceled ones
-// that have not yet been popped.
-func (q *Queue) Len() int { return len(q.h) }
+// Len returns the number of events in the queue, including canceled
+// ones that have not yet been discarded.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// callFunc adapts a no-argument callback to the node's fn/arg pair so
+// that Push needs no per-event closure: a func() value is
+// pointer-shaped and boxes into `any` without allocating.
+func callFunc(a any) { a.(func())() }
 
 // Push schedules fn at time t and returns the event handle.
-func (q *Queue) Push(t units.Time, fn func()) *Event {
+func (q *Queue) Push(t units.Time, fn func()) Event {
+	return q.PushArg(t, callFunc, fn)
+}
+
+// PushArg schedules fn(arg) at time t. Passing a long-lived fn and a
+// pointer-shaped arg makes scheduling allocation-free; this is the hot
+// path the simulator's packet pipeline uses.
+func (q *Queue) PushArg(t units.Time, fn func(any), arg any) Event {
 	q.seq++
-	e := &Event{Time: t, Fn: fn, seq: q.seq}
-	heap.Push(&q.h, e)
-	return e
+	var slot int32
+	if n := len(q.free); n > 0 {
+		slot = q.free[n-1]
+		q.free = q.free[:n-1]
+	} else {
+		q.nodes = append(q.nodes, node{})
+		slot = int32(len(q.nodes) - 1)
+	}
+	nd := &q.nodes[slot]
+	nd.time, nd.seq, nd.fn, nd.arg, nd.canceled = t, q.seq, fn, arg, false
+	i := len(q.heap)
+	q.heap = append(q.heap, slot)
+	nd.pos = int32(i)
+	q.siftUp(i)
+	return Event{q: q, slot: slot, gen: nd.gen}
 }
 
-// Pop removes and returns the earliest non-canceled event, or nil if the
-// queue holds no live events.
-func (q *Queue) Pop() *Event {
-	for len(q.h) > 0 {
-		e := heap.Pop(&q.h).(*Event)
-		if e.canceled {
-			continue
+// Pop removes the earliest non-canceled event and returns its callback
+// pair and firing time. ok is false if the queue holds no live events.
+// The event's slot is released before returning, so handles to it stop
+// reporting Scheduled even before the callback is invoked.
+func (q *Queue) Pop() (fn func(any), arg any, t units.Time, ok bool) {
+	q.dropCanceledHead()
+	if len(q.heap) == 0 {
+		return nil, nil, 0, false
+	}
+	slot := q.removeMin()
+	nd := &q.nodes[slot]
+	fn, arg, t = nd.fn, nd.arg, nd.time
+	q.release(slot)
+	return fn, arg, t, true
+}
+
+// PeekTime returns the firing time of the earliest non-canceled event
+// without removing it. Canceled events at the head are discarded.
+func (q *Queue) PeekTime() (units.Time, bool) {
+	q.dropCanceledHead()
+	if len(q.heap) == 0 {
+		return 0, false
+	}
+	return q.nodes[q.heap[0]].time, true
+}
+
+// dropCanceledHead is the shared lazy-discard helper: it removes and
+// releases canceled events sitting at the heap head so Pop and
+// PeekTime always observe a live minimum.
+func (q *Queue) dropCanceledHead() {
+	for len(q.heap) > 0 && q.nodes[q.heap[0]].canceled {
+		q.release(q.removeMin())
+	}
+}
+
+// release returns a slot to the free list, invalidating all handles to
+// the event it held.
+func (q *Queue) release(slot int32) {
+	nd := &q.nodes[slot]
+	nd.gen++
+	nd.fn, nd.arg = nil, nil // drop references for the GC
+	nd.pos = -1
+	nd.canceled = false
+	q.free = append(q.free, slot)
+}
+
+// less orders arena slots by (time, seq): earliest first, FIFO among
+// simultaneous events.
+func (q *Queue) less(a, b int32) bool {
+	na, nb := &q.nodes[a], &q.nodes[b]
+	if na.time != nb.time {
+		return na.time < nb.time
+	}
+	return na.seq < nb.seq
+}
+
+// removeMin detaches the heap root and returns its slot. The caller
+// must release the slot (the node stays intact so its payload can be
+// read first).
+func (q *Queue) removeMin() int32 {
+	h := q.heap
+	slot := h[0]
+	last := len(h) - 1
+	if last > 0 {
+		h[0] = h[last]
+		q.nodes[h[0]].pos = 0
+	}
+	q.heap = h[:last]
+	if last > 1 {
+		q.siftDown(0)
+	}
+	return slot
+}
+
+// siftUp restores the heap property from position i toward the root.
+func (q *Queue) siftUp(i int) {
+	h := q.heap
+	slot := h[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !q.less(slot, h[p]) {
+			break
 		}
-		return e
+		h[i] = h[p]
+		q.nodes[h[i]].pos = int32(i)
+		i = p
 	}
-	return nil
+	h[i] = slot
+	q.nodes[slot].pos = int32(i)
 }
 
-// Peek returns the earliest non-canceled event without removing it, or
-// nil. Canceled events at the head are discarded.
-func (q *Queue) Peek() *Event {
-	for len(q.h) > 0 {
-		if e := q.h[0]; e.canceled {
-			heap.Pop(&q.h)
-		} else {
-			return e
+// siftDown restores the heap property from position i toward the
+// leaves.
+func (q *Queue) siftDown(i int) {
+	h := q.heap
+	n := len(h)
+	slot := h[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
 		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if q.less(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !q.less(h[best], slot) {
+			break
+		}
+		h[i] = h[best]
+		q.nodes[h[i]].pos = int32(i)
+		i = best
 	}
-	return nil
-}
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].Time != h[j].Time {
-		return h[i].Time < h[j].Time
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+	h[i] = slot
+	q.nodes[slot].pos = int32(i)
 }

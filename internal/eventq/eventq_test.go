@@ -9,6 +9,13 @@ import (
 	"abm/internal/units"
 )
 
+// popTime drains one live event and returns its time.
+func popTime(t *testing.T, q *Queue) (units.Time, bool) {
+	t.Helper()
+	_, _, tm, ok := q.Pop()
+	return tm, ok
+}
+
 func TestPopOrder(t *testing.T) {
 	var q Queue
 	times := []units.Time{5, 1, 3, 2, 4}
@@ -16,8 +23,12 @@ func TestPopOrder(t *testing.T) {
 		q.Push(tm, nil)
 	}
 	var got []units.Time
-	for e := q.Pop(); e != nil; e = q.Pop() {
-		got = append(got, e.Time)
+	for {
+		tm, ok := popTime(t, &q)
+		if !ok {
+			break
+		}
+		got = append(got, tm)
 	}
 	want := []units.Time{1, 2, 3, 4, 5}
 	for i := range want {
@@ -34,8 +45,12 @@ func TestTieBreakFIFO(t *testing.T) {
 		i := i
 		q.Push(7, func() { order = append(order, i) })
 	}
-	for e := q.Pop(); e != nil; e = q.Pop() {
-		e.Fn()
+	for {
+		fn, arg, _, ok := q.Pop()
+		if !ok {
+			break
+		}
+		fn(arg)
 	}
 	for i, v := range order {
 		if v != i {
@@ -52,10 +67,13 @@ func TestCancel(t *testing.T) {
 	if !a.Canceled() {
 		t.Fatal("Canceled() should be true")
 	}
-	if got := q.Pop(); got != b {
-		t.Fatalf("expected b after canceling a, got %+v", got)
+	if tm, ok := popTime(t, &q); !ok || tm != 2 {
+		t.Fatalf("expected b (t=2) after canceling a, got t=%v ok=%v", tm, ok)
 	}
-	if q.Pop() != nil {
+	if b.Scheduled() {
+		t.Fatal("popped event must not be scheduled")
+	}
+	if _, ok := popTime(t, &q); ok {
 		t.Fatal("queue should be drained")
 	}
 }
@@ -65,30 +83,30 @@ func TestCancelAllThenPop(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		q.Push(units.Time(i), nil).Cancel()
 	}
-	if q.Pop() != nil {
-		t.Fatal("all events canceled, Pop must return nil")
+	if _, ok := popTime(t, &q); ok {
+		t.Fatal("all events canceled, Pop must return nothing")
 	}
-	if q.Peek() != nil {
-		t.Fatal("all events canceled, Peek must return nil")
+	if _, ok := q.PeekTime(); ok {
+		t.Fatal("all events canceled, PeekTime must return nothing")
 	}
 }
 
-func TestPeek(t *testing.T) {
+func TestPeekTime(t *testing.T) {
 	var q Queue
-	if q.Peek() != nil {
-		t.Fatal("empty queue Peek must be nil")
+	if _, ok := q.PeekTime(); ok {
+		t.Fatal("empty queue PeekTime must report nothing")
 	}
-	a := q.Push(5, nil)
+	q.Push(5, nil)
 	b := q.Push(1, nil)
-	if got := q.Peek(); got != b {
-		t.Fatalf("Peek = %+v, want earliest", got)
+	if tm, ok := q.PeekTime(); !ok || tm != 1 {
+		t.Fatalf("PeekTime = %v/%v, want earliest", tm, ok)
 	}
 	b.Cancel()
-	if got := q.Peek(); got != a {
-		t.Fatal("Peek should skip canceled head")
+	if tm, ok := q.PeekTime(); !ok || tm != 5 {
+		t.Fatal("PeekTime should skip canceled head")
 	}
 	if q.Len() != 1 {
-		t.Fatalf("canceled head should be discarded by Peek, len=%d", q.Len())
+		t.Fatalf("canceled head should be discarded by PeekTime, len=%d", q.Len())
 	}
 }
 
@@ -101,6 +119,35 @@ func TestScheduled(t *testing.T) {
 	q.Pop()
 	if e.Scheduled() {
 		t.Fatal("popped event must not be scheduled")
+	}
+}
+
+// TestStaleHandleNoOp pins the generation-counter contract: after an
+// event fires and its slot is reused, the old handle must neither
+// cancel nor observe the new occupant.
+func TestStaleHandleNoOp(t *testing.T) {
+	var q Queue
+	old := q.Push(1, nil)
+	q.Pop() // fires; slot goes to the free list
+	fresh := q.Push(2, nil)
+	old.Cancel() // stale: must not touch the reused slot
+	if old.Scheduled() || old.Canceled() {
+		t.Fatal("stale handle must report neither scheduled nor canceled")
+	}
+	if !fresh.Scheduled() {
+		t.Fatal("stale Cancel leaked onto the reused slot")
+	}
+	if tm, ok := popTime(t, &q); !ok || tm != 2 {
+		t.Fatalf("fresh event lost: t=%v ok=%v", tm, ok)
+	}
+}
+
+// TestZeroHandle pins that the zero Event is inert.
+func TestZeroHandle(t *testing.T) {
+	var e Event
+	e.Cancel()
+	if e.Scheduled() || e.Canceled() || e.Time() != 0 {
+		t.Fatal("zero handle must be inert")
 	}
 }
 
@@ -118,16 +165,23 @@ func TestHeapOrderProperty(t *testing.T) {
 		}
 		sort.Slice(in, func(i, j int) bool { return in[i] < in[j] })
 		for i := 0; i < count; i++ {
-			e := q.Pop()
-			if e == nil || e.Time != in[i] {
+			tm, ok := (&q).PopTimeForTest()
+			if !ok || tm != in[i] {
 				return false
 			}
 		}
-		return q.Pop() == nil
+		_, ok := (&q).PopTimeForTest()
+		return !ok
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Error(err)
 	}
+}
+
+// PopTimeForTest drains one live event and returns its time.
+func (q *Queue) PopTimeForTest() (units.Time, bool) {
+	_, _, tm, ok := q.Pop()
+	return tm, ok
 }
 
 // Property: canceling a random subset never disturbs the order of the rest.
@@ -136,27 +190,29 @@ func TestCancelSubsetProperty(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		var q Queue
 		count := int(n%64) + 2
-		events := make([]*Event, count)
+		events := make([]Event, count)
+		times := make([]units.Time, count)
 		var keep []units.Time
 		for i := range events {
-			tm := units.Time(rng.Int63n(100))
-			events[i] = q.Push(tm, nil)
+			times[i] = units.Time(rng.Int63n(100))
+			events[i] = q.Push(times[i], nil)
 		}
-		for _, e := range events {
+		for i, e := range events {
 			if rng.Intn(2) == 0 {
 				e.Cancel()
 			} else {
-				keep = append(keep, e.Time)
+				keep = append(keep, times[i])
 			}
 		}
 		sort.Slice(keep, func(i, j int) bool { return keep[i] < keep[j] })
 		for _, want := range keep {
-			e := q.Pop()
-			if e == nil || e.Time != want {
+			tm, ok := q.PopTimeForTest()
+			if !ok || tm != want {
 				return false
 			}
 		}
-		return q.Pop() == nil
+		_, ok := q.PopTimeForTest()
+		return !ok
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Error(err)
@@ -170,11 +226,35 @@ func BenchmarkPushPop(b *testing.B) {
 	for i := range times {
 		times[i] = units.Time(rng.Int63n(1 << 30))
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q.Push(times[i%len(times)], nil)
 		if q.Len() > 512 {
 			q.Pop()
 		}
+	}
+}
+
+// BenchmarkEventQueue measures the steady-state Push/Pop cycle at a
+// simulator-realistic calendar depth, with PushArg (the hot path the
+// packet pipeline uses). Expected: 0 allocs/op once warm.
+func BenchmarkEventQueue(b *testing.B) {
+	var q Queue
+	rng := rand.New(rand.NewSource(42))
+	times := make([]units.Time, 4096)
+	for i := range times {
+		times[i] = units.Time(rng.Int63n(1 << 40))
+	}
+	nop := func(any) {}
+	// Warm to steady depth so arena/heap growth is out of the timed loop.
+	for i := 0; i < 2048; i++ {
+		q.PushArg(times[i%len(times)], nop, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.PushArg(times[i%len(times)], nop, nil)
+		q.Pop()
 	}
 }

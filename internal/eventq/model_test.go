@@ -1,0 +1,151 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"abm/internal/units"
+)
+
+// modelEvent mirrors one live event in the reference model.
+type modelEvent struct {
+	time     units.Time
+	seq      uint64 // doubles as the event's identity
+	canceled bool
+}
+
+// refModel is the sorted-slice reference implementation the arena heap
+// is checked against: a plain slice ordered by (time, seq) with eager
+// removal. Its pop order is the determinism contract.
+type refModel struct {
+	events []*modelEvent
+}
+
+func (m *refModel) push(t units.Time, seq uint64) *modelEvent {
+	e := &modelEvent{time: t, seq: seq}
+	i := sort.Search(len(m.events), func(i int) bool {
+		o := m.events[i]
+		if o.time != t {
+			return o.time > t
+		}
+		return o.seq > seq
+	})
+	m.events = append(m.events, nil)
+	copy(m.events[i+1:], m.events[i:])
+	m.events[i] = e
+	return e
+}
+
+func (m *refModel) pop() (*modelEvent, bool) {
+	for len(m.events) > 0 {
+		e := m.events[0]
+		m.events = m.events[1:]
+		if !e.canceled {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// applyOps drives the real queue and the reference model through one
+// Push/Pop/Cancel interleaving and fails if their pop results ever
+// diverge. ops supplies one byte per step; times one byte of firing
+// time per push.
+func applyOps(t *testing.T, ops, times []byte) {
+	t.Helper()
+	var q Queue
+	var model refModel
+	var seq uint64
+	type pair struct {
+		real  Event
+		model *modelEvent
+	}
+	var live []pair
+	ti := 0
+	nextTime := func() units.Time {
+		if len(times) == 0 {
+			return 0
+		}
+		b := times[ti%len(times)]
+		ti++
+		return units.Time(b % 97) // small range forces time collisions
+	}
+	// Each pushed callback records its identity, so the check compares
+	// exact pop order (identity), not just firing times — simultaneous
+	// events must pop FIFO.
+	var firedID uint64
+	popBoth := func(where string, step int) bool {
+		fn, arg, tm, ok := q.Pop()
+		me, mok := model.pop()
+		if ok != mok {
+			t.Fatalf("%s %d: pop ok=%v, model ok=%v", where, step, ok, mok)
+		}
+		if !ok {
+			return false
+		}
+		fn(arg)
+		if tm != me.time || firedID != me.seq {
+			t.Fatalf("%s %d: popped (t=%v id=%d), model (t=%v id=%d)",
+				where, step, tm, firedID, me.time, me.seq)
+		}
+		return true
+	}
+	for step, op := range ops {
+		switch op % 4 {
+		case 0, 1: // push (weighted: keeps the queue populated)
+			seq++
+			id := seq
+			tm := nextTime()
+			live = append(live, pair{
+				q.Push(tm, func() { firedID = id }),
+				model.push(tm, seq),
+			})
+		case 2: // pop
+			popBoth("step", step)
+		case 3: // cancel a pseudo-random live handle
+			if len(live) == 0 {
+				continue
+			}
+			i := (step*31 + int(op)) % len(live)
+			live[i].real.Cancel()
+			live[i].model.canceled = true
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+	// Drain: remaining pop order must match exactly.
+	step := 0
+	for popBoth("drain", step) {
+		step++
+	}
+}
+
+// TestModelRandomInterleavings runs many seeded random op sequences
+// through applyOps — the property-test face of the model check.
+func TestModelRandomInterleavings(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(400) + 10
+		ops := make([]byte, n)
+		times := make([]byte, n)
+		rng.Read(ops)
+		rng.Read(times)
+		applyOps(t, ops, times)
+	}
+}
+
+// FuzzEventQueue is the fuzz face of the same model check: the fuzzer
+// explores Push/Pop/Cancel interleavings beyond the seeded corpus.
+// Run with `go test -fuzz=FuzzEventQueue ./internal/eventq`.
+func FuzzEventQueue(f *testing.F) {
+	f.Add([]byte{0, 0, 2, 3, 2}, []byte{5, 5, 1})
+	f.Add([]byte{0, 1, 0, 1, 3, 3, 2, 2, 2}, []byte{9, 9, 9, 9})
+	f.Add([]byte{2, 3, 0, 2, 0, 0, 3, 2, 2, 2}, []byte{0, 255, 128})
+	f.Fuzz(func(t *testing.T, ops, times []byte) {
+		if len(ops) > 4096 {
+			ops = ops[:4096]
+		}
+		applyOps(t, ops, times)
+	})
+}

@@ -39,6 +39,12 @@ type Host struct {
 	TxBytes units.ByteCount
 	RxBytes units.ByteCount // payload bytes received (goodput)
 
+	// txPkt is the packet currently serializing onto the wire; txDone is
+	// its prebound completion callback, so per-packet transmission
+	// schedules without allocating a closure.
+	txPkt  *packet.Packet
+	txDone func()
+
 	senders   map[uint64]*transport.Sender
 	receivers map[uint64]*transport.Receiver
 }
@@ -55,12 +61,14 @@ func New(s *sim.Simulator, cfg Config) *Host {
 	if cfg.UnscheduledBytes <= 0 {
 		cfg.UnscheduledBytes = cfg.Rate.BytesOver(cfg.BaseRTT)
 	}
-	return &Host{
+	h := &Host{
 		sim:       s,
 		cfg:       cfg,
 		senders:   make(map[uint64]*transport.Sender),
 		receivers: make(map[uint64]*transport.Receiver),
 	}
+	h.txDone = h.finishTx
+	return h
 }
 
 // ID implements device.Endpoint.
@@ -69,7 +77,9 @@ func (h *Host) ID() packet.NodeID { return h.cfg.ID }
 // Connect attaches the host's egress link (toward its leaf switch).
 func (h *Host) Connect(l *device.Link) { h.link = l }
 
-// Receive implements device.Endpoint: demultiplex to transport.
+// Receive implements device.Endpoint: demultiplex to transport. The
+// host is the packet's final owner: once the transport has consumed a
+// data segment or retired an ACK, the packet returns to the free list.
 func (h *Host) Receive(pkt *packet.Packet) {
 	if pkt.Dst != h.cfg.ID {
 		panic(fmt.Sprintf("host %d received packet for %d", h.cfg.ID, pkt.Dst))
@@ -78,6 +88,7 @@ func (h *Host) Receive(pkt *packet.Packet) {
 		if sn, ok := h.senders[pkt.FlowID]; ok {
 			sn.OnAck(pkt)
 		}
+		h.sim.FreePacket(pkt)
 		return
 	}
 	h.RxBytes += pkt.Payload
@@ -87,6 +98,7 @@ func (h *Host) Receive(pkt *packet.Packet) {
 		h.receivers[pkt.FlowID] = rc
 	}
 	rc.OnData(pkt)
+	h.sim.FreePacket(pkt)
 }
 
 // Output enqueues a packet into the NIC FIFO; the NIC serializes at line
@@ -109,15 +121,21 @@ func (h *Host) maybeTransmit() {
 		h.qhead = 0
 	}
 	h.busy = true
-	h.sim.After(h.cfg.Rate.TxTime(pkt.Size()), func() {
-		h.TxBytes += pkt.Size()
-		if h.link == nil {
-			panic(fmt.Sprintf("host %d has no uplink", h.cfg.ID))
-		}
-		h.link.Send(pkt)
-		h.busy = false
-		h.maybeTransmit()
-	})
+	h.txPkt = pkt
+	h.sim.After(h.cfg.Rate.TxTime(pkt.Size()), h.txDone)
+}
+
+// finishTx completes the in-flight NIC transmission.
+func (h *Host) finishTx() {
+	pkt := h.txPkt
+	h.txPkt = nil
+	h.TxBytes += pkt.Size()
+	if h.link == nil {
+		panic(fmt.Sprintf("host %d has no uplink", h.cfg.ID))
+	}
+	h.link.Send(pkt)
+	h.busy = false
+	h.maybeTransmit()
 }
 
 // StartFlow creates a sender toward dst and begins transmitting

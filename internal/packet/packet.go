@@ -68,6 +68,9 @@ type Packet struct {
 	// HeadroomCharged records that the MMU admitted this packet from the
 	// headroom pool, so dequeue releases the right accounting bucket.
 	HeadroomCharged bool
+
+	// pooled guards against double-release to a Pool.
+	pooled bool
 }
 
 // Size returns the wire size of the packet.

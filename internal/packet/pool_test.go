@@ -1,0 +1,82 @@
+package packet
+
+import (
+	"testing"
+
+	"abm/internal/units"
+)
+
+func TestPoolRecycles(t *testing.T) {
+	var p Pool
+	a := p.Get()
+	a.FlowID = 7
+	a.Payload = 1440
+	a.Set(FlagCE | FlagUnscheduled)
+	a.HeadroomCharged = true
+	p.Put(a)
+	b := p.Get()
+	if b != a {
+		t.Fatal("pool must recycle the released packet (LIFO)")
+	}
+	if b.FlowID != 0 || b.Payload != 0 || b.Flags != 0 || b.HeadroomCharged {
+		t.Fatalf("recycled packet not reset: %+v", b)
+	}
+	if p.Allocs != 1 || p.Recycled != 1 {
+		t.Fatalf("counters: allocs=%d recycled=%d", p.Allocs, p.Recycled)
+	}
+}
+
+func TestPoolLIFODeterministic(t *testing.T) {
+	var p Pool
+	a, b, c := p.Get(), p.Get(), p.Get()
+	p.Put(a)
+	p.Put(b)
+	p.Put(c)
+	if p.Get() != c || p.Get() != b || p.Get() != a {
+		t.Fatal("pool reuse order must be LIFO")
+	}
+}
+
+func TestPoolDoubleFreePanics(t *testing.T) {
+	var p Pool
+	pkt := p.Get()
+	p.Put(pkt)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Put must panic")
+		}
+	}()
+	p.Put(pkt)
+}
+
+func TestPoolKeepsHopCapacity(t *testing.T) {
+	var p Pool
+	pkt := p.Get()
+	pkt.Hops = append(pkt.Hops, HopINT{QLen: 1}, HopINT{QLen: 2})
+	p.Put(pkt)
+	got := p.Get()
+	if len(got.Hops) != 0 {
+		t.Fatalf("Hops length must reset, got %d", len(got.Hops))
+	}
+	if cap(got.Hops) < 2 {
+		t.Fatalf("Hops capacity should be retained, got %d", cap(got.Hops))
+	}
+}
+
+// TestPoolRehomesAckINT covers ACK retirement: the telemetry array a
+// receiver moved onto AckINT comes back as Hops capacity.
+func TestPoolRehomesAckINT(t *testing.T) {
+	var p Pool
+	ack := p.Get()
+	ack.Flags = FlagACK
+	ack.AckINT = []HopINT{{QLen: 3, TS: units.Microsecond}}
+	p.Put(ack)
+	got := p.Get()
+	if got.AckINT != nil {
+		t.Fatal("AckINT must be cleared on release")
+	}
+	if len(got.Hops) != 0 || cap(got.Hops) < 1 {
+		t.Fatalf("AckINT capacity should re-home into Hops, len=%d cap=%d",
+			len(got.Hops), cap(got.Hops))
+	}
+}

@@ -1,0 +1,88 @@
+// Package prof wires the standard profiling and tracing outputs into
+// the command-line tools: CPU profile, heap profile, and runtime trace.
+// The simulator's hot loop is allocation-free by design, so these are
+// the instruments used to keep it that way — see DESIGN.md ("Event
+// engine internals") for the benchmarking workflow they support.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Flags holds the three standard profiling destinations. Register them
+// with AddFlags before flag.Parse, then bracket main's work between
+// Start and the stop function it returns.
+type Flags struct {
+	CPUProfile string
+	MemProfile string
+	Trace      string
+}
+
+// AddFlags registers -cpuprofile, -memprofile and -trace on the default
+// flag set.
+func (f *Flags) AddFlags() {
+	flag.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
+	flag.StringVar(&f.Trace, "trace", "", "write a runtime execution trace to this file")
+}
+
+// Start begins the requested CPU profile and trace. It returns a stop
+// function that must run before the process exits (defer it in main);
+// the stop function also writes the heap profile, after a GC so the
+// numbers reflect live steady-state memory rather than garbage.
+func (f *Flags) Start() (stop func(), err error) {
+	var cpuFile, traceFile *os.File
+	cleanup := func() {
+		if traceFile != nil {
+			trace.Stop()
+			traceFile.Close()
+		}
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+	}
+	if f.CPUProfile != "" {
+		cpuFile, err = os.Create(f.CPUProfile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	if f.Trace != "" {
+		traceFile, err = os.Create(f.Trace)
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		if err := trace.Start(traceFile); err != nil {
+			traceFile.Close()
+			traceFile = nil
+			cleanup()
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+	}
+	return func() {
+		cleanup()
+		if f.MemProfile != "" {
+			mf, err := os.Create(f.MemProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+			mf.Close()
+		}
+	}, nil
+}

@@ -1,9 +1,15 @@
 // Package sim provides the discrete-event simulation kernel: a virtual
 // clock, an event calendar, and a deterministic single-threaded run loop.
 //
-// All model components (links, switches, hosts) schedule closures on a
+// All model components (links, switches, hosts) schedule callbacks on a
 // shared *Simulator. Determinism is guaranteed by the event queue's FIFO
 // tie-break and by the single seeded random source.
+//
+// The hot path is allocation-free: AtArg/AfterArg schedule a long-lived
+// func with a pointer-shaped argument (no closure allocation, no heap
+// node — see internal/eventq), and the simulator owns a deterministic
+// free list of packets (NewPacket/FreePacket) so per-packet model
+// objects are recycled instead of re-allocated.
 package sim
 
 import (
@@ -11,16 +17,21 @@ import (
 	"math/rand"
 
 	"abm/internal/eventq"
+	"abm/internal/packet"
 	"abm/internal/units"
 )
 
-// Event is a cancelable handle to a scheduled callback.
+// Event is a cancelable handle to a scheduled callback. It is a small
+// value; the zero Event is inert (Cancel is a no-op, Scheduled reports
+// false), so components can hold one without a nil check.
 type Event = eventq.Event
 
-// Simulator owns the virtual clock and the event calendar.
+// Simulator owns the virtual clock, the event calendar, and the packet
+// free list.
 type Simulator struct {
 	now    units.Time
 	q      eventq.Queue
+	pool   packet.Pool
 	rng    *rand.Rand
 	nexec  uint64
 	halted bool
@@ -40,9 +51,20 @@ func (s *Simulator) Rand() *rand.Rand { return s.rng }
 // Executed returns the number of events executed so far.
 func (s *Simulator) Executed() uint64 { return s.nexec }
 
+// NewPacket returns a zeroed packet from the simulator's free list.
+func (s *Simulator) NewPacket() *packet.Packet { return s.pool.Get() }
+
+// FreePacket releases a packet back to the free list. The caller must
+// be the packet's sole owner and drop every reference to it (and its
+// INT slices).
+func (s *Simulator) FreePacket(p *packet.Packet) { s.pool.Put(p) }
+
+// PacketPool exposes the free list for instrumentation and tests.
+func (s *Simulator) PacketPool() *packet.Pool { return &s.pool }
+
 // At schedules fn to run at absolute time t. Scheduling in the past
 // panics: it would silently reorder causality.
-func (s *Simulator) At(t units.Time, fn func()) *Event {
+func (s *Simulator) At(t units.Time, fn func()) Event {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
 	}
@@ -50,11 +72,29 @@ func (s *Simulator) At(t units.Time, fn func()) *Event {
 }
 
 // After schedules fn to run d from now.
-func (s *Simulator) After(d units.Time, fn func()) *Event {
+func (s *Simulator) After(d units.Time, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	return s.q.Push(s.now+d, fn)
+}
+
+// AtArg schedules fn(arg) at absolute time t. With a long-lived fn and
+// a pointer-shaped arg this performs no allocation; it is the
+// scheduling primitive of the packet hot path.
+func (s *Simulator) AtArg(t units.Time, fn func(any), arg any) Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
+	}
+	return s.q.PushArg(t, fn, arg)
+}
+
+// AfterArg schedules fn(arg) to run d from now; see AtArg.
+func (s *Simulator) AfterArg(d units.Time, fn func(any), arg any) Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return s.q.PushArg(s.now+d, fn, arg)
 }
 
 // Halt stops the run loop after the currently executing event returns.
@@ -64,13 +104,13 @@ func (s *Simulator) Halt() { s.halted = true }
 func (s *Simulator) Run() {
 	s.halted = false
 	for !s.halted {
-		e := s.q.Pop()
-		if e == nil {
+		fn, arg, t, ok := s.q.Pop()
+		if !ok {
 			return
 		}
-		s.now = e.Time
+		s.now = t
 		s.nexec++
-		e.Fn()
+		fn(arg)
 	}
 }
 
@@ -80,14 +120,14 @@ func (s *Simulator) Run() {
 func (s *Simulator) RunUntil(deadline units.Time) {
 	s.halted = false
 	for !s.halted {
-		e := s.q.Peek()
-		if e == nil || e.Time > deadline {
+		t, ok := s.q.PeekTime()
+		if !ok || t > deadline {
 			break
 		}
-		s.q.Pop()
-		s.now = e.Time
+		fn, arg, t, _ := s.q.Pop()
+		s.now = t
 		s.nexec++
-		e.Fn()
+		fn(arg)
 	}
 	if s.now < deadline {
 		s.now = deadline
@@ -103,7 +143,8 @@ type Ticker struct {
 	sim      *Simulator
 	interval units.Time
 	fn       func()
-	ev       *Event
+	fire     func() // prebound so re-arming never allocates
+	ev       Event
 	stopped  bool
 }
 
@@ -114,24 +155,23 @@ func (s *Simulator) NewTicker(interval units.Time, fn func()) *Ticker {
 		panic("sim: ticker interval must be positive")
 	}
 	t := &Ticker{sim: s, interval: interval, fn: fn}
-	t.arm()
-	return t
-}
-
-func (t *Ticker) arm() {
-	t.ev = t.sim.After(t.interval, func() {
+	t.fire = func() {
 		if t.stopped {
 			return
 		}
 		t.fn()
 		t.arm()
-	})
+	}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.sim.After(t.interval, t.fire)
 }
 
 // Stop cancels future firings.
 func (t *Ticker) Stop() {
 	t.stopped = true
-	if t.ev != nil {
-		t.ev.Cancel()
-	}
+	t.ev.Cancel()
 }

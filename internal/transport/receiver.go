@@ -20,6 +20,7 @@ type Receiver struct {
 
 	rcvNxt int64
 	ooo    []span // out-of-order ranges beyond rcvNxt, sorted, disjoint
+	oooAlt []span // spare buffer insert builds into, swapped with ooo
 
 	BytesReceived units.ByteCount // cumulative payload, including out of order
 	TrimmedSeen   int64
@@ -49,17 +50,19 @@ func (r *Receiver) OnData(pkt *packet.Packet) {
 		r.BytesReceived += pkt.Payload
 	}
 
-	ack := &packet.Packet{
-		FlowID: pkt.FlowID,
-		Src:    r.Self,
-		Dst:    r.Peer,
-		Prio:   pkt.Prio,
-		AckNo:  r.rcvNxt,
-		Flags:  packet.FlagACK,
-		SentAt: r.sim.Now(),
-		EchoTS: pkt.SentAt,
-		AckINT: pkt.Hops,
-	}
+	ack := r.sim.NewPacket()
+	ack.FlowID = pkt.FlowID
+	ack.Src = r.Self
+	ack.Dst = r.Peer
+	ack.Prio = pkt.Prio
+	ack.AckNo = r.rcvNxt
+	ack.Flags = packet.FlagACK
+	ack.SentAt = r.sim.Now()
+	ack.EchoTS = pkt.SentAt
+	// The data packet's telemetry array moves to the ACK; nil it out so
+	// releasing the data packet cannot recycle the array underneath us.
+	ack.AckINT = pkt.Hops
+	pkt.Hops = nil
 	if pkt.Is(packet.FlagCE) {
 		ack.Set(packet.FlagECE)
 	}
@@ -67,7 +70,13 @@ func (r *Receiver) OnData(pkt *packet.Packet) {
 }
 
 // insert merges [start, end) into the received set and advances rcvNxt
-// over any now-contiguous prefix.
+// over any now-contiguous prefix. It builds the merged list into the
+// spare buffer and swaps — appending in place would clobber spans not
+// yet read once an insertion shifts the tail, and reslicing the
+// consumed prefix away would walk the backing array's base forward so
+// every in-order packet reallocates. With the swap, the two buffers
+// reach the flow's high-water span count and steady state allocates
+// nothing.
 func (r *Receiver) insert(start, end int64) {
 	if end <= r.rcvNxt {
 		return // entirely duplicate
@@ -75,8 +84,8 @@ func (r *Receiver) insert(start, end int64) {
 	if start < r.rcvNxt {
 		start = r.rcvNxt
 	}
-	// Insert into the sorted disjoint span list, merging overlaps.
-	out := r.ooo[:0]
+	// Merge into the sorted disjoint span list, building into the spare.
+	out := r.oooAlt[:0]
 	inserted := false
 	for _, s := range r.ooo {
 		switch {
@@ -100,14 +109,18 @@ func (r *Receiver) insert(start, end int64) {
 	if !inserted {
 		out = append(out, span{start, end})
 	}
-	r.ooo = out
-	// Advance the cumulative point over the contiguous prefix.
-	for len(r.ooo) > 0 && r.ooo[0].start <= r.rcvNxt {
-		if r.ooo[0].end > r.rcvNxt {
-			r.rcvNxt = r.ooo[0].end
+	// Advance the cumulative point over the contiguous prefix, then
+	// shift the survivors down so the buffer base never migrates.
+	k := 0
+	for k < len(out) && out[k].start <= r.rcvNxt {
+		if out[k].end > r.rcvNxt {
+			r.rcvNxt = out[k].end
 		}
-		r.ooo = r.ooo[1:]
+		k++
 	}
+	n := copy(out, out[k:])
+	r.oooAlt = r.ooo[:0]
+	r.ooo = out[:n]
 }
 
 // Gaps returns the number of out-of-order spans currently held.

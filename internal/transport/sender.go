@@ -72,9 +72,14 @@ type Sender struct {
 	srtt, rttvar units.Time
 	rto          units.Time
 	rtoBackoff   uint
-	rtoTimer     *sim.Event
-	pacingTimer  *sim.Event
+	rtoTimer     sim.Event
+	pacingTimer  sim.Event
 	pacingNext   units.Time
+
+	// Prebound timer callbacks: created once so re-arming the RTO or
+	// pacing timer never allocates a closure.
+	rtoFn    func()
+	pacingFn func()
 
 	// Counters.
 	PktsSent    int64
@@ -94,12 +99,15 @@ func NewSender(s *sim.Simulator, cfg Config, alg cc.Algorithm,
 		panic(fmt.Sprintf("transport: flow %d has size %v", flowID, size))
 	}
 	cfg.fillDefaults()
-	return &Sender{
+	sn := &Sender{
 		sim: s, out: out, cfg: cfg, alg: alg,
 		FlowID: flowID, Src: src, Dst: dst, Size: size,
 		onComplete: onComplete,
 		rto:        cfg.MinRTO,
 	}
+	sn.rtoFn = sn.onRTO
+	sn.pacingFn = func() { sn.trySend() }
+	return sn
 }
 
 // Start begins transmission at the current simulated time.
@@ -152,23 +160,24 @@ func (sn *Sender) trySend() {
 }
 
 func (sn *Sender) armPacing(at units.Time) {
-	if sn.pacingTimer != nil && sn.pacingTimer.Scheduled() {
+	if sn.pacingTimer.Scheduled() {
 		return
 	}
-	sn.pacingTimer = sn.sim.At(at, func() { sn.trySend() })
+	sn.pacingTimer = sn.sim.At(at, sn.pacingFn)
 }
 
-// emit builds and sends one segment.
+// emit builds and sends one segment. The packet comes from the
+// simulator's free list; whoever consumes it (MMU drop, receiver,
+// peer's ACK path) releases it.
 func (sn *Sender) emit(seq int64, payload units.ByteCount, retrans bool) {
-	pkt := &packet.Packet{
-		FlowID:  sn.FlowID,
-		Src:     sn.Src,
-		Dst:     sn.Dst,
-		Prio:    sn.cfg.Prio,
-		Seq:     seq,
-		Payload: payload,
-		SentAt:  sn.sim.Now(),
-	}
+	pkt := sn.sim.NewPacket()
+	pkt.FlowID = sn.FlowID
+	pkt.Src = sn.Src
+	pkt.Dst = sn.Dst
+	pkt.Prio = sn.cfg.Prio
+	pkt.Seq = seq
+	pkt.Payload = payload
+	pkt.SentAt = sn.sim.Now()
 	if sn.alg.UsesECN() {
 		pkt.Set(packet.FlagECT)
 	}
@@ -251,14 +260,12 @@ func (sn *Sender) retransmitHead() {
 }
 
 func (sn *Sender) armRTO() {
-	if sn.rtoTimer != nil {
-		sn.rtoTimer.Cancel()
-	}
+	sn.rtoTimer.Cancel()
 	d := sn.rto << sn.rtoBackoff
 	if d > sn.cfg.MaxRTO {
 		d = sn.cfg.MaxRTO
 	}
-	sn.rtoTimer = sn.sim.After(d, sn.onRTO)
+	sn.rtoTimer = sn.sim.After(d, sn.rtoFn)
 }
 
 func (sn *Sender) onRTO() {
@@ -310,12 +317,8 @@ func (sn *Sender) RTO() units.Time { return sn.rto }
 func (sn *Sender) complete(now units.Time) {
 	sn.finished = true
 	sn.FinishedAt = now
-	if sn.rtoTimer != nil {
-		sn.rtoTimer.Cancel()
-	}
-	if sn.pacingTimer != nil {
-		sn.pacingTimer.Cancel()
-	}
+	sn.rtoTimer.Cancel()
+	sn.pacingTimer.Cancel()
 	if sn.onComplete != nil {
 		sn.onComplete(now)
 	}

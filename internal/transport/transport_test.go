@@ -360,6 +360,55 @@ func TestReceiverIntervalMerging(t *testing.T) {
 	}
 }
 
+// TestReceiverMiddleGapInsert pins the fix for a span-list aliasing bug:
+// inserting a new range strictly between existing spans, with at least
+// two spans after the insertion point, used to overwrite the unread tail
+// of the list while it was being rebuilt in place — every span after the
+// insertion point was replaced by a copy of the span just before it, so
+// already-received ranges were forgotten and had to be retransmitted.
+func TestReceiverMiddleGapInsert(t *testing.T) {
+	s := sim.New(1)
+	r := NewReceiver(s, 1, 2, 1, func(*packet.Packet) {})
+	r.insert(10, 20)
+	r.insert(30, 40)
+	r.insert(50, 60)
+	if r.Gaps() != 3 {
+		t.Fatalf("setup gaps=%d, want 3", r.Gaps())
+	}
+	// Middle insertion between the first and second spans.
+	r.insert(22, 25)
+	if r.Gaps() != 4 {
+		t.Fatalf("after middle insert gaps=%d, want 4", r.Gaps())
+	}
+	// Fill every hole; the cumulative point must reach the end, which
+	// requires that [30,40) and [50,60) survived the middle insertion.
+	r.insert(0, 10)
+	r.insert(20, 22)
+	r.insert(25, 30)
+	r.insert(40, 50)
+	if r.RcvNxt() != 60 || r.Gaps() != 0 {
+		t.Fatalf("after filling: rcvNxt=%d gaps=%d, want 60/0", r.RcvNxt(), r.Gaps())
+	}
+}
+
+// TestReceiverInOrderInsertZeroAlloc pins the steady-state allocation
+// contract of the hot path: once warm, in-order delivery must not touch
+// the heap (the span buffers are reused via swap, never resliced away).
+func TestReceiverInOrderInsertZeroAlloc(t *testing.T) {
+	s := sim.New(1)
+	r := NewReceiver(s, 1, 2, 1, func(*packet.Packet) {})
+	next := int64(0)
+	r.insert(next, next+1440) // warm the span buffers
+	next += 1440
+	allocs := testing.AllocsPerRun(100, func() {
+		r.insert(next, next+1440)
+		next += 1440
+	})
+	if allocs != 0 {
+		t.Fatalf("in-order insert allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
 func TestShortFlowSinglePacket(t *testing.T) {
 	alg := &stubCC{cwnd: 10 * 1440}
 	p := newPipe(t, 100, alg, Config{}) // sub-MSS flow
