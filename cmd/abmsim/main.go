@@ -29,6 +29,7 @@ func main() {
 		kb      = flag.Float64("buffer", 9.6, "buffer in KB per port per Gb/s (Trident2=9.6, Tomahawk=5.12, Tofino=3.44)")
 		scale   = flag.String("scale", "small", "fabric scale: small, medium, paper")
 		seed    = flag.Int64("seed", 1, "random seed")
+		shards  = flag.Int("shards", 0, "simulation shards (0 = serial loop; >=1 runs the parallel engine, clamped to the fabric's leaf count)")
 		update  = flag.Duration("update", 0, "ABM-approx control-plane update interval (e.g. 800us)")
 		flows   = flag.String("flows", "", "write a per-flow TSV trace to this file")
 		sched   = flag.String("sched", "rr", "per-port scheduler: rr, dwrr, strict")
@@ -53,6 +54,7 @@ func main() {
 		UpdateInterval:      abm.Time(update.Nanoseconds()) * abm.Nanosecond,
 		Scheduler:           *sched,
 		Workload:            *wl,
+		Shards:              *shards,
 	}
 	if *cfgIn != "" {
 		data, err := os.ReadFile(*cfgIn)

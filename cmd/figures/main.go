@@ -41,6 +41,7 @@ func run() int {
 		seed    = flag.Int64("seed", 1, "random seed")
 		out     = flag.String("out", "", "output directory (default: stdout, figures sequential)")
 		workers = flag.Int("workers", runtime.NumCPU(), "parallel figure workers (with -out)")
+		shards  = flag.Int("shards", 0, "simulation shards per cell (0 = serial loop; >=1 runs the parallel engine, clamped to the fabric's leaf count)")
 		noJSON  = flag.Bool("no-json", false, "with -out, skip the per-cell JSON record store")
 		pf      prof.Flags
 	)
@@ -70,7 +71,8 @@ func run() int {
 		// interleave otherwise); each figure's cells still run in
 		// parallel on the pool.
 		for _, id := range ids {
-			if err := experiments.RunFigure(id, sc, *seed, os.Stdout); err != nil {
+			opts := &experiments.RunOptions{Shards: *shards}
+			if err := experiments.RunFigureOpts(opts, id, sc, *seed, os.Stdout); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				return 1
 			}
@@ -103,7 +105,7 @@ func run() int {
 			Experiment: id,
 			Seed:       *seed,
 			Run: func(_ context.Context, _ int64) (runner.Result, error) {
-				opts := &experiments.RunOptions{Workers: 1, Store: store}
+				opts := &experiments.RunOptions{Workers: 1, Shards: *shards, Store: store}
 				f, err := os.Create(filepath.Join(*out, id+".tsv"))
 				if err != nil {
 					return runner.Result{}, err
@@ -116,7 +118,10 @@ func run() int {
 			},
 		})
 	}
-	pool := &runner.Pool{Workers: *workers, Progress: os.Stderr}
+	// Each figure job runs its cells one at a time (inner Workers: 1),
+	// so a figure's goroutine footprint is its shard count; the outer
+	// pool caps figure-level parallelism accordingly.
+	pool := &runner.Pool{Workers: *workers, JobShards: *shards, Progress: os.Stderr}
 	records, err := pool.Run(context.Background(), plan)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

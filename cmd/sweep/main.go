@@ -61,6 +61,7 @@ func run() int {
 
 		out         = flag.String("out", "sweep-results", "result store directory (jobs/, manifest.jsonl, aggregate.json)")
 		workers     = flag.Int("workers", runtime.NumCPU(), "parallel workers")
+		shards      = flag.Int("shards", 0, "simulation shards per job (0 = serial loop; >=1 runs the parallel engine; workers are capped so shards x workers <= GOMAXPROCS)")
 		timeout     = flag.Duration("timeout", 0, "per-job wall-clock timeout (0 = none)")
 		retries     = flag.Int("retries", 1, "retries for jobs failing with an error")
 		resume      = flag.Bool("resume", false, "skip jobs already completed in the -out manifest")
@@ -83,6 +84,7 @@ func run() int {
 		BMs: splitCSV(*bms), CCs: splitCSV(*ccs),
 		Loads: floatsCSV(*loads), RequestFracs: floatsCSV(*requests), Alphas: floatsCSV(*alphas),
 		QueuesPerPort: *qpp, Workload: *workload, DurationMS: *duration,
+		Shards:     *shards,
 		TimeoutSec: timeout.Seconds(),
 	}
 	if *planFile != "" {
@@ -133,8 +135,11 @@ func run() int {
 	fmt.Fprintf(os.Stderr, "sweep %q: %d jobs on %d workers -> %s\n",
 		plan.Name, len(plan.Specs), *workers, *out)
 	start := time.Now()
+	// grid.Shards (not the flag) so a -plan file's shard setting also
+	// caps the worker count against oversubscription.
 	pool := &runner.Pool{
-		Workers: *workers, Timeout: *timeout, Retries: *retries,
+		Workers: *workers, JobShards: grid.Shards,
+		Timeout: *timeout, Retries: *retries,
 		Progress: os.Stderr, Store: store,
 	}
 	records, err := pool.Run(context.Background(), plan)

@@ -2,6 +2,7 @@ package device
 
 import (
 	"fmt"
+	"math/rand"
 
 	"abm/internal/packet"
 	"abm/internal/sim"
@@ -21,6 +22,7 @@ type Link struct {
 	delay   units.Time
 	dst     Endpoint
 	deliver func(any) // prebound: delivery schedules without allocating
+	box     *sim.Mailbox
 
 	Delivered      int64
 	DeliveredBytes units.ByteCount
@@ -39,6 +41,24 @@ func NewLink(s *sim.Simulator, delay units.Time, dst Endpoint) *Link {
 	return l
 }
 
+// NewLinkVia returns a link whose deliveries route through a parallel-
+// engine mailbox instead of the sender's event calendar: the receive
+// fires on the destination's shard at the next window barrier. The
+// sharded topology builder uses it for every tier link so the delivery
+// merge order is the same at any shard count; sim here is the SENDER's
+// shard simulator (it stamps departure times).
+func NewLinkVia(s *sim.Simulator, delay units.Time, dst Endpoint, box *sim.Mailbox) *Link {
+	l := NewLink(s, delay, dst)
+	if box == nil {
+		panic("device: mailbox-routed link needs a mailbox")
+	}
+	if delay <= 0 {
+		panic("device: mailbox-routed link needs positive delay (it is the lookahead)")
+	}
+	l.box = box
+	return l
+}
+
 // Dst returns the link's destination endpoint.
 func (l *Link) Dst() Endpoint { return l.dst }
 
@@ -48,6 +68,10 @@ func (l *Link) Dst() Endpoint { return l.dst }
 func (l *Link) Send(pkt *packet.Packet) {
 	l.Delivered++
 	l.DeliveredBytes += pkt.Size()
+	if l.box != nil {
+		l.box.Post(l.sim.Now()+l.delay, l.deliver, pkt)
+		return
+	}
 	l.sim.AfterArg(l.delay, l.deliver, pkt)
 }
 
@@ -71,6 +95,13 @@ type SwitchConfig struct {
 	// EnableINT appends per-hop telemetry to transiting data packets
 	// (needed by PowerTCP).
 	EnableINT bool
+
+	// RNG is the switch's private random stream (MMU policies such as
+	// IB's random-early drop and RED/PIE AQMs draw from it). nil falls
+	// back to the simulator's shared source. The topology layer passes
+	// a stream derived from (seed, switch ID) so switch randomness is
+	// independent of event interleaving and of the shard partition.
+	RNG *rand.Rand
 }
 
 // Switch is an output-queued shared-memory switch.
@@ -102,7 +133,11 @@ func NewSwitch(s *sim.Simulator, cfg SwitchConfig) *Switch {
 	for i := range sw.ports {
 		sw.ports[i] = newPort(sw, i, cfg.PortRate, cfg.QueuesPerPort, cfg.NewScheduler)
 	}
-	sw.mmu = newMMU(cfg.MMU, sw, s.Rand())
+	rng := cfg.RNG
+	if rng == nil {
+		rng = s.Rand()
+	}
+	sw.mmu = newMMU(cfg.MMU, sw, rng)
 	if iv := cfg.MMU.StatsInterval; iv > 0 {
 		sw.statsTicker = s.NewTicker(iv, func() { sw.mmu.tick(s.Now()) })
 	}
@@ -129,6 +164,14 @@ func (sw *Switch) SetRouter(r Router) { sw.route = r }
 
 // ConnectPort attaches the egress link of port i.
 func (sw *Switch) ConnectPort(i int, l *Link) { sw.ports[i].link = l }
+
+// RoutePort returns the egress port the installed router picks for pkt
+// without enqueuing it. The topology layer uses it to walk the actual
+// forwarding path (hop counting for RTT/FCT normalization).
+func (sw *Switch) RoutePort(pkt *packet.Packet) int { return sw.route(sw, pkt) }
+
+// Link returns the port's attached egress link (nil before ConnectPort).
+func (p *Port) Link() *Link { return p.link }
 
 // Stop cancels the periodic stats ticker (for dismantling topologies in
 // tests).

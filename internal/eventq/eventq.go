@@ -163,6 +163,66 @@ func (q *Queue) Pop() (fn func(any), arg any, t units.Time, ok bool) {
 	return fn, arg, t, true
 }
 
+// Item is one event of a PushBatch call: the arguments of a PushArg,
+// as a value so batches can be built, sorted, and injected without
+// touching the queue.
+type Item struct {
+	Time units.Time
+	Fn   func(any)
+	Arg  any
+}
+
+// PushBatch schedules every item in order: items[i] receives a lower
+// sequence number than items[i+1], so a batch sorted by (time, key)
+// executes in exactly that order among simultaneous events. It is the
+// window-barrier injection path of the parallel engine: cross-shard
+// deliveries accumulated over a lookahead window land in one call.
+//
+// For small batches relative to the calendar it performs the same
+// sift-up per item as Push; once a batch is large enough that
+// re-heapifying the whole calendar is cheaper (k*log(n) sift work vs
+// O(n+k) build), it appends every item and restores the heap property
+// in one bottom-up pass.
+func (q *Queue) PushBatch(items []Item) {
+	k := len(items)
+	if k == 0 {
+		return
+	}
+	// Cost model: per-item sift-up does ~log4(n+k) node moves; bottom-up
+	// heapify visits every slot once. Prefer heapify when k dominates
+	// the existing calendar.
+	if n := len(q.heap); k >= 64 && k >= n {
+		q.pushBatchHeapify(items)
+		return
+	}
+	for i := range items {
+		q.PushArg(items[i].Time, items[i].Fn, items[i].Arg)
+	}
+}
+
+// pushBatchHeapify appends all items and rebuilds the heap bottom-up in
+// one O(n+k) pass.
+func (q *Queue) pushBatchHeapify(items []Item) {
+	for i := range items {
+		q.seq++
+		var slot int32
+		if n := len(q.free); n > 0 {
+			slot = q.free[n-1]
+			q.free = q.free[:n-1]
+		} else {
+			q.nodes = append(q.nodes, node{})
+			slot = int32(len(q.nodes) - 1)
+		}
+		nd := &q.nodes[slot]
+		nd.time, nd.seq, nd.fn, nd.arg, nd.canceled = items[i].Time, q.seq, items[i].Fn, items[i].Arg, false
+		nd.pos = int32(len(q.heap))
+		q.heap = append(q.heap, slot)
+	}
+	for i := (len(q.heap) - 2) / 4; i >= 0; i-- {
+		q.siftDown(i)
+	}
+}
+
 // PeekTime returns the firing time of the earliest non-canceled event
 // without removing it. Canceled events at the head are discarded.
 func (q *Queue) PeekTime() (units.Time, bool) {

@@ -82,6 +82,14 @@ type Cell struct {
 	Scale Scale
 	Seed  int64
 
+	// Shards selects the run mode: 0 (default) is the legacy serial
+	// loop; N >= 1 runs the topology-sharded parallel engine with
+	// min(N, NumLeaves) shards. Engine output is identical at every
+	// shard count (the canonical barrier merge is partition-invariant);
+	// it can differ from the legacy loop only in the execution order of
+	// events sharing an exact picosecond timestamp.
+	Shards int
+
 	BM             string     // bm.New name
 	UpdateInterval units.Time // for ABM-approx, in absolute time
 
@@ -197,7 +205,6 @@ func RunDetailed(cell Cell) (Result, *metrics.Collector, error) {
 		kb = 9.6 // Trident2
 	}
 
-	s := sim.New(cell.Seed)
 	rate := 10 * units.GigabitPerSec
 	ports := hostsPerLeaf + spines
 	totalBuffer := topo.BufferFor(kb, ports, rate)
@@ -284,15 +291,27 @@ func RunDetailed(cell Cell) (Result, *metrics.Collector, error) {
 		cfg.AQMFactory = func() aqm.Policy { return aqm.CutPayload{TrimAbove: trimAt} }
 	}
 
+	if cell.Shards >= 1 {
+		return runSharded(cell, cfg, totalBuffer, duration, rate)
+	}
+
+	s := sim.New(cell.Seed)
 	n := topo.NewNetwork(s, cfg)
 	col := &metrics.Collector{}
 
 	// Incast requests are sized against the chip buffer, not the
 	// scheme-dependent shared pool, so every scheme sees the same load.
-	ws, ic, sampler, err := attachWorkloads(n, cell, col, totalBuffer)
+	ws, ic, sampler, err := buildWorkloads(n, cell, col, totalBuffer)
 	if err != nil {
 		return Result{}, nil, err
 	}
+	if ws != nil {
+		ws.Start()
+	}
+	if ic != nil {
+		ic.Start()
+	}
+	sampler.Start(samplerInterval)
 
 	s.RunUntil(duration)
 	if ws != nil {
@@ -308,6 +327,46 @@ func RunDetailed(cell Cell) (Result, *metrics.Collector, error) {
 	n.Stop()
 	s.Run() // flush canceled tickers
 
+	return collectResult(cell, n, col, rate, s.Executed()), col, nil
+}
+
+// samplerInterval is the buffer-occupancy sampling period in both run
+// modes.
+const samplerInterval = 100 * units.Microsecond
+
+// runSharded executes a cell on the parallel engine: the fabric is
+// partitioned across shards, workloads are pre-generated to the traffic
+// horizon (reproducing the live generators' RNG streams draw-for-draw),
+// and the buffer sampler runs at window barriers.
+func runSharded(cell Cell, cfg topo.Config, totalBuffer units.ByteCount,
+	duration units.Time, rate units.Rate) (Result, *metrics.Collector, error) {
+
+	part := topo.MakePartition(cfg.NumLeaves, cfg.NumSpines, cell.Shards)
+	p := sim.NewParallel(cell.Seed, part.Shards)
+	defer p.Close()
+	n := topo.NewShardedNetwork(p, cfg, part)
+	col := &metrics.Collector{}
+
+	ws, ic, sampler, err := buildWorkloads(n, cell, col, totalBuffer)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	workload.SchedulePregen(ws, ic, duration)
+	sampler.StartBarrier(samplerInterval)
+
+	p.RunUntil(duration)
+	p.RunUntil(duration + 500*units.Millisecond)
+	sampler.Stop()
+	n.Stop()
+	p.Drain() // run remaining retransmission chains to exhaustion
+
+	return collectResult(cell, n, col, rate, p.Executed()), col, nil
+}
+
+// collectResult assembles the cell result from a finished network.
+func collectResult(cell Cell, n *topo.Network, col *metrics.Collector,
+	rate units.Rate, events uint64) Result {
+
 	var unschedDrops int64
 	for _, sw := range n.Switches() {
 		for p := 0; p < sw.NumPorts(); p++ {
@@ -321,7 +380,7 @@ func RunDetailed(cell Cell) (Result, *metrics.Collector, error) {
 		Summary:          col.Summarize(rate),
 		Drops:            n.TotalDrops(),
 		UnscheduledDrops: unschedDrops,
-		Events:           s.Executed(),
+		Events:           events,
 	}
 	if len(cell.MixedCC) > 0 {
 		res.PerPrioP99Short = make(map[uint8]float64)
@@ -336,7 +395,7 @@ func RunDetailed(cell Cell) (Result, *metrics.Collector, error) {
 			res.PerPrioP99Short[cell.IncastPrio] = metrics.Percentile(vals, 99)
 		}
 	}
-	return res, col, nil
+	return res
 }
 
 func usesDCTCP(cell Cell) bool {
@@ -352,9 +411,10 @@ func usesDCTCP(cell Cell) bool {
 	return false
 }
 
-// attachWorkloads builds and starts the cell's generators plus the
-// buffer sampler.
-func attachWorkloads(n *topo.Network, cell Cell, col *metrics.Collector,
+// buildWorkloads builds the cell's generators and the buffer sampler
+// without starting any of them: the serial path Starts the generators
+// live, the sharded path pre-generates their schedules instead.
+func buildWorkloads(n *topo.Network, cell Cell, col *metrics.Collector,
 	shared units.ByteCount) (*workload.WebSearch, *workload.Incast, *workload.BufferSampler, error) {
 
 	// Workload randomness is isolated from simulation randomness so every
@@ -404,7 +464,6 @@ func attachWorkloads(n *topo.Network, cell Cell, col *metrics.Collector,
 			ws.CC = f
 			ws.Prio = cell.WSPrio
 		}
-		ws.Start()
 	}
 
 	var ic *workload.Incast
@@ -429,10 +488,8 @@ func attachWorkloads(n *topo.Network, cell Cell, col *metrics.Collector,
 		if cell.RandomPrio {
 			ic.PickPrio = func() uint8 { return uint8(rng.Intn(qpp)) }
 		}
-		ic.Start()
 	}
 
 	sampler := &workload.BufferSampler{Net: n, Collect: col}
-	sampler.Start(100 * units.Microsecond)
 	return ws, ic, sampler, nil
 }

@@ -37,6 +37,9 @@ type Grid struct {
 	Workload      string  `json:"workload,omitempty"`
 	Trimming      bool    `json:"trimming,omitempty"`
 	DurationMS    float64 `json:"duration_ms,omitempty"`
+	// Shards runs every cell on the topology-sharded parallel engine
+	// with that many shards (see Cell.Shards); 0 keeps the serial loop.
+	Shards int `json:"shards,omitempty"`
 	// TimeoutSec bounds each job's wall-clock seconds; 0 means none.
 	TimeoutSec float64 `json:"timeout_sec,omitempty"`
 }
@@ -104,6 +107,7 @@ func (g Grid) Plan() (*runner.Plan, error) {
 							QueuesPerPort: g.QueuesPerPort,
 							Workload:      g.Workload,
 							Trimming:      g.Trimming,
+							Shards:        g.Shards,
 							Duration:      units.Time(g.DurationMS * float64(units.Millisecond)),
 						}
 						group := fmt.Sprintf("bm=%s,cc=%s,load=%g,req=%g,alpha=%g",

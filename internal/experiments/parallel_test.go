@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"abm/internal/units"
+)
+
+// shortCells is a Fig6-class slice of the figure grid, cut to a short
+// duration so the shard sweep stays CI-sized. IB exercises the
+// per-switch RNG stream, RandomPrio the shared workload RNG, MixedCC
+// the per-flow CC assignment path.
+func shortCells() []Cell {
+	base := Cell{Scale: ScaleSmall, Seed: 42, Duration: 8 * units.Millisecond,
+		Load: 0.6, WSCC: "dctcp", RequestFrac: 0.5}
+	dt := base
+	dt.BM = "DT"
+	ib := base
+	ib.BM = "IB"
+	abm := base
+	abm.BM = "ABM"
+	rp := base
+	rp.BM = "ABM"
+	rp.QueuesPerPort = 2
+	rp.RandomPrio = true
+	mixed := Cell{Scale: ScaleSmall, Seed: 42, Duration: 8 * units.Millisecond,
+		Load: 0.6, BM: "ABM", QueuesPerPort: 2,
+		MixedCC: []CCAssignment{{CC: "dctcp", Prio: 0}, {CC: "timely", Prio: 1}}}
+	// Medium scale has 4 leaves, so shards=4 is a genuine 4-way split
+	// (small clamps at its 2 leaves).
+	med := Cell{Scale: ScaleMedium, Seed: 42, Duration: 3 * units.Millisecond,
+		Load: 0.6, WSCC: "dctcp", RequestFrac: 0.5, BM: "ABM"}
+	return []Cell{dt, ib, abm, rp, mixed, med}
+}
+
+// TestShardCountInvariance is the cross-shard determinism golden test:
+// each cell must produce an identical result — every flow record,
+// every buffer sample, every drop counter — at 1, 2, 4, and 8 shards.
+// (8 shards clamps to the 2 leaves of the small scale; it exercises the
+// clamping path.)
+func TestShardCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run shard sweep")
+	}
+	for _, cell := range shortCells() {
+		name := cell.BM
+		if cell.Scale != ScaleSmall {
+			name += "-" + cell.Scale.String()
+		}
+		if cell.RandomPrio {
+			name += "-randprio"
+		}
+		if len(cell.MixedCC) > 0 {
+			name += "-mixed"
+		}
+		t.Run(name, func(t *testing.T) {
+			var refRes Result
+			var refFlows, refSamples any
+			for _, shards := range []int{1, 2, 4, 8} {
+				c := cell
+				c.Shards = shards
+				res, col, err := RunDetailed(c)
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				res.Cell = Cell{} // differs by construction (Shards)
+				if shards == 1 {
+					refRes, refFlows, refSamples = res, col.Flows, col.BufferSamples
+					if res.Summary.Flows < 25 {
+						t.Fatalf("only %d flows; cell too small to be meaningful", res.Summary.Flows)
+					}
+					continue
+				}
+				if !reflect.DeepEqual(res, refRes) {
+					t.Errorf("shards=%d result diverged:\n%+v\nwant\n%+v", shards, res, refRes)
+				}
+				if !reflect.DeepEqual(col.Flows, refFlows) {
+					t.Errorf("shards=%d flow records diverged", shards)
+				}
+				if !reflect.DeepEqual(col.BufferSamples, refSamples) {
+					t.Errorf("shards=%d buffer samples diverged", shards)
+				}
+			}
+		})
+	}
+}

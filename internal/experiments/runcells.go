@@ -16,6 +16,11 @@ import (
 type RunOptions struct {
 	// Workers is the cell-level parallelism; <=0 means NumCPU.
 	Workers int
+	// Shards, when >=1, runs every cell on the topology-sharded
+	// parallel engine with that many shards (see Cell.Shards); 0 keeps
+	// each cell's own setting. The pool caps Workers so that
+	// shards x workers stays within GOMAXPROCS.
+	Shards int
 	// Timeout bounds each cell's wall-clock time; 0 means none.
 	Timeout time.Duration
 	// Retries re-runs cells that fail with an error.
@@ -33,11 +38,12 @@ func (o *RunOptions) pool() *runner.Pool {
 		o = &RunOptions{}
 	}
 	return &runner.Pool{
-		Workers:  o.Workers,
-		Timeout:  o.Timeout,
-		Retries:  o.Retries,
-		Store:    o.Store,
-		Progress: o.Progress,
+		Workers:   o.Workers,
+		JobShards: o.Shards,
+		Timeout:   o.Timeout,
+		Retries:   o.Retries,
+		Store:     o.Store,
+		Progress:  o.Progress,
 	}
 }
 
@@ -57,6 +63,9 @@ func runCells(o *RunOptions, experiment string, jobs []cellJob) ([]Result, error
 	plan := &runner.Plan{Name: experiment}
 	for i, job := range jobs {
 		cell := job.cell
+		if o != nil && o.Shards >= 1 {
+			cell.Shards = o.Shards
+		}
 		plan.Add(runner.Spec{
 			ID:         fmt.Sprintf("%s/%03d-%s", experiment, i, job.label),
 			Experiment: experiment,

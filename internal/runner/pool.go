@@ -25,6 +25,12 @@ var errTimeout = errors.New("job deadline exceeded")
 type Pool struct {
 	// Workers is the number of concurrent jobs; <=0 means NumCPU.
 	Workers int
+	// JobShards is the number of simulation shards each job itself runs
+	// on (its internal goroutine fan-out); <=1 means jobs are serial.
+	// When >1, Run caps the worker count so that workers x JobShards
+	// stays within GOMAXPROCS instead of silently oversubscribing the
+	// machine, and logs the adjustment to Progress.
+	JobShards int
 	// Timeout is the default per-job wall-clock limit; 0 means none.
 	// A simulation cannot be preempted, so on expiry the job goroutine
 	// is abandoned (it still counts against no worker slot) and the job
@@ -54,6 +60,20 @@ func (p *Pool) Run(ctx context.Context, plan *Plan) ([]Record, error) {
 	workers := p.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
+	}
+	if p.JobShards > 1 && workers > 1 {
+		maxWorkers := runtime.GOMAXPROCS(0) / p.JobShards
+		if maxWorkers < 1 {
+			maxWorkers = 1
+		}
+		if workers > maxWorkers {
+			if p.Progress != nil {
+				fmt.Fprintf(p.Progress,
+					"runner: capping workers %d -> %d (%d shards/job, GOMAXPROCS %d)\n",
+					workers, maxWorkers, p.JobShards, runtime.GOMAXPROCS(0))
+			}
+			workers = maxWorkers
+		}
 	}
 	var done map[string]Record
 	if p.Store != nil {

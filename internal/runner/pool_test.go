@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -65,6 +66,36 @@ func TestPoolRunsEveryJob(t *testing.T) {
 	}
 	if n := len(Failed(recs)); n != 0 {
 		t.Fatalf("failed=%d", n)
+	}
+}
+
+// TestPoolJobShardsCapsWorkers drives a pool whose jobs each claim
+// twice the machine (JobShards = 2 x GOMAXPROCS): the worker count
+// must clamp to one — observed as at most one job in flight — and the
+// adjustment must be logged to Progress.
+func TestPoolJobShardsCapsWorkers(t *testing.T) {
+	var inFlight, peak atomic.Int64
+	plan := &Plan{Name: "shards", Seed: 1}
+	for i := 0; i < 12; i++ {
+		plan.Add(Spec{Run: func(context.Context, int64) (Result, error) {
+			if n := inFlight.Add(1); n > peak.Load() {
+				peak.Store(n)
+			}
+			time.Sleep(2 * time.Millisecond)
+			inFlight.Add(-1)
+			return Result{}, nil
+		}})
+	}
+	var progress strings.Builder
+	pool := &Pool{Workers: 8, JobShards: 2 * runtime.GOMAXPROCS(0), Progress: &progress}
+	if _, err := pool.Run(context.Background(), plan); err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() > 1 {
+		t.Fatalf("%d jobs in flight at once; shards x workers exceeds GOMAXPROCS", peak.Load())
+	}
+	if !strings.Contains(progress.String(), "capping workers 8 -> 1") {
+		t.Fatalf("worker cap not logged:\n%s", progress.String())
 	}
 }
 

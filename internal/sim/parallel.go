@@ -1,0 +1,374 @@
+// Parallel is the topology-sharded run mode of the simulation kernel:
+// N independent Simulators (one per shard, each with its own event
+// calendar, packet free list, and derived seed) advance together in
+// conservative lookahead windows.
+//
+// # Model contract
+//
+// Shards may interact only through registered Mailboxes. A mailbox
+// carries events from a producer owned by one shard to a destination
+// shard with a minimum latency (for a network link, its propagation
+// delay): an event posted while the producer's shard executes a window
+// starting at T fires no earlier than T + latency. The engine sizes
+// every window at most the minimum registered latency (the lookahead),
+// so all deliveries into a window are already buffered when the window
+// starts — within a window shards run with no synchronization at all.
+//
+// # Determinism
+//
+// At every barrier the engine drains all mailboxes and injects the
+// buffered events into their destination calendars in a canonical
+// order: delivery time first, ties broken by mailbox registration
+// order, then by posting order within a mailbox. The canonical order
+// depends only on the model (which link, which packet sequence), not on
+// which goroutine ran first, so a parallel run is deterministic and —
+// as long as mailbox registration is partition-invariant — identical
+// at any shard count.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"abm/internal/eventq"
+	"abm/internal/randutil"
+	"abm/internal/units"
+)
+
+// Mailbox buffers events crossing into a destination shard. It is
+// single-producer: only the owning shard's goroutine may Post, only
+// the engine's coordinator drains it at barriers.
+type Mailbox struct {
+	dst int
+	buf []eventq.Item
+}
+
+// Post buffers fn(arg) to fire at absolute time t in the destination
+// shard. t must be at least one lookahead beyond the current window's
+// start; the engine injects it at the next barrier.
+func (m *Mailbox) Post(t units.Time, fn func(any), arg any) {
+	m.buf = append(m.buf, eventq.Item{Time: t, Fn: fn, Arg: arg})
+}
+
+// BarrierTicker invokes a callback at fixed simulated intervals on the
+// engine's coordinator, between windows: when it fires at time T, every
+// shard has executed all events before T and none at or after it. It is
+// the parallel-mode home for global observers that read state across
+// shards (e.g. the fabric-wide buffer occupancy sampler).
+type BarrierTicker struct {
+	interval units.Time
+	next     units.Time
+	fn       func(now units.Time)
+	stopped  bool
+}
+
+// Stop cancels future firings.
+func (t *BarrierTicker) Stop() { t.stopped = true }
+
+// windowReq asks a shard worker to run one window.
+type windowReq struct {
+	limit     units.Time
+	inclusive bool // RunUntil(limit) instead of RunBefore(limit)
+}
+
+// Parallel coordinates the sharded run.
+type Parallel struct {
+	seed    int64
+	now     units.Time // barrier frontier: all shards have executed events < now
+	look    units.Time // lookahead: minimum mailbox latency; 0 until registered
+	shards  []*Simulator
+	boxes   []*Mailbox
+	tickers []*BarrierTicker
+
+	work    []chan windowReq
+	wg      sync.WaitGroup
+	started bool
+	closed  bool
+}
+
+// NewParallel creates an engine with n shards. Shard i's simulator is
+// seeded with a SplitMix64-derived stream of seed, so shard-local
+// randomness is independent of the partition.
+func NewParallel(seed int64, n int) *Parallel {
+	if n < 1 {
+		panic(fmt.Sprintf("sim: parallel engine needs at least one shard, got %d", n))
+	}
+	p := &Parallel{seed: seed}
+	p.shards = make([]*Simulator, n)
+	for i := range p.shards {
+		p.shards[i] = New(randutil.DeriveSeed(seed, i))
+	}
+	return p
+}
+
+// Seed returns the engine's base seed (not a shard's derived seed).
+func (p *Parallel) Seed() int64 { return p.seed }
+
+// NumShards returns the shard count.
+func (p *Parallel) NumShards() int { return len(p.shards) }
+
+// Shard returns shard i's simulator. Model components owned by shard i
+// must schedule exclusively on it.
+func (p *Parallel) Shard(i int) *Simulator { return p.shards[i] }
+
+// Now returns the barrier frontier: every shard has executed all events
+// strictly before it.
+func (p *Parallel) Now() units.Time { return p.now }
+
+// Lookahead returns the window bound (the minimum mailbox latency).
+func (p *Parallel) Lookahead() units.Time { return p.look }
+
+// Executed sums executed events across shards.
+func (p *Parallel) Executed() uint64 {
+	var n uint64
+	for _, s := range p.shards {
+		n += s.Executed()
+	}
+	return n
+}
+
+// NewMailbox registers a mailbox delivering into shard dst with the
+// given minimum latency. Registration order is the tie-break of the
+// barrier merge, so callers must register mailboxes in a deterministic,
+// partition-invariant order (the topology builder registers them in
+// link-construction order).
+func (p *Parallel) NewMailbox(dst int, latency units.Time) *Mailbox {
+	if dst < 0 || dst >= len(p.shards) {
+		panic(fmt.Sprintf("sim: mailbox destination shard %d out of range", dst))
+	}
+	if latency <= 0 {
+		panic(fmt.Sprintf("sim: mailbox latency %v must be positive (it bounds the lookahead)", latency))
+	}
+	if p.look == 0 || latency < p.look {
+		p.look = latency
+	}
+	m := &Mailbox{dst: dst}
+	p.boxes = append(p.boxes, m)
+	return m
+}
+
+// NewBarrierTicker registers fn to run every interval of simulated
+// time, first firing one interval from the current frontier.
+func (p *Parallel) NewBarrierTicker(interval units.Time, fn func(now units.Time)) *BarrierTicker {
+	if interval <= 0 {
+		panic("sim: barrier ticker interval must be positive")
+	}
+	t := &BarrierTicker{interval: interval, next: p.now + interval, fn: fn}
+	p.tickers = append(p.tickers, t)
+	return t
+}
+
+// flush drains every mailbox and injects the buffered events into their
+// destination shards in canonical order (time, registration order,
+// posting order). Injecting each mailbox separately, in registration
+// order, realizes exactly that order: the destination heap breaks time
+// ties by push sequence, so an earlier-registered mailbox's equal-time
+// events pop first, and posting order decides within one mailbox.
+// Coordinator-only.
+func (p *Parallel) flush() {
+	for _, m := range p.boxes {
+		buf := m.buf
+		if len(buf) == 0 {
+			continue
+		}
+		// A link posts deliveries in nondecreasing time order, so the
+		// buffer is nearly always sorted; check before paying for a sort.
+		sorted := true
+		for i := 1; i < len(buf); i++ {
+			if buf[i].Time < buf[i-1].Time {
+				sorted = false
+				break
+			}
+		}
+		if !sorted {
+			sort.SliceStable(buf, func(i, j int) bool { return buf[i].Time < buf[j].Time })
+		}
+		p.shards[m.dst].InjectBatch(buf)
+		m.buf = buf[:0]
+	}
+}
+
+// fireTickers runs every live ticker due at the current frontier.
+func (p *Parallel) fireTickers() {
+	for _, t := range p.tickers {
+		for !t.stopped && t.next <= p.now {
+			at := t.next
+			t.next += t.interval
+			t.fn(at)
+		}
+	}
+}
+
+// nextTicker returns the earliest pending ticker time.
+func (p *Parallel) nextTicker() (units.Time, bool) {
+	var best units.Time
+	ok := false
+	for _, t := range p.tickers {
+		if t.stopped {
+			continue
+		}
+		if !ok || t.next < best {
+			best, ok = t.next, true
+		}
+	}
+	return best, ok
+}
+
+// peekMin returns the earliest event time across all shard calendars.
+func (p *Parallel) peekMin() (units.Time, bool) {
+	var best units.Time
+	ok := false
+	for _, s := range p.shards {
+		if t, live := s.NextEventTime(); live && (!ok || t < best) {
+			best, ok = t, true
+		}
+	}
+	return best, ok
+}
+
+// ensureWorkers lazily starts one goroutine per shard. Workers block on
+// their request channel; the coordinator hands each a window and waits
+// on the shared WaitGroup, which is the synchronization that makes
+// shard state safely visible across window/coordinator transitions.
+func (p *Parallel) ensureWorkers() {
+	if p.started {
+		return
+	}
+	p.started = true
+	p.work = make([]chan windowReq, len(p.shards))
+	for i := range p.shards {
+		i := i
+		p.work[i] = make(chan windowReq)
+		go func() {
+			for req := range p.work[i] {
+				if req.inclusive {
+					p.shards[i].RunUntil(req.limit)
+				} else {
+					p.shards[i].RunBefore(req.limit)
+				}
+				p.wg.Done()
+			}
+		}()
+	}
+}
+
+// runWindow executes one window on every shard that has work in it.
+// Exactly one active shard runs inline on the coordinator; the rest run
+// on their workers.
+func (p *Parallel) runWindow(limit units.Time, inclusive bool) {
+	if p.closed {
+		panic("sim: parallel engine used after Close")
+	}
+	inline := -1
+	dispatched := 0
+	for i, s := range p.shards {
+		t, ok := s.NextEventTime()
+		if !ok || t > limit || (!inclusive && t == limit) {
+			continue
+		}
+		if inline < 0 {
+			inline = i
+			continue
+		}
+		p.ensureWorkers()
+		p.wg.Add(1)
+		p.work[i] <- windowReq{limit: limit, inclusive: inclusive}
+		dispatched++
+	}
+	if inline >= 0 {
+		if inclusive {
+			p.shards[inline].RunUntil(limit)
+		} else {
+			p.shards[inline].RunBefore(limit)
+		}
+	}
+	if dispatched > 0 {
+		p.wg.Wait()
+	}
+}
+
+// windowEnd picks the next barrier: bounded by the lookahead past the
+// earliest event, by the next global ticker, and by the deadline.
+func (p *Parallel) windowEnd(deadline units.Time) units.Time {
+	next := deadline
+	if t, ok := p.peekMin(); ok && p.look > 0 {
+		if b := t + p.look; b < next {
+			next = b
+		}
+	}
+	if t, ok := p.nextTicker(); ok && t < next {
+		next = t
+	}
+	return next
+}
+
+// RunUntil advances every shard through lookahead windows until all
+// events with firing time <= deadline (the same inclusive bound as
+// Simulator.RunUntil) have executed, firing barrier tickers and merging
+// mailbox crossings at each barrier. Shard clocks end at the deadline.
+func (p *Parallel) RunUntil(deadline units.Time) {
+	if deadline < p.now {
+		panic(fmt.Sprintf("sim: parallel RunUntil(%v) before frontier %v", deadline, p.now))
+	}
+	for {
+		p.flush()
+		p.fireTickers()
+		if p.now >= deadline {
+			break
+		}
+		next := p.windowEnd(deadline)
+		if next <= p.now {
+			panic(fmt.Sprintf("sim: window did not advance past %v", p.now))
+		}
+		p.runWindow(next, false)
+		p.now = next
+	}
+	// Events at exactly the deadline: every event before it has run and
+	// crossings due at it were injected by the flush above; anything
+	// these events post crosses no earlier than deadline + lookahead.
+	p.runWindow(deadline, true)
+}
+
+// Drain runs every shard to calendar exhaustion (the parallel
+// counterpart of Simulator.Run after the workloads stop): windows keep
+// advancing past the frontier with no deadline until no shard holds a
+// live event and no mailbox holds a crossing. Periodic model tickers
+// must be stopped first or Drain will not terminate, exactly like the
+// serial run loop.
+func (p *Parallel) Drain() {
+	for {
+		p.flush()
+		t, ok := p.peekMin()
+		if !ok {
+			return
+		}
+		limit := t + p.look
+		if p.look == 0 {
+			// No mailboxes: a single shard draining serially.
+			p.runWindow(t, true)
+			if p.now < t {
+				p.now = t
+			}
+			continue
+		}
+		p.runWindow(limit, false)
+		if p.now < limit {
+			p.now = limit
+		}
+	}
+}
+
+// Close shuts down the worker goroutines. The engine must not run
+// afterwards; Close is idempotent and safe if workers never started.
+func (p *Parallel) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	if p.started {
+		for _, ch := range p.work {
+			close(ch)
+		}
+	}
+}

@@ -33,17 +33,23 @@ type Simulator struct {
 	q      eventq.Queue
 	pool   packet.Pool
 	rng    *rand.Rand
+	seed   int64
 	nexec  uint64
 	halted bool
 }
 
 // New returns a simulator whose random source is seeded with seed.
 func New(seed int64) *Simulator {
-	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+	return &Simulator{rng: rand.New(rand.NewSource(seed)), seed: seed}
 }
 
 // Now returns the current simulated time.
 func (s *Simulator) Now() units.Time { return s.now }
+
+// Seed returns the seed the simulator was created with. Model builders
+// use it to derive per-component random streams that are independent of
+// execution order (see topo: per-switch MMU randomness).
+func (s *Simulator) Seed() int64 { return s.seed }
 
 // Rand returns the simulator's deterministic random source.
 func (s *Simulator) Rand() *rand.Rand { return s.rng }
@@ -133,6 +139,36 @@ func (s *Simulator) RunUntil(deadline units.Time) {
 		s.now = deadline
 	}
 }
+
+// RunBefore executes events with firing time strictly less than limit
+// and leaves events at or beyond limit queued. Unlike RunUntil it does
+// not advance the clock to the limit: the clock stays at the last
+// executed event, so a later injection at limit (a window-barrier
+// delivery) still schedules in the shard's future. This is the
+// lookahead-window body of the parallel engine.
+func (s *Simulator) RunBefore(limit units.Time) {
+	s.halted = false
+	for !s.halted {
+		t, ok := s.q.PeekTime()
+		if !ok || t >= limit {
+			return
+		}
+		fn, arg, t, _ := s.q.Pop()
+		s.now = t
+		s.nexec++
+		fn(arg)
+	}
+}
+
+// NextEventTime returns the firing time of the earliest live event, or
+// ok=false for an empty calendar. The parallel engine's coordinator
+// uses it to size lookahead windows.
+func (s *Simulator) NextEventTime() (units.Time, bool) { return s.q.PeekTime() }
+
+// InjectBatch schedules a pre-ordered batch of events in one pass; see
+// eventq.PushBatch. The batch must already be sorted by the caller's
+// merge order — items keep that order among simultaneous events.
+func (s *Simulator) InjectBatch(items []eventq.Item) { s.q.PushBatch(items) }
 
 // Pending returns the number of events still in the calendar (including
 // canceled events not yet discarded).

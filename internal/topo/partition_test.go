@@ -1,0 +1,171 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+
+	"abm/internal/cc"
+	"abm/internal/sim"
+	"abm/internal/units"
+)
+
+// TestPartitionCoversEveryDevice is the partitioner property test:
+// for random fabric dimensions and shard counts, every leaf and spine
+// maps to exactly one in-range shard, every shard owns at least one
+// leaf, hosts inherit their leaf's shard, and leaf blocks stay
+// contiguous (rack-local traffic never crosses shards).
+func TestPartitionCoversEveryDevice(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		leaves := 1 + rng.Intn(24)
+		spines := 1 + rng.Intn(24)
+		hostsPer := 1 + rng.Intn(16)
+		req := 1 + rng.Intn(12)
+
+		p := MakePartition(leaves, spines, req)
+		want := req
+		if want > leaves {
+			want = leaves
+		}
+		if p.Shards != want {
+			t.Fatalf("trial %d: %d shards for %d leaves (requested %d), want %d",
+				trial, p.Shards, leaves, req, want)
+		}
+		if len(p.LeafShard) != leaves || len(p.SpineShard) != spines {
+			t.Fatalf("trial %d: partition maps %d/%d devices, fabric has %d/%d",
+				trial, len(p.LeafShard), len(p.SpineShard), leaves, spines)
+		}
+		leafCount := make([]int, p.Shards)
+		prev := 0
+		for l, sh := range p.LeafShard {
+			if sh < 0 || sh >= p.Shards {
+				t.Fatalf("trial %d: leaf %d on shard %d of %d", trial, l, sh, p.Shards)
+			}
+			if sh < prev {
+				t.Fatalf("trial %d: leaf blocks not contiguous at leaf %d (%d after %d)", trial, l, sh, prev)
+			}
+			prev = sh
+			leafCount[sh]++
+		}
+		for sh, c := range leafCount {
+			if c == 0 {
+				t.Fatalf("trial %d: shard %d owns no leaves", trial, sh)
+			}
+		}
+		for sp, sh := range p.SpineShard {
+			if sh < 0 || sh >= p.Shards {
+				t.Fatalf("trial %d: spine %d on shard %d of %d", trial, sp, sh, p.Shards)
+			}
+		}
+		// Host coverage: every host index maps through its leaf to one shard.
+		n := leaves * hostsPer
+		for h := 0; h < n; h++ {
+			if sh := p.LeafShard[h/hostsPer]; sh < 0 || sh >= p.Shards {
+				t.Fatalf("trial %d: host %d unassigned", trial, h)
+			}
+		}
+	}
+}
+
+// runFlows launches the same little flow mix on a network and returns
+// the completion times, keyed by flow order.
+func runFlows(n *Network) []units.Time {
+	type launch struct{ src, dst int }
+	mix := []launch{{0, 5}, {4, 1}, {2, 6}, {7, 3}, {1, 2}}
+	fcts := make([]units.Time, len(mix))
+	for i, m := range mix {
+		i, m := i, m
+		id := n.AllocFlowID()
+		n.SimOfHost(m.src).At(0, func() {
+			n.StartFlowWithID(id, m.src, m.dst, 50*units.Kilobyte, 0, cc.NewDCTCP(),
+				func(now units.Time) { fcts[i] = now })
+		})
+	}
+	if n.Par != nil {
+		n.Par.RunUntil(20 * units.Millisecond)
+		n.Stop()
+		n.Par.Drain()
+		n.Par.Close()
+	} else {
+		n.Sim.RunUntil(20 * units.Millisecond)
+		n.Stop()
+		n.Sim.Run()
+	}
+	return fcts
+}
+
+// TestShardedNetworkShardInvariance drives an identical flow mix
+// through the engine at 1, 2, and 4 shards (on a 4-leaf fabric) and
+// demands identical flow completion times: the canonical mailbox merge
+// makes the run a property of the topology, not the partition.
+func TestShardedNetworkShardInvariance(t *testing.T) {
+	cfg := Config{
+		NumSpines:    2,
+		NumLeaves:    4,
+		HostsPerLeaf: 2,
+		LinkRate:     10 * units.GigabitPerSec,
+		LinkDelay:    10 * units.Microsecond,
+	}
+	var ref []units.Time
+	for _, shards := range []int{1, 2, 4} {
+		p := sim.NewParallel(42, shards)
+		got := runFlows(NewShardedNetwork(p, cfg, MakePartition(cfg.NumLeaves, cfg.NumSpines, shards)))
+		if got[0] == 0 {
+			t.Fatal("flows did not complete")
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("shards=%d: flow %d FCT %v, 1-shard engine %v", shards, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestShardedSingleFlowMatchesSerial checks the engine against the
+// legacy serial loop on a lone flow. With no competing traffic there
+// are no same-picosecond event ties, so the two run modes must agree
+// to the picosecond (contended runs may reorder exact ties; the
+// engine's own output is tie-canonical and shard-invariant instead).
+func TestShardedSingleFlowMatchesSerial(t *testing.T) {
+	cfg := Config{
+		NumSpines:    2,
+		NumLeaves:    4,
+		HostsPerLeaf: 2,
+		LinkRate:     10 * units.GigabitPerSec,
+		LinkDelay:    10 * units.Microsecond,
+	}
+	runOne := func(n *Network) units.Time {
+		var fct units.Time
+		id := n.AllocFlowID()
+		n.SimOfHost(0).At(0, func() {
+			n.StartFlowWithID(id, 0, 5, 200*units.Kilobyte, 0, cc.NewDCTCP(),
+				func(now units.Time) { fct = now })
+		})
+		if n.Par != nil {
+			n.Par.RunUntil(50 * units.Millisecond)
+			n.Stop()
+			n.Par.Drain()
+			n.Par.Close()
+		} else {
+			n.Sim.RunUntil(50 * units.Millisecond)
+			n.Stop()
+			n.Sim.Run()
+		}
+		return fct
+	}
+	serial := runOne(NewNetwork(sim.New(42), cfg))
+	if serial == 0 {
+		t.Fatal("serial flow did not complete")
+	}
+	for _, shards := range []int{2, 4} {
+		p := sim.NewParallel(42, shards)
+		got := runOne(NewShardedNetwork(p, cfg, MakePartition(cfg.NumLeaves, cfg.NumSpines, shards)))
+		if got != serial {
+			t.Fatalf("shards=%d: FCT %v, serial %v", shards, got, serial)
+		}
+	}
+}

@@ -7,6 +7,7 @@ package topo
 
 import (
 	"fmt"
+	"math/rand"
 
 	"abm/internal/aqm"
 	"abm/internal/bm"
@@ -14,6 +15,7 @@ import (
 	"abm/internal/device"
 	"abm/internal/host"
 	"abm/internal/packet"
+	"abm/internal/randutil"
 	"abm/internal/sim"
 	"abm/internal/units"
 )
@@ -96,13 +98,54 @@ func BufferFor(kbPerPortPerGbps float64, ports int, rate units.Rate) units.ByteC
 	return units.ByteCount(kbPerPortPerGbps * 1024 * float64(ports) * rate.Gbps())
 }
 
-// Network is a built fabric.
+// Partition assigns every switch (and, implicitly, every host: a host
+// lives with its leaf) to a shard of the parallel engine.
+type Partition struct {
+	Shards     int
+	LeafShard  []int // per leaf index
+	SpineShard []int // per spine index
+}
+
+// MakePartition builds the standard partition: leaves in balanced
+// contiguous blocks (hosts follow their leaf, so rack-local traffic
+// stays shard-local), spines round-robin so every shard owns a share of
+// the core. Shards is clamped to [1, numLeaves] — beyond one shard per
+// leaf there is nothing left to split.
+func MakePartition(numLeaves, numSpines, shards int) Partition {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > numLeaves {
+		shards = numLeaves
+	}
+	p := Partition{Shards: shards}
+	p.LeafShard = make([]int, numLeaves)
+	for l := range p.LeafShard {
+		p.LeafShard[l] = l * shards / numLeaves
+	}
+	p.SpineShard = make([]int, numSpines)
+	for sp := range p.SpineShard {
+		p.SpineShard[sp] = sp % shards
+	}
+	return p
+}
+
+// Network is a built fabric, driven either by one serial simulator
+// (Sim) or by the sharded parallel engine (Par); exactly one is set.
 type Network struct {
-	Sim    *sim.Simulator
+	Sim    *sim.Simulator // serial mode; nil when sharded
+	Par    *sim.Parallel  // sharded mode; nil when serial
+	Part   Partition
 	Cfg    Config
 	Spines []*device.Switch
 	Leaves []*device.Switch
 	Hosts  []*host.Host
+
+	leafSim  []*sim.Simulator // per leaf: the simulator its devices schedule on
+	spineSim []*sim.Simulator
+
+	baseRTT              units.Time
+	intraHops, interHops int
 
 	nextFlow uint64
 }
@@ -113,11 +156,74 @@ const (
 	spineIDBase = 20000
 )
 
-// NewNetwork builds and wires the fabric.
+// NewNetwork builds and wires the fabric on a single serial simulator.
 func NewNetwork(s *sim.Simulator, cfg Config) *Network {
 	cfg.fillDefaults()
 	n := &Network{Sim: s, Cfg: cfg}
+	n.Part = MakePartition(cfg.NumLeaves, cfg.NumSpines, 1)
+	n.leafSim = make([]*sim.Simulator, cfg.NumLeaves)
+	n.spineSim = make([]*sim.Simulator, cfg.NumSpines)
+	for i := range n.leafSim {
+		n.leafSim[i] = s
+	}
+	for i := range n.spineSim {
+		n.spineSim[i] = s
+	}
+	n.build(s.Seed())
+	return n
+}
 
+// NewShardedNetwork builds the same fabric across the shards of a
+// parallel engine: each switch (and each host, via its leaf) schedules
+// on its shard's simulator, and every tier (leaf<->spine) link routes
+// through an engine mailbox — including same-shard tier links, so the
+// barrier merge order is a property of the topology alone and the run
+// is identical at any shard count.
+func NewShardedNetwork(p *sim.Parallel, cfg Config, part Partition) *Network {
+	cfg.fillDefaults()
+	if part.Shards != p.NumShards() {
+		panic(fmt.Sprintf("topo: partition has %d shards, engine has %d", part.Shards, p.NumShards()))
+	}
+	if len(part.LeafShard) != cfg.NumLeaves || len(part.SpineShard) != cfg.NumSpines {
+		panic(fmt.Sprintf("topo: partition covers %d leaves/%d spines, fabric has %d/%d",
+			len(part.LeafShard), len(part.SpineShard), cfg.NumLeaves, cfg.NumSpines))
+	}
+	n := &Network{Par: p, Cfg: cfg, Part: part}
+	n.leafSim = make([]*sim.Simulator, cfg.NumLeaves)
+	n.spineSim = make([]*sim.Simulator, cfg.NumSpines)
+	for l, sh := range part.LeafShard {
+		n.leafSim[l] = p.Shard(sh)
+	}
+	for sp, sh := range part.SpineShard {
+		n.spineSim[sp] = p.Shard(sh)
+	}
+	n.build(p.Seed())
+	return n
+}
+
+// switchRNG derives the switch's private random stream from the base
+// seed and its node ID — the same stream in serial and sharded mode,
+// regardless of partition or event interleaving.
+func switchRNG(baseSeed int64, id int) *rand.Rand {
+	return rand.New(rand.NewSource(randutil.DeriveSeed(baseSeed, id)))
+}
+
+// tierLink creates one leaf<->spine link: direct in serial mode,
+// mailbox-routed in sharded mode. Mailboxes register in call order,
+// which build keeps partition-invariant (the l x sp wiring loop).
+func (n *Network) tierLink(src *sim.Simulator, dst device.Endpoint, dstShard int) *device.Link {
+	if n.Par == nil {
+		return device.NewLink(src, n.Cfg.LinkDelay, dst)
+	}
+	box := n.Par.NewMailbox(dstShard, n.Cfg.LinkDelay)
+	return device.NewLinkVia(src, n.Cfg.LinkDelay, dst, box)
+}
+
+// build constructs switches, wires the tier, derives hop counts from
+// the routed path, and attaches hosts. Tier links are wired before
+// hosts so the hop walk runs on the real forwarding state.
+func (n *Network) build(baseSeed int64) {
+	cfg := n.Cfg
 	mmuFor := func() device.MMUConfig {
 		return device.MMUConfig{
 			BufferSize:       cfg.BufferSize,
@@ -133,7 +239,7 @@ func NewNetwork(s *sim.Simulator, cfg Config) *Network {
 	}
 
 	for l := 0; l < cfg.NumLeaves; l++ {
-		sw := device.NewSwitch(s, device.SwitchConfig{
+		sw := device.NewSwitch(n.leafSim[l], device.SwitchConfig{
 			ID:            packet.NodeID(leafIDBase + l),
 			NumPorts:      cfg.HostsPerLeaf + cfg.NumSpines,
 			QueuesPerPort: cfg.QueuesPerPort,
@@ -141,12 +247,13 @@ func NewNetwork(s *sim.Simulator, cfg Config) *Network {
 			MMU:           mmuFor(),
 			NewScheduler:  cfg.NewScheduler,
 			EnableINT:     cfg.EnableINT,
+			RNG:           switchRNG(baseSeed, leafIDBase+l),
 		})
 		sw.SetRouter(n.leafRouter(l))
 		n.Leaves = append(n.Leaves, sw)
 	}
 	for sp := 0; sp < cfg.NumSpines; sp++ {
-		sw := device.NewSwitch(s, device.SwitchConfig{
+		sw := device.NewSwitch(n.spineSim[sp], device.SwitchConfig{
 			ID:            packet.NodeID(spineIDBase + sp),
 			NumPorts:      cfg.NumLeaves,
 			QueuesPerPort: cfg.QueuesPerPort,
@@ -154,19 +261,43 @@ func NewNetwork(s *sim.Simulator, cfg Config) *Network {
 			MMU:           mmuFor(),
 			NewScheduler:  cfg.NewScheduler,
 			EnableINT:     cfg.EnableINT,
+			RNG:           switchRNG(baseSeed, spineIDBase+sp),
 		})
 		sw.SetRouter(n.spineRouter())
 		n.Spines = append(n.Spines, sw)
 	}
 
+	for l, leaf := range n.Leaves {
+		for sp, spine := range n.Spines {
+			leaf.ConnectPort(cfg.HostsPerLeaf+sp, n.tierLink(n.leafSim[l], spine, n.Part.SpineShard[sp]))
+			spine.ConnectPort(l, n.tierLink(n.spineSim[sp], leaf, n.Part.LeafShard[l]))
+		}
+	}
+
+	n.intraHops = 2 // up to the leaf and back down: no pair to probe when HostsPerLeaf == 1
+	if cfg.HostsPerLeaf > 1 {
+		n.intraHops = n.routedHops(0, 1)
+	}
+	n.interHops = n.intraHops
+	if cfg.NumLeaves > 1 {
+		n.interHops = n.routedHops(0, cfg.HostsPerLeaf)
+	}
+	worst := n.interHops
+	if n.intraHops > worst {
+		worst = n.intraHops
+	}
+	n.baseRTT = units.Time(2*worst) * cfg.LinkDelay
+
 	numHosts := cfg.NumLeaves * cfg.HostsPerLeaf
 	for h := 0; h < numHosts; h++ {
-		leaf := n.Leaves[h/cfg.HostsPerLeaf]
+		l := h / cfg.HostsPerLeaf
+		leaf := n.Leaves[l]
+		s := n.leafSim[l]
 		hostPort := h % cfg.HostsPerLeaf
 		hs := host.New(s, host.Config{
 			ID:      packet.NodeID(h),
 			Rate:    cfg.LinkRate,
-			BaseRTT: n.BaseRTT(),
+			BaseRTT: n.baseRTT,
 			MSS:     cfg.MSS,
 			MinRTO:  cfg.MinRTO,
 		})
@@ -174,14 +305,33 @@ func NewNetwork(s *sim.Simulator, cfg Config) *Network {
 		leaf.ConnectPort(hostPort, device.NewLink(s, cfg.LinkDelay, hs))
 		n.Hosts = append(n.Hosts, hs)
 	}
+}
 
-	for l, leaf := range n.Leaves {
-		for sp, spine := range n.Spines {
-			leaf.ConnectPort(cfg.HostsPerLeaf+sp, device.NewLink(s, cfg.LinkDelay, spine))
-			spine.ConnectPort(l, device.NewLink(s, cfg.LinkDelay, leaf))
-		}
+// routedHops counts link traversals on the path the installed routers
+// forward src->dst: the host uplink, switch-to-switch hops along real
+// links, and the final down-link to the destination host. ECMP spreads
+// flows across spines but never changes the hop count, so one probe
+// flow is representative.
+func (n *Network) routedHops(src, dst int) int {
+	if src == dst {
+		return 0
 	}
-	return n
+	probe := &packet.Packet{Dst: packet.NodeID(dst), FlowID: 1}
+	cur := n.Leaves[n.LeafOf(src)]
+	hops := 1 // src host -> leaf
+	for step := 0; step < 16; step++ {
+		port := cur.RoutePort(probe)
+		if int(cur.ID()) < spineIDBase && port < n.Cfg.HostsPerLeaf {
+			return hops + 1 // leaf -> dst host
+		}
+		next, ok := cur.Port(port).Link().Dst().(*device.Switch)
+		if !ok {
+			panic(fmt.Sprintf("topo: routed path from %d to %d left the switch fabric", src, dst))
+		}
+		hops++
+		cur = next
+	}
+	panic(fmt.Sprintf("topo: routed path from %d to %d did not terminate", src, dst))
 }
 
 // leafRouter forwards to the local host port or ECMP-hashes the flow
@@ -221,17 +371,26 @@ func (n *Network) NumHosts() int { return len(n.Hosts) }
 // LeafOf returns the leaf (rack) index of a host index.
 func (n *Network) LeafOf(hostIdx int) int { return hostIdx / n.Cfg.HostsPerLeaf }
 
-// BaseRTT returns the propagation round-trip of the longest (inter-rack)
-// path: eight link traversals.
-func (n *Network) BaseRTT() units.Time { return 8 * n.Cfg.LinkDelay }
+// BaseRTT returns the propagation round-trip of the longest path,
+// derived from the hop count the installed routers actually report
+// (eight link traversals on the paper's two-tier fabric).
+func (n *Network) BaseRTT() units.Time { return n.baseRTT }
 
-// Hops returns the one-way hop-link count between two hosts.
+// Hops returns the one-way hop-link count between two hosts, measured
+// on the routed path at build time.
 func (n *Network) Hops(src, dst int) int {
 	if n.LeafOf(src) == n.LeafOf(dst) {
-		return 2
+		return n.intraHops
 	}
-	return 4
+	return n.interHops
 }
+
+// SimOfHost returns the simulator host h's events must schedule on (the
+// serial simulator, or in sharded mode its leaf's shard).
+func (n *Network) SimOfHost(h int) *sim.Simulator { return n.leafSim[n.LeafOf(h)] }
+
+// ShardOfHost returns host h's shard index.
+func (n *Network) ShardOfHost(h int) int { return n.Part.LeafShard[n.LeafOf(h)] }
 
 // IdealFCT returns the completion time the flow would see alone in the
 // fabric: round-trip propagation (the FCT is measured at the sender, so
@@ -252,13 +411,41 @@ func (n *Network) IdealFCT(src, dst int, size units.ByteCount) units.Time {
 // opaque label recorded by metrics (e.g. "websearch", "incast").
 func (n *Network) StartFlow(src, dst int, size units.ByteCount, prio uint8,
 	algo cc.Algorithm, onComplete func(now units.Time)) uint64 {
+	id := n.AllocFlowID()
+	n.StartFlowWithID(id, src, dst, size, prio, algo, onComplete)
+	return id
+}
+
+// AllocFlowID reserves the next flow ID. The pre-generated workload
+// path allocates IDs at planning time (on the coordinator, in arrival
+// order) and launches the flows later on their source hosts' shards.
+func (n *Network) AllocFlowID() uint64 {
+	n.nextFlow++
+	return n.nextFlow
+}
+
+// StartFlowWithID launches a flow under a pre-allocated ID; see
+// AllocFlowID. It must run on the source host's shard.
+func (n *Network) StartFlowWithID(id uint64, src, dst int, size units.ByteCount, prio uint8,
+	algo cc.Algorithm, onComplete func(now units.Time)) {
 	if src == dst {
 		panic(fmt.Sprintf("topo: flow to self (host %d)", src))
 	}
-	n.nextFlow++
-	id := n.nextFlow
 	n.Hosts[src].StartFlow(id, packet.NodeID(dst), size, prio, algo, onComplete)
-	return id
+}
+
+// WorstBufferFrac returns the worst shared-buffer occupancy fraction
+// across all switches, the fabric-wide statistic the buffer sampler
+// records. Callers must hold the fabric quiescent (serial execution or
+// a window barrier).
+func (n *Network) WorstBufferFrac() float64 {
+	worst := 0.0
+	for _, sw := range n.Switches() {
+		if f := float64(sw.MMU().TotalUsed()) / float64(n.Cfg.BufferSize); f > worst {
+			worst = f
+		}
+	}
+	return worst
 }
 
 // Switches returns all switches, leaves first.

@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"abm/internal/cc"
+	"abm/internal/metrics"
+	"abm/internal/units"
+)
+
+// buildPair returns matching WebSearch+Incast generators over a fresh
+// network, with PickCC/PickPrio wired to a shared RNG the way the
+// experiment harness does.
+func buildPair(seed int64) (*WebSearch, *Incast, *metrics.Collector) {
+	_, n := testNet(seed)
+	col := &metrics.Collector{}
+	shared := rand.New(rand.NewSource(seed + 1000))
+	ws := &WebSearch{
+		Net: n, Load: 0.4, Collect: col, Seed: seed + 1,
+		PickCC: func(i int) (cc.Factory, uint8) {
+			p := uint8(shared.Intn(3))
+			return func() cc.Algorithm { return cc.NewDCTCP() }, p
+		},
+	}
+	ic := &Incast{
+		Net: n, RequestSize: 40 * units.Kilobyte, Fanout: 4, QueryRate: 2000,
+		CC: func() cc.Algorithm { return cc.NewDCTCP() }, Collect: col, Seed: seed + 2,
+		PickPrio: func() uint8 { return uint8(shared.Intn(3)) },
+	}
+	return ws, ic, col
+}
+
+// TestPregenMatchesLive replays the pre-generated schedule against a
+// live serial run: every collector row's planning-time fields (class,
+// priority, size, start time, ideal FCT, flow ID) and the generator
+// counters must be identical — the pregen path consumes each RNG
+// stream draw-for-draw, including the shared PickCC/PickPrio stream in
+// merged arrival order.
+func TestPregenMatchesLive(t *testing.T) {
+	horizon := 20 * units.Millisecond
+
+	ws, ic, liveCol := buildPair(9)
+	ws.Start()
+	ic.Start()
+	ws.Net.Sim.RunUntil(horizon)
+	ws.Stop()
+	ic.Stop()
+	ws.Net.Stop()
+	liveStarted, liveQueries := ws.Started(), ic.Queries()
+
+	pws, pic, preCol := buildPair(9)
+	SchedulePregen(pws, pic, horizon)
+	// Planning is complete before anything runs; the schedule sits in
+	// the calendar. Run it so flows actually work (and Finished fills).
+	pws.Net.Sim.RunUntil(horizon)
+	pws.Net.Stop()
+
+	if pws.Started() != liveStarted || pic.Queries() != liveQueries {
+		t.Fatalf("pregen started %d flows / %d queries, live %d / %d",
+			pws.Started(), pic.Queries(), liveStarted, liveQueries)
+	}
+	if len(preCol.Flows) != len(liveCol.Flows) {
+		t.Fatalf("pregen recorded %d flows, live %d", len(preCol.Flows), len(liveCol.Flows))
+	}
+	if len(preCol.Flows) < 20 {
+		t.Fatalf("too few flows for a meaningful check: %d", len(preCol.Flows))
+	}
+	for i := range preCol.Flows {
+		p, l := preCol.Flows[i], liveCol.Flows[i]
+		if p.Class != l.Class || p.Prio != l.Prio || p.Size != l.Size ||
+			p.Start != l.Start || p.Ideal != l.Ideal || p.ID != l.ID {
+			t.Fatalf("flow %d diverged:\npregen %+v\nlive   %+v", i, p, l)
+		}
+	}
+}

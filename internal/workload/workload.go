@@ -140,6 +140,54 @@ func (w *WebSearch) record(src, dst int, size units.ByteCount, prio uint8,
 // Started returns the number of flows launched so far.
 func (w *WebSearch) Started() int { return w.started }
 
+// genWS is one pre-generated web-search arrival (PickCC not yet
+// resolved: the shared experiment RNG must be drawn in merged arrival
+// order, see SchedulePregen).
+type genWS struct {
+	t        units.Time
+	src, dst int
+	size     units.ByteCount
+	idx      int // flow index passed to PickCC
+}
+
+// generate replays Start/scheduleNext/launch draw-for-draw against the
+// workload's private RNG, producing every arrival with time <= horizon
+// (the same inclusive bound RunUntil(duration) gives the live
+// generator) without touching any simulator.
+func (w *WebSearch) generate(horizon units.Time) []genWS {
+	if w.Load <= 0 || w.Load > 1 {
+		panic(fmt.Sprintf("workload: load %v out of (0,1]", w.Load))
+	}
+	if w.Sizes == nil {
+		w.Sizes = randutil.WebSearch
+	}
+	if w.CC == nil && w.PickCC == nil {
+		panic("workload: WebSearch needs a cc factory")
+	}
+	seed := w.Seed
+	if seed == 0 {
+		seed = 0x5eed_ab1e
+	}
+	rng := rand.New(rand.NewSource(seed))
+	mean := w.interArrival()
+	n := w.Net.NumHosts()
+	var out []genWS
+	t := units.Time(0)
+	for {
+		t += randutil.Exponential(rng, mean)
+		if t > horizon {
+			return out
+		}
+		src := rng.Intn(n)
+		dst := rng.Intn(n - 1)
+		if dst >= src {
+			dst++
+		}
+		size := w.Sizes.SampleBytes(rng)
+		out = append(out, genWS{t: t, src: src, dst: dst, size: size, idx: len(out)})
+	}
+}
+
 // Stop halts flow generation (flows in flight keep running).
 func (w *WebSearch) Stop() { w.stopped = true }
 
@@ -268,28 +316,181 @@ func (ic *Incast) recordFlow(src, dst int, size units.ByteCount) {
 // Queries returns the number of queries issued.
 func (ic *Incast) Queries() int { return ic.queries }
 
+// genQuery is one pre-generated incast query: all of its response
+// flows share the arrival time (PickPrio resolved later, in merged
+// order).
+type genQuery struct {
+	t     units.Time
+	flows []genFlow
+}
+
+type genFlow struct {
+	src, dst int
+	size     units.ByteCount
+}
+
+// generate replays the live incast generator draw-for-draw up to the
+// horizon (inclusive); see WebSearch.generate.
+func (ic *Incast) generate(horizon units.Time) []genQuery {
+	if ic.Fanout <= 0 {
+		ic.Fanout = 8
+	}
+	if ic.RequestSize <= 0 {
+		panic("workload: incast needs a request size")
+	}
+	if ic.QueryRate <= 0 {
+		panic("workload: incast needs a query rate")
+	}
+	if ic.CC == nil {
+		panic("workload: incast needs a cc factory")
+	}
+	seed := ic.Seed
+	if seed == 0 {
+		seed = 0x1ca57
+	}
+	rng := rand.New(rand.NewSource(seed))
+	mean := units.Time(float64(units.Second) / ic.QueryRate)
+	n := ic.Net.NumHosts()
+	var out []genQuery
+	t := units.Time(0)
+	for {
+		t += randutil.Exponential(rng, mean)
+		if t > horizon {
+			return out
+		}
+		requester := rng.Intn(n)
+		reqLeaf := ic.Net.LeafOf(requester)
+		var candidates []int
+		for h := 0; h < n; h++ {
+			if ic.Net.LeafOf(h) != reqLeaf {
+				candidates = append(candidates, h)
+			}
+		}
+		fanout := ic.Fanout
+		if fanout > len(candidates) {
+			fanout = len(candidates)
+		}
+		rng.Shuffle(len(candidates), func(i, j int) {
+			candidates[i], candidates[j] = candidates[j], candidates[i]
+		})
+		per := ic.RequestSize / units.ByteCount(fanout)
+		if per < 1 {
+			per = 1
+		}
+		q := genQuery{t: t}
+		for _, responder := range candidates[:fanout] {
+			q.flows = append(q.flows, genFlow{src: responder, dst: requester, size: per})
+		}
+		out = append(out, q)
+	}
+}
+
+// pregenLaunch records one pre-generated flow and schedules its launch
+// on the source host's shard. It mirrors the live record path exactly:
+// the collector row is appended (and the flow ID allocated) at planning
+// time in arrival order, so collector layout and flow IDs match a
+// serial live run; only the End/Finished fields are written during the
+// run, each by the flow's own completion callback into its private row
+// — safe under shard concurrency.
+func pregenLaunch(net *topo.Network, col *metrics.Collector, t units.Time,
+	src, dst int, size units.ByteCount, prio uint8, algo cc.Algorithm, class metrics.FlowClass) {
+	rec := metrics.FlowRecord{
+		Class: class,
+		Prio:  prio,
+		Size:  size,
+		Start: t,
+		Ideal: net.IdealFCT(src, dst, size),
+	}
+	idx := -1
+	if col != nil {
+		col.AddFlow(rec)
+		idx = len(col.Flows) - 1
+	}
+	id := net.AllocFlowID()
+	if idx >= 0 {
+		col.Flows[idx].ID = id
+	}
+	onComplete := func(now units.Time) {
+		if idx >= 0 {
+			col.Flows[idx].End = now
+			col.Flows[idx].Finished = true
+		}
+	}
+	net.SimOfHost(src).At(t, func() {
+		net.StartFlowWithID(id, src, dst, size, prio, algo, onComplete)
+	})
+}
+
+// SchedulePregen pre-generates both workloads up to the horizon and
+// schedules every flow launch on its source host's simulator. It is the
+// sharded-run replacement for Start/Stop: generators draw from their
+// private streams exactly as the live path does, and the shared
+// experiment RNG behind PickCC/PickPrio is drawn in merged arrival
+// order (web-search first on exact ties), reproducing the serial
+// interleaving. Either workload may be nil.
+func SchedulePregen(ws *WebSearch, ic *Incast, horizon units.Time) {
+	var wsArr []genWS
+	var icArr []genQuery
+	if ws != nil {
+		wsArr = ws.generate(horizon)
+	}
+	if ic != nil {
+		icArr = ic.generate(horizon)
+	}
+	i, j := 0, 0
+	for i < len(wsArr) || j < len(icArr) {
+		if i < len(wsArr) && (j >= len(icArr) || wsArr[i].t <= icArr[j].t) {
+			a := wsArr[i]
+			i++
+			factory, prio := ws.CC, ws.Prio
+			if ws.PickCC != nil {
+				factory, prio = ws.PickCC(a.idx)
+			}
+			ws.started++
+			pregenLaunch(ws.Net, ws.Collect, a.t, a.src, a.dst, a.size, prio, factory(), metrics.ClassWebSearch)
+		} else {
+			q := icArr[j]
+			j++
+			ic.queries++
+			for _, f := range q.flows {
+				prio := ic.Prio
+				if ic.PickPrio != nil {
+					prio = ic.PickPrio()
+				}
+				pregenLaunch(ic.Net, ic.Collect, q.t, f.src, f.dst, f.size, prio, ic.CC(), metrics.ClassIncast)
+			}
+		}
+	}
+}
+
 // Stop halts query generation.
 func (ic *Incast) Stop() { ic.stopped = true }
 
 // BufferSampler periodically records the fabric's worst-switch occupancy
-// fraction into the collector.
+// fraction into the collector. It reads every switch, so in sharded
+// mode it must run at window barriers (StartBarrier), where the whole
+// fabric is quiescent.
 type BufferSampler struct {
 	Net     *topo.Network
 	Collect *metrics.Collector
 	ticker  *sim.Ticker
+	barrier *sim.BarrierTicker
 }
 
-// Start samples every interval until Stop.
+// Start samples every interval on the serial simulator until Stop.
 func (b *BufferSampler) Start(interval units.Time) {
 	b.ticker = b.Net.Sim.NewTicker(interval, func() {
-		var worst float64
-		for _, sw := range b.Net.Switches() {
-			frac := float64(sw.MMU().TotalUsed()) / float64(b.Net.Cfg.BufferSize)
-			if frac > worst {
-				worst = frac
-			}
-		}
-		b.Collect.SampleBuffer(worst)
+		b.Collect.SampleBuffer(b.Net.WorstBufferFrac())
+	})
+}
+
+// StartBarrier samples every interval of simulated time at the parallel
+// engine's window barriers: each sample sees every event before its due
+// time executed on every shard and none after — the same cut a serial
+// ticker observes.
+func (b *BufferSampler) StartBarrier(interval units.Time) {
+	b.barrier = b.Net.Par.NewBarrierTicker(interval, func(units.Time) {
+		b.Collect.SampleBuffer(b.Net.WorstBufferFrac())
 	})
 }
 
@@ -297,5 +498,8 @@ func (b *BufferSampler) Start(interval units.Time) {
 func (b *BufferSampler) Stop() {
 	if b.ticker != nil {
 		b.ticker.Stop()
+	}
+	if b.barrier != nil {
+		b.barrier.Stop()
 	}
 }
