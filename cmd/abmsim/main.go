@@ -12,10 +12,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"abm"
+	"abm/internal/obs"
 )
 
 func main() {
@@ -36,8 +38,17 @@ func main() {
 		wl      = flag.String("workload", "websearch", "background workload: websearch, datamining")
 		cfgIn   = flag.String("config", "", "load the experiment cell from this JSON file (overrides other flags)")
 		cfgOut  = flag.String("save-config", "", "write the resolved experiment cell as JSON and exit")
+		dur     = flag.Duration("duration", 0, "traffic duration override (e.g. 2ms; 0 = the scale's default)")
+		of      obs.Flags
 	)
+	of.AddFlags(false)
 	flag.Parse()
+
+	obsOpts, err := of.Validate()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	sc, err := abm.ParseScale(*scale)
 	if err != nil {
@@ -67,6 +78,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "parsing %s: %v\n", *cfgIn, err)
 			os.Exit(1)
 		}
+	}
+	// Telemetry and duration flags apply on top of a loaded config, so a
+	// saved cell can be re-traced without editing its JSON.
+	if obsOpts.Active() {
+		cell.Obs = obsOpts
+	}
+	if *dur > 0 {
+		cell.Duration = abm.Time(dur.Nanoseconds()) * abm.Nanosecond
 	}
 	if *cfgOut != "" {
 		data, err := json.MarshalIndent(cell, "", "  ")
@@ -117,4 +136,24 @@ func main() {
 	fmt.Printf("flows %d (unfinished %d), drops %d (unscheduled %d)\n",
 		s.Flows, s.Unfinished, res.Drops, res.UnscheduledDrops)
 	fmt.Printf("%d events in %.1fs wall time\n", res.Events, time.Since(start).Seconds())
+	if len(res.Counters) > 0 {
+		fmt.Println(strings.Repeat("-", 44))
+		keys := make([]string, 0, len(res.Counters))
+		for k := range res.Counters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("%-32s %12d\n", k, res.Counters[k])
+		}
+	}
+	for _, out := range []struct{ what, path string }{
+		{"event trace", cell.Obs.EventsFile},
+		{"chrome trace", cell.Obs.ChromeFile},
+		{"counter summary", cell.Obs.CountersFile},
+	} {
+		if out.path != "" {
+			fmt.Printf("%s written to %s\n", out.what, out.path)
+		}
+	}
 }

@@ -42,6 +42,8 @@ type Report struct {
 	GOOS       string      `json:"goos"`
 	GOARCH     string      `json:"goarch"`
 	CPU        string      `json:"cpu,omitempty"`
+	NumCPU     int         `json:"num_cpu"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
 	Packages   []string    `json:"packages"`
 	BenchFlags []string    `json:"bench_flags"`
 	Benchmarks []Benchmark `json:"benchmarks"`
@@ -91,6 +93,8 @@ func main() {
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Packages:   pkgList,
 		BenchFlags: args[1:],
 	}

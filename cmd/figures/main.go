@@ -26,6 +26,7 @@ import (
 	"runtime"
 
 	"abm/internal/experiments"
+	"abm/internal/obs"
 	"abm/internal/prof"
 	"abm/internal/runner"
 )
@@ -44,9 +45,17 @@ func run() int {
 		shards  = flag.Int("shards", 0, "simulation shards per cell (0 = serial loop; >=1 runs the parallel engine, clamped to the fabric's leaf count)")
 		noJSON  = flag.Bool("no-json", false, "with -out, skip the per-cell JSON record store")
 		pf      prof.Flags
+		of      obs.Flags
 	)
 	pf.AddFlags()
+	of.AddFlags(true)
 	flag.Parse()
+
+	obsOpts, err := of.Validate()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 
 	stopProf, err := pf.Start()
 	if err != nil {
@@ -71,7 +80,7 @@ func run() int {
 		// interleave otherwise); each figure's cells still run in
 		// parallel on the pool.
 		for _, id := range ids {
-			opts := &experiments.RunOptions{Shards: *shards}
+			opts := &experiments.RunOptions{Shards: *shards, Obs: obsOpts}
 			if err := experiments.RunFigureOpts(opts, id, sc, *seed, os.Stdout); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				return 1
@@ -105,7 +114,7 @@ func run() int {
 			Experiment: id,
 			Seed:       *seed,
 			Run: func(_ context.Context, _ int64) (runner.Result, error) {
-				opts := &experiments.RunOptions{Workers: 1, Shards: *shards, Store: store}
+				opts := &experiments.RunOptions{Workers: 1, Shards: *shards, Store: store, Obs: obsOpts}
 				f, err := os.Create(filepath.Join(*out, id+".tsv"))
 				if err != nil {
 					return runner.Result{}, err

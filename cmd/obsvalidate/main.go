@@ -1,0 +1,175 @@
+// Command obsvalidate checks an NDJSON event trace produced by the
+// telemetry layer (internal/obs, -trace-events) against its documented
+// schema: every line is a JSON object, the kind is known, exactly the
+// fields that kind emits are present with the right JSON types,
+// verdicts come from the right enum, and timestamps never decrease
+// (the export is the canonical merged order). It exits nonzero on the
+// first file with violations, printing each offending line number —
+// the CI smoke run pipes a fresh trace through it so a schema drift
+// between the writer and the documentation fails the build.
+//
+// Usage:
+//
+//	obsvalidate trace.ndjson [more.ndjson ...]
+//	abmsim -trace-events /dev/stdout ... | obsvalidate -
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// fieldsByKind is the exact field set each kind emits, beyond the
+// common "t" and "kind". Mirrors obs.WriteNDJSON (pinned there by
+// TestWriteNDJSONGolden).
+var fieldsByKind = map[string][]string{
+	"admit": {"node", "port", "prio", "flow", "seq", "size", "qlen",
+		"free", "thresh", "alpha", "mu_b", "ncong", "unsched", "verdict"},
+	"enqueue": {"node", "port", "prio", "flow", "seq", "size", "qlen"},
+	"dequeue": {"node", "port", "prio", "flow", "seq", "size", "qlen", "sojourn_ps", "verdict"},
+	"mark":    {"node", "port", "prio", "flow", "seq", "size", "qlen"},
+	"timeout": {"node", "flow", "seq", "rto_ps", "cwnd"},
+	"cwndcut": {"node", "flow", "cwnd"},
+	"window":  {"shard", "dur_ps", "events", "wall_ns"},
+	"barrier": {"shards", "wall_ns"},
+}
+
+var verdictsByKind = map[string]map[string]bool{
+	"admit": {"admit": true, "admit-mark": true, "drop-threshold": true,
+		"drop-nobuffer": true, "drop-aqm": true, "drop-afd": true},
+	"dequeue": {"tx": true, "drop-dequeue": true},
+}
+
+func main() {
+	paths := os.Args[1:]
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: obsvalidate <trace.ndjson ...|->")
+		os.Exit(2)
+	}
+	exit := 0
+	for _, path := range paths {
+		r := io.Reader(os.Stdin)
+		name := "stdin"
+		if path != "-" {
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			r, name = f, path
+		}
+		lines, errs := validate(r, os.Stderr, name)
+		if errs > 0 {
+			fmt.Fprintf(os.Stderr, "%s: %d violations in %d lines\n", name, errs, lines)
+			exit = 1
+		} else {
+			fmt.Printf("%s: %d events ok\n", name, lines)
+		}
+	}
+	os.Exit(exit)
+}
+
+// validate checks one stream, reporting every violation to w; it
+// returns the line count and the violation count.
+func validate(r io.Reader, w io.Writer, name string) (lines, errs int) {
+	const maxReported = 20
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	lastT := int64(-1 << 62)
+	report := func(line int, format string, args ...any) {
+		errs++
+		if errs == maxReported+1 {
+			fmt.Fprintf(w, "%s: ... further violations suppressed\n", name)
+		}
+		if errs <= maxReported {
+			fmt.Fprintf(w, "%s:%d: %s\n", name, line, fmt.Sprintf(format, args...))
+		}
+	}
+	for sc.Scan() {
+		lines++
+		var obj map[string]json.RawMessage
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			report(lines, "not a JSON object: %v", err)
+			continue
+		}
+		var kind string
+		if raw, ok := obj["kind"]; !ok || json.Unmarshal(raw, &kind) != nil {
+			report(lines, "missing or non-string \"kind\"")
+			continue
+		}
+		want, ok := fieldsByKind[kind]
+		if !ok {
+			report(lines, "unknown kind %q", kind)
+			continue
+		}
+		var t int64
+		if raw, ok := obj["t"]; !ok || json.Unmarshal(raw, &t) != nil {
+			report(lines, "%s: missing or non-integer \"t\"", kind)
+			continue
+		}
+		if t < lastT {
+			report(lines, "%s: timestamp went backwards (%d after %d)", kind, t, lastT)
+		}
+		lastT = t
+		for _, f := range want {
+			raw, ok := obj[f]
+			if !ok {
+				report(lines, "%s: missing field %q", kind, f)
+				continue
+			}
+			if !typeOK(f, raw) {
+				report(lines, "%s: field %q has the wrong JSON type: %s", kind, f, raw)
+			}
+		}
+		if len(obj) != len(want)+2 { // + t, kind
+			for f := range obj {
+				if f == "t" || f == "kind" {
+					continue
+				}
+				known := false
+				for _, g := range want {
+					if f == g {
+						known = true
+						break
+					}
+				}
+				if !known {
+					report(lines, "%s: unexpected field %q", kind, f)
+				}
+			}
+		}
+		if allowed, checked := verdictsByKind[kind]; checked {
+			var v string
+			if json.Unmarshal(obj["verdict"], &v) == nil && !allowed[v] {
+				report(lines, "%s: verdict %q not in the %s enum", kind, v, kind)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		report(lines, "read: %v", err)
+	}
+	return lines, errs
+}
+
+// typeOK checks a field's JSON type: verdicts are strings, unsched is a
+// bool, alpha and mu_b are numbers, everything else must be an integer.
+func typeOK(field string, raw json.RawMessage) bool {
+	switch field {
+	case "verdict":
+		var s string
+		return json.Unmarshal(raw, &s) == nil
+	case "unsched":
+		var b bool
+		return json.Unmarshal(raw, &b) == nil
+	case "alpha", "mu_b":
+		var f float64
+		return json.Unmarshal(raw, &f) == nil
+	default:
+		var n int64
+		return json.Unmarshal(raw, &n) == nil
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"abm/internal/experiments"
+	"abm/internal/obs"
 	"abm/internal/prof"
 	"abm/internal/runner"
 )
@@ -68,9 +69,16 @@ func run() int {
 		dryRun      = flag.Bool("dry-run", false, "print the expanded job list and exit")
 		injectPanic = flag.String("inject-panic", "", "make jobs whose ID contains this substring panic (fault-injection testing)")
 		pf          prof.Flags
+		of          obs.Flags
 	)
 	pf.AddFlags()
+	of.AddFlags(true)
 	flag.Parse()
+
+	obsOpts, err := of.Validate()
+	if err != nil {
+		return die(err)
+	}
 
 	stopProf, err := pf.Start()
 	if err != nil {
@@ -86,6 +94,7 @@ func run() int {
 		QueuesPerPort: *qpp, Workload: *workload, DurationMS: *duration,
 		Shards:     *shards,
 		TimeoutSec: timeout.Seconds(),
+		Obs:        obsOpts,
 	}
 	if *planFile != "" {
 		data, err := os.ReadFile(*planFile)
@@ -95,6 +104,11 @@ func run() int {
 		grid = experiments.Grid{}
 		if err := json.Unmarshal(data, &grid); err != nil {
 			return die(fmt.Errorf("%s: %w", *planFile, err))
+		}
+		// Telemetry flags apply on top of a plan file (the one exception
+		// to "flags override nothing"), so stored plans can be re-traced.
+		if obsOpts.Active() {
+			grid.Obs = obsOpts
 		}
 	}
 

@@ -6,6 +6,7 @@ import (
 
 	"abm/internal/aqm"
 	"abm/internal/bm"
+	"abm/internal/obs"
 	"abm/internal/packet"
 	"abm/internal/units"
 )
@@ -98,6 +99,20 @@ type MMU struct {
 
 	rng *rand.Rand
 
+	// Telemetry. The sink is nil when telemetry is off; the counter
+	// handles are resolved once here so the admission path performs
+	// plain nil-checked increments (see internal/obs).
+	obsSink            *obs.Sink
+	ctrAdmittedPkts    *obs.Counter
+	ctrAdmittedBytes   *obs.Counter
+	ctrDropThreshold   *obs.Counter
+	ctrDropNoBuffer    *obs.Counter
+	ctrDropAQM         *obs.Counter
+	ctrDropAFD         *obs.Counter
+	ctrDropUnscheduled *obs.Counter
+	ctrMarked          *obs.Counter
+	ctrTrimmed         *obs.Counter
+
 	// Counters.
 	AdmittedPkts  int64
 	AdmittedBytes units.ByteCount
@@ -105,7 +120,7 @@ type MMU struct {
 	TrimmedPkts   int64
 }
 
-func newMMU(cfg MMUConfig, sw *Switch, rng *rand.Rand) *MMU {
+func newMMU(cfg MMUConfig, sw *Switch, rng *rand.Rand, sink *obs.Sink) *MMU {
 	if cfg.BufferSize <= 0 {
 		panic("device: MMU buffer size must be positive")
 	}
@@ -118,7 +133,16 @@ func newMMU(cfg MMUConfig, sw *Switch, rng *rand.Rand) *MMU {
 	if cfg.AlphaUnscheduled <= 0 {
 		cfg.AlphaUnscheduled = 64
 	}
-	m := &MMU{cfg: cfg, sw: sw, rng: rng}
+	m := &MMU{cfg: cfg, sw: sw, rng: rng, obsSink: sink}
+	m.ctrAdmittedPkts = sink.Ctr(obs.CtrAdmittedPkts)
+	m.ctrAdmittedBytes = sink.Ctr(obs.CtrAdmittedBytes)
+	m.ctrDropThreshold = sink.Ctr(obs.CtrDropThreshold)
+	m.ctrDropNoBuffer = sink.Ctr(obs.CtrDropNoBuffer)
+	m.ctrDropAQM = sink.Ctr(obs.CtrDropAQM)
+	m.ctrDropAFD = sink.Ctr(obs.CtrDropAFD)
+	m.ctrDropUnscheduled = sink.Ctr(obs.CtrDropUnscheduled)
+	m.ctrMarked = sink.Ctr(obs.CtrECNMarked)
+	m.ctrTrimmed = sink.Ctr(obs.CtrTrimmed)
 	np, nq := len(sw.ports), sw.prios
 	m.aqms = make([][]aqm.Policy, np)
 	m.normDrain = make([][]float64, np)
@@ -336,11 +360,18 @@ func (m *MMU) headroomEligible(ctx *bm.Ctx) bool {
 func (m *MMU) Admit(port, prio int, pkt *packet.Packet) AdmitResult {
 	q := m.sw.ports[port].queues[prio]
 	ctx := m.ctx(port, prio, q, pkt)
+	traced := m.obsSink.Enabled(obs.KindAdmit)
 
 	// Stage 0: AFD-style early drop (IB).
 	if d, ok := m.cfg.BM.(bm.Dropper); ok && d.ShouldDrop(ctx, m.rng) {
 		q.DropsAFD++
+		m.ctrDropAFD.Inc()
 		m.notifyDrop(ctx)
+		if traced {
+			// No threshold was computed on this path; trace the queue's
+			// last one.
+			m.emitAdmit(ctx, pkt, obs.VerdictDropAFD, q.lastThreshold)
+		}
 		return DroppedAFD
 	}
 
@@ -361,11 +392,19 @@ func (m *MMU) Admit(port, prio int, pkt *packet.Packet) AdmitResult {
 		} else {
 			if !fitsBuffer {
 				q.DropsNoBuffer++
+				m.ctrDropNoBuffer.Inc()
 				m.notifyDrop(ctx)
+				if traced {
+					m.emitAdmit(ctx, pkt, obs.VerdictDropNoBuffer, thr)
+				}
 				return DroppedNoBuffer
 			}
 			q.DropsThreshold++
+			m.ctrDropThreshold.Inc()
 			m.notifyDrop(ctx)
+			if traced {
+				m.emitAdmit(ctx, pkt, obs.VerdictDropThreshold, thr)
+			}
 			return DroppedThreshold
 		}
 	}
@@ -383,15 +422,25 @@ func (m *MMU) Admit(port, prio int, pkt *packet.Packet) AdmitResult {
 	switch decision {
 	case aqm.Drop:
 		q.DropsAQM++
+		m.ctrDropAQM.Inc()
 		m.notifyDrop(ctx)
+		if traced {
+			m.emitAdmit(ctx, pkt, obs.VerdictDropAQM, thr)
+		}
 		return DroppedAQM
 	case aqm.Trim:
 		pkt.Trim()
 		size = pkt.Size()
 		m.TrimmedPkts++
+		m.ctrTrimmed.Inc()
 	case aqm.Mark:
 		pkt.Set(packet.FlagCE)
 		m.MarkedPkts++
+		q.MarkedPkts++
+		m.ctrMarked.Inc()
+		if m.obsSink.Enabled(obs.KindMark) {
+			m.emitQueueEvent(obs.KindMark, ctx, pkt, q.bytes)
+		}
 	}
 
 	// Charge and enqueue.
@@ -405,18 +454,69 @@ func (m *MMU) Admit(port, prio int, pkt *packet.Packet) AdmitResult {
 	q.push(pkt, m.sw.sim.Now())
 	m.AdmittedPkts++
 	m.AdmittedBytes += size
+	m.ctrAdmittedPkts.Inc()
+	m.ctrAdmittedBytes.Add(int64(size))
 	if fa, ok := m.cfg.BM.(bm.FlowAware); ok {
 		fa.OnAdmit(ctx)
 	}
+	verdict := obs.VerdictAdmit
+	result := Admitted
 	if decision == aqm.Mark {
-		return AdmittedMarked
+		verdict, result = obs.VerdictAdmitMark, AdmittedMarked
 	}
-	return Admitted
+	if traced {
+		m.emitAdmit(ctx, pkt, verdict, thr)
+	}
+	if m.obsSink.Enabled(obs.KindEnqueue) {
+		m.emitQueueEvent(obs.KindEnqueue, ctx, pkt, q.bytes)
+	}
+	return result
+}
+
+// emitAdmit traces one admission decision with its Eq. 9 context. The
+// caller has checked Enabled(KindAdmit); ctx still holds the pre-
+// decision queue state.
+func (m *MMU) emitAdmit(ctx *bm.Ctx, pkt *packet.Packet, verdict uint8, thr units.ByteCount) {
+	m.obsSink.Emit(obs.Event{
+		At:      ctx.Now,
+		Kind:    obs.KindAdmit,
+		Verdict: verdict,
+		Unsched: ctx.Unscheduled,
+		Node:    int32(m.sw.id),
+		Port:    int16(ctx.Port),
+		Prio:    int16(ctx.Prio),
+		Flow:    pkt.FlowID,
+		Seq:     pkt.Seq,
+		Size:    int32(pkt.Size()),
+		QLen:    ctx.QueueLen,
+		Free:    m.cfg.BufferSize - ctx.Occupied,
+		Thresh:  thr,
+		Alpha:   ctx.Alpha,
+		MuB:     ctx.NormDrain,
+		NCong:   int32(ctx.CongestedSamePrio),
+	})
+}
+
+// emitQueueEvent traces an enqueue or mark with the queue length after
+// the operation. The caller has checked Enabled(kind).
+func (m *MMU) emitQueueEvent(kind obs.Kind, ctx *bm.Ctx, pkt *packet.Packet, qlen units.ByteCount) {
+	m.obsSink.Emit(obs.Event{
+		At:   m.sw.sim.Now(),
+		Kind: kind,
+		Node: int32(m.sw.id),
+		Port: int16(ctx.Port),
+		Prio: int16(ctx.Prio),
+		Flow: pkt.FlowID,
+		Seq:  pkt.Seq,
+		Size: int32(pkt.Size()),
+		QLen: qlen,
+	})
 }
 
 func (m *MMU) notifyDrop(ctx *bm.Ctx) {
 	if ctx.Unscheduled {
 		m.sw.ports[ctx.Port].queues[ctx.Prio].DropsUnscheduled++
+		m.ctrDropUnscheduled.Inc()
 	}
 	if fa, ok := m.cfg.BM.(bm.FlowAware); ok {
 		fa.OnDrop(ctx)

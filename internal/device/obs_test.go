@@ -1,0 +1,40 @@
+package device
+
+import (
+	"testing"
+
+	"abm/internal/obs"
+)
+
+// TestVerdictAlignment pins the obs verdict constants to the MMU's
+// AdmitResult values: the tracer records the AdmitResult numerically,
+// so the first six verdicts must mirror it value for value.
+func TestVerdictAlignment(t *testing.T) {
+	pairs := []struct {
+		res  AdmitResult
+		verd uint8
+	}{
+		{Admitted, obs.VerdictAdmit},
+		{AdmittedMarked, obs.VerdictAdmitMark},
+		{DroppedThreshold, obs.VerdictDropThreshold},
+		{DroppedNoBuffer, obs.VerdictDropNoBuffer},
+		{DroppedAQM, obs.VerdictDropAQM},
+		{DroppedAFD, obs.VerdictDropAFD},
+	}
+	for _, p := range pairs {
+		if uint8(p.res) != p.verd {
+			t.Errorf("AdmitResult %d != obs verdict %d (%s)", p.res, p.verd, obs.VerdictName(p.verd))
+		}
+		if p.res.Dropped() != obs.VerdictDropped(p.verd) {
+			t.Errorf("Dropped() disagrees for %s", obs.VerdictName(p.verd))
+		}
+	}
+	// The dequeue-only verdicts must stay out of the AdmitResult range
+	// and keep their drop classification.
+	if obs.VerdictDropped(obs.VerdictTx) {
+		t.Error("VerdictTx classified as a drop")
+	}
+	if !obs.VerdictDropped(obs.VerdictDropDequeue) {
+		t.Error("VerdictDropDequeue not classified as a drop")
+	}
+}

@@ -52,6 +52,13 @@ type Queue struct {
 	// DequeuedBytes counts all bytes ever dequeued (service received).
 	DequeuedBytes units.ByteCount
 
+	// Lifetime enqueue/dequeue/mark counters, for the per-queue
+	// telemetry summary (trace.WriteQueueCounters).
+	EnqueuedPkts  int64
+	EnqueuedBytes units.ByteCount
+	DequeuedPkts  int64
+	MarkedPkts    int64
+
 	// Drop counters by cause, for experiment reporting.
 	DropsThreshold int64
 	DropsNoBuffer  int64
@@ -77,6 +84,8 @@ func (q *Queue) push(p *packet.Packet, now units.Time) {
 	q.items = append(q.items, queued{pkt: p, enqAt: now})
 	q.bytes += p.Size()
 	q.bytesF = float64(q.bytes)
+	q.EnqueuedPkts++
+	q.EnqueuedBytes += p.Size()
 	if q.bytes > q.MaxBytes {
 		q.MaxBytes = q.bytes
 	}
@@ -95,6 +104,7 @@ func (q *Queue) pop() (pkt *packet.Packet, enqAt units.Time, ok bool) {
 	q.bytesF = float64(q.bytes)
 	q.dequeuedInTick += size
 	q.DequeuedBytes += size
+	q.DequeuedPkts++
 	// Compact once the dead prefix dominates, keeping amortized O(1).
 	if q.head > 64 && q.head*2 >= len(q.items) {
 		n := copy(q.items, q.items[q.head:])

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"abm/internal/obs"
 	"abm/internal/packet"
 	"abm/internal/sim"
 	"abm/internal/units"
@@ -102,6 +103,10 @@ type SwitchConfig struct {
 	// a stream derived from (seed, switch ID) so switch randomness is
 	// independent of event interleaving and of the shard partition.
 	RNG *rand.Rand
+
+	// Obs is the telemetry sink for this switch's shard; nil disables
+	// telemetry at zero hot-path cost (see internal/obs).
+	Obs *obs.Sink
 }
 
 // Switch is an output-queued shared-memory switch.
@@ -115,6 +120,9 @@ type Switch struct {
 	cfg   SwitchConfig
 
 	statsTicker *sim.Ticker
+
+	obsSink        *obs.Sink
+	ctrDropDequeue *obs.Counter
 
 	RxPkts int64
 }
@@ -137,7 +145,9 @@ func NewSwitch(s *sim.Simulator, cfg SwitchConfig) *Switch {
 	if rng == nil {
 		rng = s.Rand()
 	}
-	sw.mmu = newMMU(cfg.MMU, sw, rng)
+	sw.obsSink = cfg.Obs
+	sw.ctrDropDequeue = cfg.Obs.Ctr(obs.CtrDropDequeue)
+	sw.mmu = newMMU(cfg.MMU, sw, rng, cfg.Obs)
 	if iv := cfg.MMU.StatsInterval; iv > 0 {
 		sw.statsTicker = s.NewTicker(iv, func() { sw.mmu.tick(s.Now()) })
 	}
@@ -289,13 +299,39 @@ func (p *Port) maybeTransmit() {
 			now := p.sw.sim.Now()
 			if hook.OnDequeue(now-enqAt, now) {
 				q.DropsAQM++
+				p.sw.ctrDropDequeue.Inc()
+				if p.sw.obsSink.Enabled(obs.KindDequeue) {
+					p.emitDequeue(pkt, q, enqAt, obs.VerdictDropDequeue)
+				}
 				p.sw.sim.FreePacket(pkt)
 				continue
 			}
 		}
+		if p.sw.obsSink.Enabled(obs.KindDequeue) {
+			p.emitDequeue(pkt, q, enqAt, obs.VerdictTx)
+		}
 		p.transmit(pkt, q)
 		return
 	}
+}
+
+// emitDequeue traces one dequeue with the post-pop queue length and the
+// packet's sojourn time. The caller has checked Enabled(KindDequeue).
+func (p *Port) emitDequeue(pkt *packet.Packet, q *Queue, enqAt units.Time, verdict uint8) {
+	now := p.sw.sim.Now()
+	p.sw.obsSink.Emit(obs.Event{
+		At:      now,
+		Kind:    obs.KindDequeue,
+		Verdict: verdict,
+		Node:    int32(p.sw.id),
+		Port:    int16(p.idx),
+		Prio:    int16(q.Prio),
+		Flow:    pkt.FlowID,
+		Seq:     pkt.Seq,
+		Size:    int32(pkt.Size()),
+		QLen:    q.bytes,
+		Aux:     int64(now - enqAt),
+	})
 }
 
 func (p *Port) transmit(pkt *packet.Packet, q *Queue) {

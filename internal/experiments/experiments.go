@@ -14,6 +14,7 @@ import (
 	"abm/internal/cc"
 	"abm/internal/device"
 	"abm/internal/metrics"
+	"abm/internal/obs"
 	"abm/internal/packet"
 	"abm/internal/randutil"
 	"abm/internal/sim"
@@ -140,6 +141,10 @@ type Cell struct {
 	HeadroomFrac          float64    // headroom fraction; <0 disables, 0 selects scheme default
 	AlphaUnscheduled      float64    // default 64
 	StatsIntervalOverride units.Time // n_p / mu refresh period, default one base RTT
+
+	// Obs selects the run's telemetry (DESIGN.md §4e); the zero value
+	// disables it entirely.
+	Obs obs.Options
 }
 
 // CCAssignment binds a congestion-control algorithm to a priority.
@@ -159,6 +164,11 @@ type Result struct {
 	Drops            int64
 	UnscheduledDrops int64
 	Events           uint64
+
+	// Counters holds the telemetry counter totals by export name when
+	// the cell enabled telemetry (Cell.Obs); nil otherwise. The model/
+	// keys are shard-count-invariant.
+	Counters map[string]int64
 }
 
 // needsINT reports whether any configured algorithm requires telemetry.
@@ -295,6 +305,12 @@ func RunDetailed(cell Cell) (Result, *metrics.Collector, error) {
 		return runSharded(cell, cfg, totalBuffer, duration, rate)
 	}
 
+	sess, err := obs.NewSession(cell.Obs, 1)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	cfg.Obs = sess
+
 	s := sim.New(cell.Seed)
 	n := topo.NewNetwork(s, cfg)
 	col := &metrics.Collector{}
@@ -327,7 +343,12 @@ func RunDetailed(cell Cell) (Result, *metrics.Collector, error) {
 	n.Stop()
 	s.Run() // flush canceled tickers
 
-	return collectResult(cell, n, col, rate, s.Executed()), col, nil
+	res := collectResult(cell, n, col, rate, s.Executed())
+	res.Counters = sess.Totals()
+	if err := writeObsOutputs(cell.Obs, sess, n); err != nil {
+		return Result{}, nil, err
+	}
+	return res, col, nil
 }
 
 // samplerInterval is the buffer-occupancy sampling period in both run
@@ -342,8 +363,15 @@ func runSharded(cell Cell, cfg topo.Config, totalBuffer units.ByteCount,
 	duration units.Time, rate units.Rate) (Result, *metrics.Collector, error) {
 
 	part := topo.MakePartition(cfg.NumLeaves, cfg.NumSpines, cell.Shards)
+	sess, err := obs.NewSession(cell.Obs, part.Shards)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	cfg.Obs = sess
+
 	p := sim.NewParallel(cell.Seed, part.Shards)
 	defer p.Close()
+	p.SetObs(sess)
 	n := topo.NewShardedNetwork(p, cfg, part)
 	col := &metrics.Collector{}
 
@@ -360,7 +388,12 @@ func runSharded(cell Cell, cfg topo.Config, totalBuffer units.ByteCount,
 	n.Stop()
 	p.Drain() // run remaining retransmission chains to exhaustion
 
-	return collectResult(cell, n, col, rate, p.Executed()), col, nil
+	res := collectResult(cell, n, col, rate, p.Executed())
+	res.Counters = sess.Totals()
+	if err := writeObsOutputs(cell.Obs, sess, n); err != nil {
+		return Result{}, nil, err
+	}
+	return res, col, nil
 }
 
 // collectResult assembles the cell result from a finished network.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"abm/internal/obs"
 	"abm/internal/runner"
 	"abm/internal/units"
 )
@@ -42,6 +43,9 @@ type Grid struct {
 	Shards int `json:"shards,omitempty"`
 	// TimeoutSec bounds each job's wall-clock seconds; 0 means none.
 	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+	// Obs enables telemetry on every job; with PerJob set the path
+	// fields are directories holding one file per job.
+	Obs obs.Options `json:"obs,omitempty"`
 }
 
 // normalized fills the documented defaults.
@@ -114,8 +118,12 @@ func (g Grid) Plan() (*runner.Plan, error) {
 							bmName, ccName, load, frac, alpha)
 						for rep := 0; rep < g.Reps; rep++ {
 							cell := cell
+							id := fmt.Sprintf("%s/%04d-%s,rep=%d", g.Name, len(plan.Specs), group, rep)
+							if g.Obs.Active() {
+								cell.Obs = g.Obs.ForJob(id)
+							}
 							plan.Add(runner.Spec{
-								ID:         fmt.Sprintf("%s/%04d-%s,rep=%d", g.Name, len(plan.Specs), group, rep),
+								ID:         id,
 								Experiment: g.Name,
 								Group:      group,
 								Timeout:    timeout,

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"abm/internal/obs"
+	"abm/internal/packet"
+	"abm/internal/topo"
+	"abm/internal/trace"
+)
+
+// writeObsOutputs flushes a finished run's telemetry to the files its
+// options request. A nil session (telemetry off) writes nothing. Called
+// after the drain, when every shard is quiescent.
+func writeObsOutputs(o obs.Options, sess *obs.Session, n *topo.Network) error {
+	if sess == nil {
+		return nil
+	}
+	var events []obs.Event
+	if o.EventsFile != "" || o.ChromeFile != "" {
+		events = sess.MergedEvents()
+	}
+	if o.EventsFile != "" {
+		if err := writeTo(o.EventsFile, func(f *os.File) error {
+			return obs.WriteNDJSON(f, events)
+		}); err != nil {
+			return err
+		}
+	}
+	if o.ChromeFile != "" {
+		if err := writeTo(o.ChromeFile, func(f *os.File) error {
+			return obs.WriteChrome(f, events, func(id int32) string {
+				return topo.NodeName(packet.NodeID(id))
+			})
+		}); err != nil {
+			return err
+		}
+	}
+	if o.CountersFile != "" {
+		if err := writeTo(o.CountersFile, func(f *os.File) error {
+			return writeCounters(f, sess, n)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeCounters renders the counter totals (sorted by name) followed by
+// a blank line and the per-queue summary TSV.
+func writeCounters(f *os.File, sess *obs.Session, n *topo.Network) error {
+	totals := sess.Totals()
+	keys := make([]string, 0, len(totals))
+	for k := range totals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(f, "%s\t%d\n", k, totals[k]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(f); err != nil {
+		return err
+	}
+	return trace.WriteQueueCounters(f, n)
+}
+
+// writeTo creates path (making parent directories, which per-job output
+// under a fresh directory needs) and runs the writer against it.
+func writeTo(path string, write func(*os.File) error) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"time"
 
+	"abm/internal/obs"
 	"abm/internal/runner"
 )
 
@@ -30,6 +31,10 @@ type RunOptions struct {
 	Store *runner.Store
 	// Progress, when non-nil, receives live progress/ETA lines.
 	Progress io.Writer
+	// Obs enables telemetry on every cell. With PerJob set (the flag
+	// surface's default for figures), the path fields are directories
+	// and each job writes its own files, named by its sanitized ID.
+	Obs obs.Options
 }
 
 // pool builds the runner pool an options value describes.
@@ -66,8 +71,12 @@ func runCells(o *RunOptions, experiment string, jobs []cellJob) ([]Result, error
 		if o != nil && o.Shards >= 1 {
 			cell.Shards = o.Shards
 		}
+		id := fmt.Sprintf("%s/%03d-%s", experiment, i, job.label)
+		if o != nil && o.Obs.Active() {
+			cell.Obs = o.Obs.ForJob(id)
+		}
 		plan.Add(runner.Spec{
-			ID:         fmt.Sprintf("%s/%03d-%s", experiment, i, job.label),
+			ID:         id,
 			Experiment: experiment,
 			Group:      job.label,
 			Seed:       cell.Seed,
@@ -109,6 +118,7 @@ func runnerResult(res Result) runner.Result {
 		Events:           res.Events,
 		Drops:            res.Drops,
 		UnscheduledDrops: res.UnscheduledDrops,
+		Counters:         res.Counters,
 	}
 	if len(res.PerPrioP99Short) > 0 {
 		out.Extra = make(map[string]float64, len(res.PerPrioP99Short))
@@ -127,6 +137,7 @@ func resultFromRecord(rec runner.Record) Result {
 		Events:           rec.Result.Events,
 		Drops:            rec.Result.Drops,
 		UnscheduledDrops: rec.Result.UnscheduledDrops,
+		Counters:         rec.Result.Counters,
 	}
 	for key, v := range rec.Result.Extra {
 		var prio uint8

@@ -8,6 +8,7 @@ import (
 
 	"abm/internal/cc"
 	"abm/internal/device"
+	"abm/internal/obs"
 	"abm/internal/packet"
 	"abm/internal/sim"
 	"abm/internal/transport"
@@ -25,6 +26,10 @@ type Config struct {
 	// UnscheduledBytes is the first-RTT budget tagged unscheduled; zero
 	// selects one bandwidth-delay product.
 	UnscheduledBytes units.ByteCount
+
+	// Obs is the telemetry sink of the host's shard; nil disables
+	// telemetry (see internal/obs).
+	Obs *obs.Sink
 }
 
 // Host is one server: NIC plus transport endpoints.
@@ -47,6 +52,15 @@ type Host struct {
 
 	senders   map[uint64]*transport.Sender
 	receivers map[uint64]*transport.Receiver
+
+	// Telemetry handles (nil-safe when disabled). Output is the single
+	// counting point for emissions: sender data and receiver ACKs both
+	// route through it.
+	ctrDataSent     *obs.Counter
+	ctrRetransSent  *obs.Counter
+	ctrAckSent      *obs.Counter
+	ctrDataConsumed *obs.Counter
+	ctrAckRetired   *obs.Counter
 }
 
 // New creates a host. Attach the uplink with Connect before starting
@@ -68,6 +82,11 @@ func New(s *sim.Simulator, cfg Config) *Host {
 		receivers: make(map[uint64]*transport.Receiver),
 	}
 	h.txDone = h.finishTx
+	h.ctrDataSent = cfg.Obs.Ctr(obs.CtrDataSent)
+	h.ctrRetransSent = cfg.Obs.Ctr(obs.CtrRetransSent)
+	h.ctrAckSent = cfg.Obs.Ctr(obs.CtrAckSent)
+	h.ctrDataConsumed = cfg.Obs.Ctr(obs.CtrDataConsumed)
+	h.ctrAckRetired = cfg.Obs.Ctr(obs.CtrAckRetired)
 	return h
 }
 
@@ -88,9 +107,11 @@ func (h *Host) Receive(pkt *packet.Packet) {
 		if sn, ok := h.senders[pkt.FlowID]; ok {
 			sn.OnAck(pkt)
 		}
+		h.ctrAckRetired.Inc()
 		h.sim.FreePacket(pkt)
 		return
 	}
+	h.ctrDataConsumed.Inc()
 	h.RxBytes += pkt.Payload
 	rc, ok := h.receivers[pkt.FlowID]
 	if !ok {
@@ -104,6 +125,14 @@ func (h *Host) Receive(pkt *packet.Packet) {
 // Output enqueues a packet into the NIC FIFO; the NIC serializes at line
 // rate onto the access link.
 func (h *Host) Output(pkt *packet.Packet) {
+	if pkt.Is(packet.FlagACK) {
+		h.ctrAckSent.Inc()
+	} else {
+		h.ctrDataSent.Inc()
+		if pkt.Is(packet.FlagRetransmit) {
+			h.ctrRetransSent.Inc()
+		}
+	}
 	h.queue = append(h.queue, pkt)
 	h.maybeTransmit()
 }
@@ -153,6 +182,7 @@ func (h *Host) StartFlow(flowID uint64, dst packet.NodeID, size units.ByteCount,
 		MinRTO:           h.cfg.MinRTO,
 		UnscheduledBytes: h.cfg.UnscheduledBytes,
 		Prio:             prio,
+		Obs:              h.cfg.Obs,
 	}, algo, flowID, h.cfg.ID, dst, size, h.Output, onComplete)
 	h.senders[flowID] = sn
 	sn.Start()

@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace process IDs: one virtual "process" per layer so Perfetto
+// groups the tracks.
+const (
+	chromePidFabric = 1 // per-queue occupancy counters + drop/mark instants
+	chromePidEngine = 2 // per-shard window spans + coordinator barriers
+	chromePidHosts  = 3 // sender timeouts and window cuts
+
+	chromeTidCoordinator = 1 << 20
+)
+
+// chromeEvent is one trace-event JSON object. Args is a map, which
+// encoding/json renders with sorted keys, so the output is
+// deterministic for a deterministic event stream.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome renders events as Chrome trace-event JSON, loadable in
+// chrome://tracing or Perfetto. Timestamps are simulated microseconds.
+// Tracks: one counter track per port-priority queue (occupancy from
+// enqueue/dequeue events) with drop/mark instants on matching threads,
+// one span track per engine shard (lookahead windows, with executed
+// event counts and wall time in args), and instant tracks for sender
+// timeouts/window cuts. nodeName labels switch/host IDs; nil falls back
+// to "node<id>".
+func WriteChrome(w io.Writer, events []Event, nodeName func(int32) string) error {
+	if nodeName == nil {
+		nodeName = func(id int32) string { return fmt.Sprintf("node%d", id) }
+	}
+	type queueKey struct {
+		node       int32
+		port, prio int16
+	}
+	queueTid := make(map[queueKey]int)
+	queueLabel := func(k queueKey) string {
+		return fmt.Sprintf("%s p%d.q%d", nodeName(k.node), k.port, k.prio)
+	}
+
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(bw)
+	first := true
+	emit := func(ev chromeEvent) error {
+		if !first {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		first = false
+		// Encoder appends a newline, giving one event per line.
+		return enc.Encode(ev)
+	}
+	meta := func(pid int, tid int, key, name string) error {
+		return emit(chromeEvent{Name: key, Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": name}})
+	}
+
+	if err := meta(chromePidFabric, 0, "process_name", "fabric"); err != nil {
+		return err
+	}
+	if err := meta(chromePidEngine, 0, "process_name", "engine"); err != nil {
+		return err
+	}
+	if err := meta(chromePidHosts, 0, "process_name", "hosts"); err != nil {
+		return err
+	}
+
+	// tid of a queue, assigned on first encounter (deterministic for a
+	// deterministic event order) with its thread-name metadata.
+	tidOf := func(k queueKey) (int, error) {
+		if tid, ok := queueTid[k]; ok {
+			return tid, nil
+		}
+		tid := len(queueTid)
+		queueTid[k] = tid
+		return tid, meta(chromePidFabric, tid, "thread_name", queueLabel(k))
+	}
+
+	seenShard := make(map[int32]bool)
+	seenHost := make(map[int32]bool)
+	us := func(ps int64) float64 { return float64(ps) / 1e6 }
+
+	for i := range events {
+		ev := &events[i]
+		switch ev.Kind {
+		case KindEnqueue, KindDequeue:
+			k := queueKey{ev.Node, ev.Port, ev.Prio}
+			tid, err := tidOf(k)
+			if err != nil {
+				return err
+			}
+			if err := emit(chromeEvent{Name: "qlen " + queueLabel(k), Ph: "C",
+				Pid: chromePidFabric, Tid: tid, Ts: us(int64(ev.At)),
+				Args: map[string]any{"bytes": int64(ev.QLen)}}); err != nil {
+				return err
+			}
+			if ev.Kind == KindDequeue && ev.Verdict == VerdictDropDequeue {
+				if err := emit(chromeEvent{Name: "drop-dequeue", Ph: "i", S: "t",
+					Pid: chromePidFabric, Tid: tid, Ts: us(int64(ev.At)),
+					Args: map[string]any{"flow": ev.Flow, "seq": ev.Seq,
+						"sojourn_us": us(ev.Aux)}}); err != nil {
+					return err
+				}
+			}
+		case KindAdmit:
+			if !VerdictDropped(ev.Verdict) {
+				continue // admissions are visible through the qlen track
+			}
+			tid, err := tidOf(queueKey{ev.Node, ev.Port, ev.Prio})
+			if err != nil {
+				return err
+			}
+			if err := emit(chromeEvent{Name: VerdictName(ev.Verdict), Ph: "i", S: "t",
+				Pid: chromePidFabric, Tid: tid, Ts: us(int64(ev.At)),
+				Args: map[string]any{
+					"flow": ev.Flow, "seq": ev.Seq, "size": ev.Size,
+					"qlen": int64(ev.QLen), "free": int64(ev.Free),
+					"thresh": int64(ev.Thresh), "alpha": ev.Alpha,
+					"mu_b": ev.MuB, "n_p": ev.NCong, "unscheduled": ev.Unsched,
+				}}); err != nil {
+				return err
+			}
+		case KindMark:
+			tid, err := tidOf(queueKey{ev.Node, ev.Port, ev.Prio})
+			if err != nil {
+				return err
+			}
+			if err := emit(chromeEvent{Name: "ecn-mark", Ph: "i", S: "t",
+				Pid: chromePidFabric, Tid: tid, Ts: us(int64(ev.At)),
+				Args: map[string]any{"flow": ev.Flow, "seq": ev.Seq,
+					"qlen": int64(ev.QLen)}}); err != nil {
+				return err
+			}
+		case KindTimeout, KindCwndCut:
+			if !seenHost[ev.Node] {
+				seenHost[ev.Node] = true
+				if err := meta(chromePidHosts, int(ev.Node), "thread_name", nodeName(ev.Node)); err != nil {
+					return err
+				}
+			}
+			name := "rto"
+			args := map[string]any{"flow": ev.Flow, "cwnd": int64(ev.QLen)}
+			if ev.Kind == KindTimeout {
+				args["seq"] = ev.Seq
+				args["rto_us"] = us(ev.Aux)
+			} else {
+				name = "cwnd-cut"
+			}
+			if err := emit(chromeEvent{Name: name, Ph: "i", S: "t",
+				Pid: chromePidHosts, Tid: int(ev.Node), Ts: us(int64(ev.At)),
+				Args: args}); err != nil {
+				return err
+			}
+		case KindWindow:
+			if !seenShard[ev.Node] {
+				seenShard[ev.Node] = true
+				if err := meta(chromePidEngine, int(ev.Node), "thread_name",
+					fmt.Sprintf("shard %d", ev.Node)); err != nil {
+					return err
+				}
+			}
+			if err := emit(chromeEvent{Name: "window", Ph: "X",
+				Pid: chromePidEngine, Tid: int(ev.Node),
+				Ts: us(int64(ev.At)), Dur: us(int64(ev.Dur)),
+				Args: map[string]any{"events": ev.Aux,
+					"wall_us": float64(ev.Wall) / 1e3}}); err != nil {
+				return err
+			}
+		case KindBarrier:
+			if !seenShard[-1] {
+				seenShard[-1] = true
+				if err := meta(chromePidEngine, chromeTidCoordinator, "thread_name", "coordinator"); err != nil {
+					return err
+				}
+			}
+			if err := emit(chromeEvent{Name: "barrier", Ph: "i", S: "p",
+				Pid: chromePidEngine, Tid: chromeTidCoordinator, Ts: us(int64(ev.At)),
+				Args: map[string]any{"shards": ev.Aux,
+					"wait_us": float64(ev.Wall) / 1e3}}); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

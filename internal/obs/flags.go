@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+)
+
+// Flags registers the shared telemetry flag surface on the default flag
+// set. Every simulation CLI (abmsim, figures, sweep) exposes the same
+// names; the only difference is whether paths mean files (one run) or
+// directories (one file per job).
+type Flags struct {
+	Opts Options
+}
+
+// AddFlags registers -trace-events, -trace-chrome, -trace-filter,
+// -trace-sample and -counters. perJob selects directory semantics for
+// the path flags (figures/sweep) instead of single files (abmsim).
+func (f *Flags) AddFlags(perJob bool) {
+	noun := "this file"
+	if perJob {
+		noun = "one file per job under this directory"
+	}
+	f.Opts.PerJob = perJob
+	flag.StringVar(&f.Opts.EventsFile, "trace-events", "",
+		"write the telemetry event stream as NDJSON to "+noun)
+	flag.StringVar(&f.Opts.ChromeFile, "trace-chrome", "",
+		"write a Chrome trace-event JSON (chrome://tracing, Perfetto) to "+noun)
+	flag.StringVar(&f.Opts.Filter, "trace-filter", "",
+		"event kinds to record: comma-separated "+strings.Join(kindNames[:], ", ")+
+			", or the aliases model, engine, all (default all)")
+	flag.Float64Var(&f.Opts.Sample, "trace-sample", 0,
+		"keep roughly this fraction of queue-level events, selected by a shard-invariant identity hash (0 or 1 = all)")
+	flag.StringVar(&f.Opts.CountersFile, "counters", "",
+		"write telemetry counter totals and the per-queue summary TSV to "+noun)
+}
+
+// Validate checks the flag combination early (before a long run) and
+// returns the resolved options.
+func (f *Flags) Validate() (Options, error) {
+	if _, err := ParseMask(f.Opts.Filter); err != nil {
+		return Options{}, err
+	}
+	if f.Opts.Sample < 0 || f.Opts.Sample > 1 {
+		return Options{}, fmt.Errorf("obs: -trace-sample %g outside [0, 1]", f.Opts.Sample)
+	}
+	return f.Opts, nil
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// WriteNDJSON writes one JSON object per event, one per line, in the
+// order given (use Session.MergedEvents for the canonical order). The
+// schema is documented in DESIGN.md §4e and validated by
+// cmd/obsvalidate; fields are emitted in a fixed order with
+// shortest-round-trip float formatting, so the byte stream for model
+// kinds is deterministic.
+//
+// Common fields: t (picoseconds), kind. Per kind:
+//
+//	admit    node port prio flow seq size qlen free thresh alpha mu_b
+//	         ncong unsched verdict
+//	enqueue  node port prio flow seq size qlen
+//	dequeue  node port prio flow seq size qlen sojourn_ps verdict
+//	mark     node port prio flow seq size qlen
+//	timeout  node flow seq rto_ps cwnd
+//	cwndcut  node flow cwnd
+//	window   shard dur_ps events wall_ns
+//	barrier  shards wall_ns
+func WriteNDJSON(w io.Writer, events []Event) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	buf := make([]byte, 0, 512)
+	for i := range events {
+		buf = appendEventJSON(buf[:0], &events[i])
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// appendEventJSON renders one event; field order is fixed per kind.
+func appendEventJSON(b []byte, ev *Event) []byte {
+	b = append(b, `{"t":`...)
+	b = strconv.AppendInt(b, int64(ev.At), 10)
+	b = append(b, `,"kind":"`...)
+	b = append(b, ev.Kind.String()...)
+	b = append(b, '"')
+	switch ev.Kind {
+	case KindWindow:
+		b = appendIntField(b, "shard", int64(ev.Node))
+		b = appendIntField(b, "dur_ps", int64(ev.Dur))
+		b = appendIntField(b, "events", ev.Aux)
+		b = appendIntField(b, "wall_ns", ev.Wall)
+	case KindBarrier:
+		b = appendIntField(b, "shards", ev.Aux)
+		b = appendIntField(b, "wall_ns", ev.Wall)
+	case KindTimeout:
+		b = appendIntField(b, "node", int64(ev.Node))
+		b = appendUintField(b, "flow", ev.Flow)
+		b = appendIntField(b, "seq", ev.Seq)
+		b = appendIntField(b, "rto_ps", ev.Aux)
+		b = appendIntField(b, "cwnd", int64(ev.QLen))
+	case KindCwndCut:
+		b = appendIntField(b, "node", int64(ev.Node))
+		b = appendUintField(b, "flow", ev.Flow)
+		b = appendIntField(b, "cwnd", int64(ev.QLen))
+	default: // admit, enqueue, dequeue, mark
+		b = appendIntField(b, "node", int64(ev.Node))
+		b = appendIntField(b, "port", int64(ev.Port))
+		b = appendIntField(b, "prio", int64(ev.Prio))
+		b = appendUintField(b, "flow", ev.Flow)
+		b = appendIntField(b, "seq", ev.Seq)
+		b = appendIntField(b, "size", int64(ev.Size))
+		b = appendIntField(b, "qlen", int64(ev.QLen))
+		switch ev.Kind {
+		case KindAdmit:
+			b = appendIntField(b, "free", int64(ev.Free))
+			b = appendIntField(b, "thresh", int64(ev.Thresh))
+			b = appendFloatField(b, "alpha", ev.Alpha)
+			b = appendFloatField(b, "mu_b", ev.MuB)
+			b = appendIntField(b, "ncong", int64(ev.NCong))
+			b = append(b, `,"unsched":`...)
+			b = strconv.AppendBool(b, ev.Unsched)
+			b = appendVerdict(b, ev.Verdict)
+		case KindDequeue:
+			b = appendIntField(b, "sojourn_ps", ev.Aux)
+			b = appendVerdict(b, ev.Verdict)
+		}
+	}
+	return append(b, '}')
+}
+
+func appendIntField(b []byte, name string, v int64) []byte {
+	b = append(b, ',', '"')
+	b = append(b, name...)
+	b = append(b, '"', ':')
+	return strconv.AppendInt(b, v, 10)
+}
+
+func appendUintField(b []byte, name string, v uint64) []byte {
+	b = append(b, ',', '"')
+	b = append(b, name...)
+	b = append(b, '"', ':')
+	return strconv.AppendUint(b, v, 10)
+}
+
+func appendFloatField(b []byte, name string, v float64) []byte {
+	b = append(b, ',', '"')
+	b = append(b, name...)
+	b = append(b, '"', ':')
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+func appendVerdict(b []byte, v uint8) []byte {
+	b = append(b, `,"verdict":"`...)
+	b = append(b, VerdictName(v)...)
+	return append(b, '"')
+}

@@ -14,21 +14,28 @@ import (
 	"runtime/trace"
 )
 
-// Flags holds the three standard profiling destinations. Register them
-// with AddFlags before flag.Parse, then bracket main's work between
-// Start and the stop function it returns.
+// Flags holds the standard profiling destinations. Register them with
+// AddFlags before flag.Parse, then bracket main's work between Start
+// and the stop function it returns.
 type Flags struct {
-	CPUProfile string
-	MemProfile string
-	Trace      string
+	CPUProfile   string
+	MemProfile   string
+	Trace        string
+	BlockProfile string
+	MutexProfile string
 }
 
-// AddFlags registers -cpuprofile, -memprofile and -trace on the default
-// flag set.
+// AddFlags registers -cpuprofile, -memprofile, -trace, -blockprofile
+// and -mutexprofile on the default flag set. The block and mutex
+// profiles are the instruments for the parallel engine's barrier and
+// mailbox contention; they carry a sampling cost, so the runtime rates
+// are only raised when the flags are set.
 func (f *Flags) AddFlags() {
 	flag.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
 	flag.StringVar(&f.Trace, "trace", "", "write a runtime execution trace to this file")
+	flag.StringVar(&f.BlockProfile, "blockprofile", "", "write a goroutine blocking profile to this file on exit")
+	flag.StringVar(&f.MutexProfile, "mutexprofile", "", "write a mutex contention profile to this file on exit")
 }
 
 // Start begins the requested CPU profile and trace. It returns a stop
@@ -70,6 +77,12 @@ func (f *Flags) Start() (stop func(), err error) {
 			return nil, fmt.Errorf("trace: %w", err)
 		}
 	}
+	if f.BlockProfile != "" {
+		runtime.SetBlockProfileRate(1)
+	}
+	if f.MutexProfile != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
 	return func() {
 		cleanup()
 		if f.MemProfile != "" {
@@ -84,5 +97,28 @@ func (f *Flags) Start() (stop func(), err error) {
 			}
 			mf.Close()
 		}
+		writeLookup(f.BlockProfile, "block")
+		writeLookup(f.MutexProfile, "mutex")
 	}, nil
+}
+
+// writeLookup dumps one of the runtime's named profiles to path.
+func writeLookup(path, profile string) {
+	if path == "" {
+		return
+	}
+	p := pprof.Lookup(profile)
+	if p == nil {
+		fmt.Fprintf(os.Stderr, "%sprofile: runtime profile missing\n", profile)
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%sprofile: %v\n", profile, err)
+		return
+	}
+	if err := p.WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "%sprofile: %v\n", profile, err)
+	}
+	f.Close()
 }

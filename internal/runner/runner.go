@@ -63,6 +63,9 @@ type Result struct {
 	Drops            int64              `json:"drops,omitempty"`
 	UnscheduledDrops int64              `json:"unscheduled_drops,omitempty"`
 	Extra            map[string]float64 `json:"extra,omitempty"`
+	// Counters carries the run's telemetry counter totals by export
+	// name when the job enabled telemetry (see internal/obs).
+	Counters map[string]int64 `json:"counters,omitempty"`
 }
 
 // Status classifies how a job ended.

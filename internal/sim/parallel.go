@@ -30,8 +30,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"abm/internal/eventq"
+	"abm/internal/obs"
 	"abm/internal/randutil"
 	"abm/internal/units"
 )
@@ -68,6 +70,7 @@ func (t *BarrierTicker) Stop() { t.stopped = true }
 
 // windowReq asks a shard worker to run one window.
 type windowReq struct {
+	start     units.Time // window start (the frontier), for telemetry spans
 	limit     units.Time
 	inclusive bool // RunUntil(limit) instead of RunBefore(limit)
 }
@@ -85,6 +88,17 @@ type Parallel struct {
 	wg      sync.WaitGroup
 	started bool
 	closed  bool
+
+	// Telemetry (nil when disabled). Each shard's worker writes window
+	// spans into its own shard sink (single-writer); the coordinator
+	// alone touches the engine sink and counters, between windows.
+	shardSinks        []*obs.Sink
+	engineSink        *obs.Sink
+	ctrWindows        *obs.Counter
+	ctrBarriers       *obs.Counter
+	ctrBarrierWaitNs  *obs.Counter
+	ctrMailboxBatches *obs.Counter
+	ctrMailboxEvents  *obs.Counter
 }
 
 // NewParallel creates an engine with n shards. Shard i's simulator is
@@ -104,6 +118,34 @@ func NewParallel(seed int64, n int) *Parallel {
 
 // Seed returns the engine's base seed (not a shard's derived seed).
 func (p *Parallel) Seed() int64 { return p.seed }
+
+// SetObs attaches a telemetry session, which must have been created with
+// this engine's shard count. Call before the first window: the engine
+// resolves per-shard sinks and its coordinator counter handles once
+// here. A nil session (telemetry off) is a no-op.
+func (p *Parallel) SetObs(sess *obs.Session) {
+	if sess == nil {
+		return
+	}
+	p.engineSink = sess.EngineSink()
+	p.ctrWindows = p.engineSink.Ctr(obs.CtrWindows)
+	p.ctrBarriers = p.engineSink.Ctr(obs.CtrBarriers)
+	p.ctrBarrierWaitNs = p.engineSink.Ctr(obs.CtrBarrierWaitNs)
+	p.ctrMailboxBatches = p.engineSink.Ctr(obs.CtrMailboxBatches)
+	p.ctrMailboxEvents = p.engineSink.Ctr(obs.CtrMailboxEvents)
+	p.shardSinks = make([]*obs.Sink, len(p.shards))
+	for i := range p.shardSinks {
+		p.shardSinks[i] = sess.ShardSink(i)
+	}
+}
+
+// shardSink returns shard i's telemetry sink (nil when disabled).
+func (p *Parallel) shardSink(i int) *obs.Sink {
+	if p.shardSinks == nil {
+		return nil
+	}
+	return p.shardSinks[i]
+}
 
 // NumShards returns the shard count.
 func (p *Parallel) NumShards() int { return len(p.shards) }
@@ -167,11 +209,14 @@ func (p *Parallel) NewBarrierTicker(interval units.Time, fn func(now units.Time)
 // events pop first, and posting order decides within one mailbox.
 // Coordinator-only.
 func (p *Parallel) flush() {
+	p.ctrBarriers.Inc()
 	for _, m := range p.boxes {
 		buf := m.buf
 		if len(buf) == 0 {
 			continue
 		}
+		p.ctrMailboxBatches.Inc()
+		p.ctrMailboxEvents.Add(int64(len(buf)))
 		// A link posts deliveries in nondecreasing time order, so the
 		// buffer is nearly always sorted; check before paying for a sort.
 		sorted := true
@@ -242,14 +287,41 @@ func (p *Parallel) ensureWorkers() {
 		p.work[i] = make(chan windowReq)
 		go func() {
 			for req := range p.work[i] {
-				if req.inclusive {
-					p.shards[i].RunUntil(req.limit)
-				} else {
-					p.shards[i].RunBefore(req.limit)
-				}
+				p.runShardWindow(i, req)
 				p.wg.Done()
 			}
 		}()
+	}
+}
+
+// runShardWindow executes one window on shard i and, when tracing is on,
+// records it as a span in the shard's own sink. Exactly one goroutine —
+// the shard's worker or the coordinator inline — runs this per window,
+// so the sink stays single-writer.
+func (p *Parallel) runShardWindow(i int, req windowReq) {
+	s := p.shards[i]
+	sink := p.shardSink(i)
+	traced := sink.Enabled(obs.KindWindow)
+	var before uint64
+	var wall time.Time
+	if traced {
+		before = s.Executed()
+		wall = time.Now()
+	}
+	if req.inclusive {
+		s.RunUntil(req.limit)
+	} else {
+		s.RunBefore(req.limit)
+	}
+	if traced {
+		sink.Emit(obs.Event{
+			At:   req.start,
+			Dur:  req.limit - req.start,
+			Kind: obs.KindWindow,
+			Node: int32(i),
+			Aux:  int64(s.Executed() - before),
+			Wall: time.Since(wall).Nanoseconds(),
+		})
 	}
 }
 
@@ -260,6 +332,8 @@ func (p *Parallel) runWindow(limit units.Time, inclusive bool) {
 	if p.closed {
 		panic("sim: parallel engine used after Close")
 	}
+	p.ctrWindows.Inc()
+	req := windowReq{start: p.now, limit: limit, inclusive: inclusive}
 	inline := -1
 	dispatched := 0
 	for i, s := range p.shards {
@@ -273,18 +347,36 @@ func (p *Parallel) runWindow(limit units.Time, inclusive bool) {
 		}
 		p.ensureWorkers()
 		p.wg.Add(1)
-		p.work[i] <- windowReq{limit: limit, inclusive: inclusive}
+		p.work[i] <- req
 		dispatched++
 	}
 	if inline >= 0 {
-		if inclusive {
-			p.shards[inline].RunUntil(limit)
-		} else {
-			p.shards[inline].RunBefore(limit)
-		}
+		p.runShardWindow(inline, req)
 	}
-	if dispatched > 0 {
+	if dispatched == 0 {
+		return
+	}
+	// Measure the coordinator's wait only when telemetry asks for it;
+	// the handle is nil exactly when the whole subsystem is off.
+	if p.ctrBarrierWaitNs == nil {
 		p.wg.Wait()
+		return
+	}
+	wall := time.Now()
+	p.wg.Wait()
+	waitNs := time.Since(wall).Nanoseconds()
+	p.ctrBarrierWaitNs.Add(waitNs)
+	if p.engineSink.Enabled(obs.KindBarrier) {
+		active := int64(dispatched)
+		if inline >= 0 {
+			active++
+		}
+		p.engineSink.Emit(obs.Event{
+			At:   limit,
+			Kind: obs.KindBarrier,
+			Aux:  active,
+			Wall: waitNs,
+		})
 	}
 }
 

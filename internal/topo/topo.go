@@ -14,6 +14,7 @@ import (
 	"abm/internal/cc"
 	"abm/internal/device"
 	"abm/internal/host"
+	"abm/internal/obs"
 	"abm/internal/packet"
 	"abm/internal/randutil"
 	"abm/internal/sim"
@@ -50,6 +51,11 @@ type Config struct {
 
 	MSS    units.ByteCount
 	MinRTO units.Time
+
+	// Obs is the run's telemetry session; nil disables telemetry. Each
+	// switch and host receives the sink of its shard (the session must be
+	// created with the partition's shard count; serial mode uses shard 0).
+	Obs *obs.Session
 }
 
 func (c *Config) fillDefaults() {
@@ -156,6 +162,20 @@ const (
 	spineIDBase = 20000
 )
 
+// NodeName renders a node ID as a human-readable label ("host3",
+// "leaf0", "spine2") following the fixed NodeID layout. Telemetry
+// exporters use it to name trace tracks and TSV rows.
+func NodeName(id packet.NodeID) string {
+	switch {
+	case id >= spineIDBase:
+		return fmt.Sprintf("spine%d", int(id)-spineIDBase)
+	case id >= leafIDBase:
+		return fmt.Sprintf("leaf%d", int(id)-leafIDBase)
+	default:
+		return fmt.Sprintf("host%d", int(id))
+	}
+}
+
 // NewNetwork builds and wires the fabric on a single serial simulator.
 func NewNetwork(s *sim.Simulator, cfg Config) *Network {
 	cfg.fillDefaults()
@@ -248,6 +268,7 @@ func (n *Network) build(baseSeed int64) {
 			NewScheduler:  cfg.NewScheduler,
 			EnableINT:     cfg.EnableINT,
 			RNG:           switchRNG(baseSeed, leafIDBase+l),
+			Obs:           cfg.Obs.ShardSink(n.Part.LeafShard[l]),
 		})
 		sw.SetRouter(n.leafRouter(l))
 		n.Leaves = append(n.Leaves, sw)
@@ -262,6 +283,7 @@ func (n *Network) build(baseSeed int64) {
 			NewScheduler:  cfg.NewScheduler,
 			EnableINT:     cfg.EnableINT,
 			RNG:           switchRNG(baseSeed, spineIDBase+sp),
+			Obs:           cfg.Obs.ShardSink(n.Part.SpineShard[sp]),
 		})
 		sw.SetRouter(n.spineRouter())
 		n.Spines = append(n.Spines, sw)
@@ -300,6 +322,7 @@ func (n *Network) build(baseSeed int64) {
 			BaseRTT: n.baseRTT,
 			MSS:     cfg.MSS,
 			MinRTO:  cfg.MinRTO,
+			Obs:     cfg.Obs.ShardSink(n.Part.LeafShard[l]),
 		})
 		hs.Connect(device.NewLink(s, cfg.LinkDelay, leaf))
 		leaf.ConnectPort(hostPort, device.NewLink(s, cfg.LinkDelay, hs))

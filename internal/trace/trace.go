@@ -99,6 +99,36 @@ func (r *Recorder) Write(w io.Writer) error {
 	return nil
 }
 
+// WriteQueueCounters dumps one TSV row per port-priority queue across
+// the fabric (leaves first, in topo.Switches order): lifetime enqueue/
+// dequeue totals, drops by cause, ECN marks, the occupancy high-water
+// mark, and the queue's last BM threshold. These counters are always
+// maintained by the device layer, so the summary is available whether
+// or not event tracing was enabled.
+func WriteQueueCounters(w io.Writer, n *topo.Network) error {
+	if _, err := fmt.Fprintln(w, "node\tport\tprio\tenq_pkts\tenq_bytes\tdeq_pkts\tdeq_bytes\t"+
+		"drops_threshold\tdrops_nobuffer\tdrops_aqm\tdrops_afd\tdrops_unscheduled\t"+
+		"marked_pkts\tmax_bytes\tlast_threshold"); err != nil {
+		return err
+	}
+	for _, sw := range n.Switches() {
+		name := topo.NodeName(sw.ID())
+		for p := 0; p < sw.NumPorts(); p++ {
+			for qi := 0; qi < sw.Prios(); qi++ {
+				q := sw.Port(p).Queue(qi)
+				if _, err := fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+					name, p, qi,
+					q.EnqueuedPkts, int64(q.EnqueuedBytes), q.DequeuedPkts, int64(q.DequeuedBytes),
+					q.DropsThreshold, q.DropsNoBuffer, q.DropsAQM, q.DropsAFD, q.DropsUnscheduled,
+					q.MarkedPkts, int64(q.MaxBytes), int64(q.LastThreshold())); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
 // MaxOccupancy returns the largest per-switch fraction observed.
 func (r *Recorder) MaxOccupancy() float64 {
 	max := 0.0

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"abm/internal/cc"
+	"abm/internal/obs"
 	"abm/internal/packet"
 	"abm/internal/sim"
 	"abm/internal/units"
@@ -28,6 +29,10 @@ type Config struct {
 	UnscheduledBytes units.ByteCount
 
 	Prio uint8
+
+	// Obs is the telemetry sink of the sender's shard; nil disables
+	// telemetry (see internal/obs).
+	Obs *obs.Sink
 }
 
 func (c *Config) fillDefaults() {
@@ -86,6 +91,12 @@ type Sender struct {
 	PktsRetrans int64
 	Timeouts    int64
 	FastRetrans int64
+
+	// Telemetry handles (nil-safe when disabled).
+	obsSink        *obs.Sink
+	ctrRTOFired    *obs.Counter
+	ctrCwndCuts    *obs.Counter
+	ctrFastRetrans *obs.Counter
 }
 
 // NewSender creates a flow sender. The congestion-control algorithm must
@@ -107,6 +118,10 @@ func NewSender(s *sim.Simulator, cfg Config, alg cc.Algorithm,
 	}
 	sn.rtoFn = sn.onRTO
 	sn.pacingFn = func() { sn.trySend() }
+	sn.obsSink = cfg.Obs
+	sn.ctrRTOFired = cfg.Obs.Ctr(obs.CtrRTOFired)
+	sn.ctrCwndCuts = cfg.Obs.Ctr(obs.CtrCwndCuts)
+	sn.ctrFastRetrans = cfg.Obs.Ctr(obs.CtrFastRetrans)
 	return sn
 }
 
@@ -248,6 +263,17 @@ func (sn *Sender) OnAck(pkt *packet.Packet) {
 		sn.recover = sn.sndNxt
 		sn.alg.OnRecovery(now)
 		sn.FastRetrans++
+		sn.ctrFastRetrans.Inc()
+		sn.ctrCwndCuts.Inc()
+		if sn.obsSink.Enabled(obs.KindCwndCut) {
+			sn.obsSink.Emit(obs.Event{
+				At:   now,
+				Kind: obs.KindCwndCut,
+				Node: int32(sn.Src),
+				Flow: sn.FlowID,
+				QLen: sn.alg.Window(),
+			})
+		}
 		sn.retransmitHead()
 	}
 	sn.trySend()
@@ -273,7 +299,26 @@ func (sn *Sender) onRTO() {
 		return
 	}
 	sn.Timeouts++
+	sn.ctrRTOFired.Inc()
+	sn.ctrCwndCuts.Inc()
 	sn.alg.OnTimeout(sn.sim.Now())
+	if sn.obsSink.Enabled(obs.KindTimeout) {
+		// Aux carries the timeout duration that just fired (the armRTO
+		// clamp applied to the pre-backoff-bump state).
+		d := sn.rto << sn.rtoBackoff
+		if d > sn.cfg.MaxRTO {
+			d = sn.cfg.MaxRTO
+		}
+		sn.obsSink.Emit(obs.Event{
+			At:   sn.sim.Now(),
+			Kind: obs.KindTimeout,
+			Node: int32(sn.Src),
+			Flow: sn.FlowID,
+			Seq:  sn.sndUna,
+			Aux:  int64(d),
+			QLen: sn.alg.Window(),
+		})
+	}
 	sn.inRecovery = false
 	sn.dupAcks = 0
 	// Go-back-N: rewind and resend from the first unacknowledged byte.

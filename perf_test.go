@@ -17,6 +17,7 @@ import (
 	"abm/internal/cc"
 	"abm/internal/device"
 	"abm/internal/host"
+	"abm/internal/obs"
 	"abm/internal/packet"
 	"abm/internal/sim"
 	"abm/internal/units"
@@ -32,7 +33,7 @@ type lifecycleFabric struct {
 	sw *device.Switch
 }
 
-func newLifecycleFabric(seed int64) *lifecycleFabric {
+func newLifecycleFabric(seed int64, sink *obs.Sink) *lifecycleFabric {
 	s := sim.New(seed)
 	// Hosts are faster than the switch ports so the switch is the
 	// bottleneck: the DT threshold then bounds the congestion window
@@ -41,11 +42,13 @@ func newLifecycleFabric(seed int64) *lifecycleFabric {
 	mkHost := func(id packet.NodeID) *host.Host {
 		return host.New(s, host.Config{
 			ID: id, Rate: 40 * units.GigabitPerSec, BaseRTT: 8 * units.Microsecond,
+			Obs: sink,
 		})
 	}
 	a, b := mkHost(1), mkHost(2)
 	sw := device.NewSwitch(s, device.SwitchConfig{
 		ID: 10, NumPorts: 2, QueuesPerPort: 1, PortRate: 10 * units.GigabitPerSec,
+		Obs: sink,
 		MMU: device.MMUConfig{
 			BufferSize:    150 * units.Kilobyte,
 			Alphas:        []float64{0.5},
@@ -72,22 +75,46 @@ func (f *lifecycleFabric) warm() {
 }
 
 // TestSteadyStateZeroAlloc asserts that advancing the warmed fabric —
-// thousands of full packet round trips — allocates nothing.
+// thousands of full packet round trips — allocates nothing, both with
+// telemetry fully disabled (nil sink: the default configuration) and
+// with the counter registry active (plain int64 increments through
+// pre-resolved handles; no events recorded).
 func TestSteadyStateZeroAlloc(t *testing.T) {
-	f := newLifecycleFabric(42)
-	f.warm()
-	next := f.s.Now()
-	window := units.Millisecond
-	before := f.b.RxBytes
-	allocs := testing.AllocsPerRun(10, func() {
-		next += window
-		f.s.RunUntil(next)
-	})
-	if f.b.RxBytes == before {
-		t.Fatal("no traffic flowed during the measurement window")
+	cases := []struct {
+		name string
+		sink func(t *testing.T) *obs.Sink
+	}{
+		{"disabled", func(t *testing.T) *obs.Sink { return nil }},
+		{"counters", func(t *testing.T) *obs.Sink {
+			sess, err := obs.NewSession(obs.Options{Counters: true}, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return sess.ShardSink(0)
+		}},
 	}
-	if allocs != 0 {
-		t.Fatalf("steady-state run allocated %.1f objects per %v window, want 0", allocs, window)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sink := tc.sink(t)
+			f := newLifecycleFabric(42, sink)
+			f.warm()
+			next := f.s.Now()
+			window := units.Millisecond
+			before := f.b.RxBytes
+			allocs := testing.AllocsPerRun(10, func() {
+				next += window
+				f.s.RunUntil(next)
+			})
+			if f.b.RxBytes == before {
+				t.Fatal("no traffic flowed during the measurement window")
+			}
+			if allocs != 0 {
+				t.Fatalf("steady-state run allocated %.1f objects per %v window, want 0", allocs, window)
+			}
+			if sink != nil && sink.Ctr(obs.CtrDataSent).Get() == 0 {
+				t.Fatal("counter registry recorded no sends")
+			}
+		})
 	}
 }
 
@@ -97,7 +124,7 @@ func TestSteadyStateZeroAlloc(t *testing.T) {
 // i.e. one packet's worth of pipeline work at line rate.
 func BenchmarkPacketLifecycle(b *testing.B) {
 	b.ReportAllocs()
-	f := newLifecycleFabric(42)
+	f := newLifecycleFabric(42, nil)
 	f.warm()
 	perPkt := (10 * units.GigabitPerSec).TxTime(1440 + packet.HeaderBytes)
 	next := f.s.Now()
