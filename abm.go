@@ -26,6 +26,7 @@ import (
 	"abm/internal/cc"
 	"abm/internal/experiments"
 	"abm/internal/metrics"
+	"abm/internal/scenario"
 	"abm/internal/sim"
 	"abm/internal/topo"
 	"abm/internal/trace"
@@ -98,6 +99,45 @@ func RunExperiment(e Experiment) (ExperimentResult, error) { return experiments.
 // analysis.
 func RunExperimentDetailed(e Experiment) (ExperimentResult, *metrics.Collector, error) {
 	return experiments.RunDetailed(e)
+}
+
+// Scenario is the declarative description of one run: fabric shape
+// (including oversubscription and asymmetric link rates), buffer model,
+// buffer-management and scheduler policy, workload mix, shard count,
+// telemetry, duration and seed. Every entry point — experiments, the
+// CLIs, the Simulation API — compiles down to one of these.
+type Scenario = scenario.Scenario
+
+// ScenarioResult is the outcome of a scenario run, embedding the
+// fully-resolved spec it executed.
+type ScenarioResult = scenario.Result
+
+// LoadScenario reads a scenario spec from a JSON file. The result is
+// unresolved; overrides may be applied before running.
+func LoadScenario(path string) (Scenario, error) { return scenario.Load(path) }
+
+// ParseScenario decodes a scenario spec from JSON, rejecting unknown
+// fields.
+func ParseScenario(data []byte) (Scenario, error) { return scenario.Parse(data) }
+
+// RunScenario resolves and executes one scenario on the engine its
+// Shards field selects.
+func RunScenario(s Scenario) (ScenarioResult, error) {
+	res, _, err := scenario.Run(s)
+	return res, err
+}
+
+// RunScenarioDetailed is RunScenario, additionally returning the
+// metrics collector with every flow record.
+func RunScenarioDetailed(s Scenario) (ScenarioResult, *metrics.Collector, error) {
+	return scenario.Run(s)
+}
+
+// SetScenarioField assigns one scenario field by its dotted JSON-tag
+// path (e.g. "switch.bm", "fabric.uplink_gbps"), parsing the value by
+// the field's type — the mechanism sweep grids use for axes.
+func SetScenarioField(s *Scenario, path, value string) error {
+	return scenario.SetField(s, path, value)
 }
 
 // WriteFlowTrace dumps flow records as a TSV table.
@@ -185,71 +225,73 @@ type SimulationConfig struct {
 	EnableINT bool
 }
 
+// Scenario converts the config to the declarative spec the scenario
+// layer builds fabrics from.
+func (cfg SimulationConfig) Scenario() Scenario {
+	sc := Scenario{
+		Seed: cfg.Seed,
+		Fabric: scenario.Fabric{
+			Spines:       cfg.Spines,
+			Leaves:       cfg.Leaves,
+			HostsPerLeaf: cfg.HostsPerLeaf,
+			LinkGbps:     float64(cfg.LinkRate) / float64(units.GigabitPerSec),
+			LinkDelay:    scenario.Duration(cfg.LinkDelay),
+		},
+		Buffer: scenario.Buffer{
+			KBPerPortPerGbps: cfg.BufferKBPerPortPerGbps,
+			QueuesPerPort:    cfg.QueuesPerPort,
+			AlphaUnscheduled: cfg.AlphaUnscheduled,
+		},
+		Switch: scenario.Switch{
+			BM:             cfg.BM,
+			UpdateInterval: scenario.Duration(cfg.UpdateInterval),
+			EnableINT:      cfg.EnableINT,
+		},
+	}
+	// The sentinel float maps to the spec's explicit pointer: positive
+	// pins the fraction, negative disables, zero keeps the scheme default.
+	switch {
+	case cfg.Headroom > 0:
+		v := cfg.Headroom
+		sc.Buffer.HeadroomFrac = &v
+	case cfg.Headroom < 0:
+		v := 0.0
+		sc.Buffer.HeadroomFrac = &v
+	}
+	// This config's alpha vector pads missing entries with 0.5 rather
+	// than replicating a single entry; expand here so the spec's
+	// single-entry shorthand doesn't reinterpret it.
+	if len(cfg.Alphas) > 0 {
+		qpp := cfg.QueuesPerPort
+		if qpp <= 0 {
+			qpp = 1
+		}
+		alphas := make([]float64, qpp)
+		for i := range alphas {
+			alphas[i] = 0.5
+			if i < len(cfg.Alphas) && cfg.Alphas[i] > 0 {
+				alphas[i] = cfg.Alphas[i]
+			}
+		}
+		sc.Buffer.Alphas = alphas
+	}
+	return sc
+}
+
 // NewSimulation builds a fabric.
 func NewSimulation(cfg SimulationConfig) (*Simulation, error) {
-	s := sim.New(cfg.Seed)
-	qpp := cfg.QueuesPerPort
-	if qpp <= 0 {
-		qpp = 1
-	}
-	spines, leaves, hpl := cfg.Spines, cfg.Leaves, cfg.HostsPerLeaf
-	if spines <= 0 {
-		spines = 8
-	}
-	if leaves <= 0 {
-		leaves = 8
-	}
-	if hpl <= 0 {
-		hpl = 32
-	}
-	rate := cfg.LinkRate
-	if rate <= 0 {
-		rate = 10 * GigabitPerSec
-	}
-	kb := cfg.BufferKBPerPortPerGbps
-	if kb <= 0 {
-		kb = 9.6
-	}
-	bmName := cfg.BM
-	if bmName == "" {
-		bmName = "DT"
-	}
-	total := topo.BufferFor(kb, hpl+spines, rate)
-	hrFrac := cfg.Headroom
-	if hrFrac == 0 && (bmName == "ABM" || bmName == "IB" || bmName == "ABM-approx") {
-		hrFrac = 1.0 / 8
-	}
-	if hrFrac < 0 {
-		hrFrac = 0
-	}
-	headroom := ByteCount(float64(total) * hrFrac)
-	shared := total - headroom
+	return NewSimulationFromScenario(cfg.Scenario())
+}
 
-	numQueues := qpp * (hpl + spines)
-	if _, err := bm.New(bmName, numQueues, cfg.UpdateInterval); err != nil {
+// NewSimulationFromScenario builds a fabric from a declarative scenario
+// spec (its workload and duration fields are ignored — the caller
+// drives traffic and the clock).
+func NewSimulationFromScenario(sc Scenario) (*Simulation, error) {
+	_, eng, net, _, err := scenario.BuildFabric(sc)
+	if err != nil {
 		return nil, err
 	}
-	net := topo.NewNetwork(s, topo.Config{
-		NumSpines:     spines,
-		NumLeaves:     leaves,
-		HostsPerLeaf:  hpl,
-		LinkRate:      rate,
-		LinkDelay:     cfg.LinkDelay,
-		QueuesPerPort: qpp,
-		BufferSize:    shared,
-		Headroom:      headroom,
-		BMFactory: func() bm.Policy {
-			p, err := bm.New(bmName, numQueues, cfg.UpdateInterval)
-			if err != nil {
-				panic(err)
-			}
-			return p
-		},
-		Alphas:           cfg.Alphas,
-		AlphaUnscheduled: cfg.AlphaUnscheduled,
-		EnableINT:        cfg.EnableINT,
-	})
-	return &Simulation{sim: s, net: net, col: &metrics.Collector{}}, nil
+	return &Simulation{sim: eng, net: net, col: &metrics.Collector{}}, nil
 }
 
 // NumHosts returns the number of servers in the fabric.

@@ -1,16 +1,19 @@
-// Command abmsim runs one evaluation cell — a buffer-management scheme
+// Command abmsim runs one simulation — a buffer-management scheme
 // facing the paper's workloads on a leaf-spine fabric — and prints the
 // headline metrics.
 //
-// Example:
+// The run is described either by flags, by a declarative scenario file,
+// or both (explicitly-set flags override the file's fields):
 //
 //	abmsim -bm ABM -cc cubic -load 0.6 -request 0.3 -scale medium
+//	abmsim -scenario examples/incast/scenario.json -shards 2
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -21,42 +24,60 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		os.Exit(1)
+	}
+}
+
+// run parses args, compiles them into a scenario and executes it. All
+// flag surfaces live on a private FlagSet so tests can drive the CLI
+// in-process.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("abmsim", flag.ContinueOnError)
 	var (
-		bmName  = flag.String("bm", "ABM", "buffer management scheme: "+strings.Join(abm.BMSchemes(), ", "))
-		ccName  = flag.String("cc", "cubic", "congestion control: "+strings.Join(abm.CCAlgorithms(), ", "))
-		load    = flag.Float64("load", 0.4, "web-search load as a fraction of bisection bandwidth")
-		request = flag.Float64("request", 0.3, "incast request size as a fraction of the buffer (0 disables)")
-		fanout  = flag.Int("fanout", 8, "incast fan-in degree")
-		qpp     = flag.Int("queues", 1, "queues per port")
-		kb      = flag.Float64("buffer", 9.6, "buffer in KB per port per Gb/s (Trident2=9.6, Tomahawk=5.12, Tofino=3.44)")
-		scale   = flag.String("scale", "small", "fabric scale: small, medium, paper")
-		seed    = flag.Int64("seed", 1, "random seed")
-		shards  = flag.Int("shards", 0, "simulation shards (0 = serial loop; >=1 runs the parallel engine, clamped to the fabric's leaf count)")
-		update  = flag.Duration("update", 0, "ABM-approx control-plane update interval (e.g. 800us)")
-		flows   = flag.String("flows", "", "write a per-flow TSV trace to this file")
-		sched   = flag.String("sched", "rr", "per-port scheduler: rr, dwrr, strict")
-		wl      = flag.String("workload", "websearch", "background workload: websearch, datamining")
-		cfgIn   = flag.String("config", "", "load the experiment cell from this JSON file (overrides other flags)")
-		cfgOut  = flag.String("save-config", "", "write the resolved experiment cell as JSON and exit")
-		dur     = flag.Duration("duration", 0, "traffic duration override (e.g. 2ms; 0 = the scale's default)")
+		bmName  = fs.String("bm", "ABM", "buffer management scheme: "+strings.Join(abm.BMSchemes(), ", "))
+		ccName  = fs.String("cc", "cubic", "congestion control: "+strings.Join(abm.CCAlgorithms(), ", "))
+		load    = fs.Float64("load", 0.4, "web-search load as a fraction of bisection bandwidth")
+		request = fs.Float64("request", 0.3, "incast request size as a fraction of the buffer (0 disables)")
+		fanout  = fs.Int("fanout", 8, "incast fan-in degree")
+		qpp     = fs.Int("queues", 1, "queues per port")
+		kb      = fs.Float64("buffer", 9.6, "buffer in KB per port per Gb/s (Trident2=9.6, Tomahawk=5.12, Tofino=3.44)")
+		scale   = fs.String("scale", "small", "fabric scale: small, medium, paper")
+		seed    = fs.Int64("seed", 1, "random seed")
+		shards  = fs.Int("shards", 0, "simulation shards (0 = serial loop; >=1 runs the parallel engine, clamped to the fabric's leaf count)")
+		update  = fs.Duration("update", 0, "ABM-approx control-plane update interval (e.g. 800us)")
+		flows   = fs.String("flows", "", "write a per-flow TSV trace to this file")
+		sched   = fs.String("sched", "rr", "per-port scheduler: rr, dwrr, strict")
+		wl      = fs.String("workload", "websearch", "background workload: websearch, datamining")
+		cfgIn   = fs.String("config", "", "load the experiment cell from this JSON file (overrides other flags)")
+		cfgOut  = fs.String("save-config", "", "write the resolved experiment cell as JSON and exit")
+		scnIn   = fs.String("scenario", "", "load the run from this scenario JSON file; explicitly-set flags override its fields")
+		scnOut  = fs.String("save-scenario", "", "write the fully-resolved scenario as JSON and exit")
+		dur     = fs.Duration("duration", 0, "traffic duration override (e.g. 2ms; 0 = the scale's default)")
 		of      obs.Flags
 	)
-	of.AddFlags(false)
-	flag.Parse()
+	of.AddFlagsTo(fs, false)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *cfgIn != "" && *scnIn != "" {
+		return fmt.Errorf("-config and -scenario are mutually exclusive (a cell and a scenario both describe the whole run)")
+	}
 
 	obsOpts, err := of.Validate()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return err
 	}
 
-	sc, err := abm.ParseScale(*scale)
+	scaleVal, err := abm.ParseScale(*scale)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return err
 	}
 	cell := abm.Experiment{
-		Scale: sc, Seed: *seed,
+		Scale: scaleVal, Seed: *seed,
 		BM: *bmName, Load: *load, WSCC: *ccName,
 		RequestFrac:         *request,
 		Fanout:              *fanout,
@@ -70,13 +91,11 @@ func main() {
 	if *cfgIn != "" {
 		data, err := os.ReadFile(*cfgIn)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		cell = abm.Experiment{}
 		if err := json.Unmarshal(data, &cell); err != nil {
-			fmt.Fprintf(os.Stderr, "parsing %s: %v\n", *cfgIn, err)
-			os.Exit(1)
+			return fmt.Errorf("parsing %s: %w", *cfgIn, err)
 		}
 	}
 	// Telemetry and duration flags apply on top of a loaded config, so a
@@ -90,70 +109,139 @@ func main() {
 	if *cfgOut != "" {
 		data, err := json.MarshalIndent(cell, "", "  ")
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		if err := os.WriteFile(*cfgOut, append(data, '\n'), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Printf("experiment cell written to %s\n", *cfgOut)
-		return
+		fmt.Fprintf(stdout, "experiment cell written to %s\n", *cfgOut)
+		return nil
+	}
+
+	// Every run path compiles down to one declarative scenario.
+	sc := cell.Scenario()
+	if *scnIn != "" {
+		sc, err = abm.LoadScenario(*scnIn)
+		if err != nil {
+			return err
+		}
+		applyFlagOverrides(&sc, fs, cell)
+		if obsOpts.Active() {
+			sc.Obs = obsOpts
+		}
+	}
+	if *scnOut != "" {
+		resolved, err := sc.Resolve()
+		if err != nil {
+			return err
+		}
+		if err := resolved.Save(*scnOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "resolved scenario written to %s\n", *scnOut)
+		return nil
 	}
 
 	start := time.Now()
-	res, col, err := abm.RunExperimentDetailed(cell)
+	res, col, err := abm.RunScenarioDetailed(sc)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	if *flows != "" {
 		f, err := os.Create(*flows)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		if err := abm.WriteFlowTrace(f, col.Flows); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			f.Close()
+			return err
 		}
-		f.Close()
-		fmt.Printf("flow trace written to %s (%d flows)\n", *flows, len(col.Flows))
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "flow trace written to %s (%d flows)\n", *flows, len(col.Flows))
 	}
+	printResult(stdout, res, time.Since(start))
+	return nil
+}
+
+// applyFlagOverrides overlays the flags the user explicitly set onto a
+// loaded scenario, so "-scenario base.json -bm DT -shards 4" composes.
+// The cell carries the already-parsed flag values; -scale overlays the
+// fabric dimensions and duration first so an explicit -duration still
+// wins.
+func applyFlagOverrides(sc *abm.Scenario, fs *flag.FlagSet, cell abm.Experiment) {
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	fromFlags := cell.Scenario()
+
+	if set["scale"] {
+		sc.Fabric.Spines = fromFlags.Fabric.Spines
+		sc.Fabric.Leaves = fromFlags.Fabric.Leaves
+		sc.Fabric.HostsPerLeaf = fromFlags.Fabric.HostsPerLeaf
+		sc.Duration = fromFlags.Duration
+	}
+	for name, apply := range map[string]func(){
+		"bm":       func() { sc.Switch.BM = fromFlags.Switch.BM },
+		"cc":       func() { sc.Workload.CC = fromFlags.Workload.CC },
+		"load":     func() { sc.Workload.Load = fromFlags.Workload.Load },
+		"request":  func() { sc.Workload.Incast.RequestFrac = fromFlags.Workload.Incast.RequestFrac },
+		"fanout":   func() { sc.Workload.Incast.Fanout = fromFlags.Workload.Incast.Fanout },
+		"queues":   func() { sc.Buffer.QueuesPerPort = fromFlags.Buffer.QueuesPerPort },
+		"buffer":   func() { sc.Buffer.KBPerPortPerGbps = fromFlags.Buffer.KBPerPortPerGbps },
+		"seed":     func() { sc.Seed = fromFlags.Seed },
+		"shards":   func() { sc.Shards = fromFlags.Shards },
+		"update":   func() { sc.Switch.UpdateInterval = fromFlags.Switch.UpdateInterval },
+		"sched":    func() { sc.Switch.Scheduler = fromFlags.Switch.Scheduler },
+		"workload": func() { sc.Workload.Background = fromFlags.Workload.Background },
+		"duration": func() { sc.Duration = fromFlags.Duration },
+	} {
+		if set[name] {
+			apply()
+		}
+	}
+}
+
+// printResult renders the headline metrics from the run's resolved
+// scenario and summary.
+func printResult(w io.Writer, res abm.ScenarioResult, wall time.Duration) {
+	rs := res.Scenario
 	s := res.Summary
-	fmt.Printf("scheme            %s\n", cell.BM)
-	fmt.Printf("congestion ctrl   %s\n", cell.WSCC)
-	fmt.Printf("scale             %s (seed %d)\n", cell.Scale, cell.Seed)
-	fmt.Printf("load / request    %.0f%% / %.0f%% of buffer\n", cell.Load*100, cell.RequestFrac*100)
-	fmt.Println(strings.Repeat("-", 44))
-	fmt.Printf("p99 incast FCT slowdown    %10.1f\n", s.P99IncastSlowdown)
-	fmt.Printf("p99 short-flow slowdown    %10.1f\n", s.P99ShortSlowdown)
-	fmt.Printf("p99.9 short-flow slowdown  %10.1f\n", s.P999ShortSlowdown)
-	fmt.Printf("median long-flow slowdown  %10.2f\n", s.MedianLongSlowdown)
-	fmt.Printf("p99 buffer occupancy       %9.1f%%\n", 100*s.P99BufferFrac)
-	fmt.Printf("avg long-flow throughput   %9.1f%%\n", 100*s.AvgThroughputFrac)
-	fmt.Println(strings.Repeat("-", 44))
-	fmt.Printf("flows %d (unfinished %d), drops %d (unscheduled %d)\n",
+	fmt.Fprintf(w, "scheme            %s\n", rs.Switch.BM)
+	fmt.Fprintf(w, "congestion ctrl   %s\n", rs.Workload.CC)
+	fmt.Fprintf(w, "fabric            %dx%dx%d (seed %d)\n",
+		rs.Fabric.Spines, rs.Fabric.Leaves, rs.Fabric.HostsPerLeaf, rs.Seed)
+	fmt.Fprintf(w, "load / request    %.0f%% / %.0f%% of buffer\n",
+		rs.Workload.Load*100, rs.Workload.Incast.RequestFrac*100)
+	fmt.Fprintln(w, strings.Repeat("-", 44))
+	fmt.Fprintf(w, "p99 incast FCT slowdown    %10.1f\n", s.P99IncastSlowdown)
+	fmt.Fprintf(w, "p99 short-flow slowdown    %10.1f\n", s.P99ShortSlowdown)
+	fmt.Fprintf(w, "p99.9 short-flow slowdown  %10.1f\n", s.P999ShortSlowdown)
+	fmt.Fprintf(w, "median long-flow slowdown  %10.2f\n", s.MedianLongSlowdown)
+	fmt.Fprintf(w, "p99 buffer occupancy       %9.1f%%\n", 100*s.P99BufferFrac)
+	fmt.Fprintf(w, "avg long-flow throughput   %9.1f%%\n", 100*s.AvgThroughputFrac)
+	fmt.Fprintln(w, strings.Repeat("-", 44))
+	fmt.Fprintf(w, "flows %d (unfinished %d), drops %d (unscheduled %d)\n",
 		s.Flows, s.Unfinished, res.Drops, res.UnscheduledDrops)
-	fmt.Printf("%d events in %.1fs wall time\n", res.Events, time.Since(start).Seconds())
+	fmt.Fprintf(w, "%d events in %.1fs wall time\n", res.Events, wall.Seconds())
 	if len(res.Counters) > 0 {
-		fmt.Println(strings.Repeat("-", 44))
+		fmt.Fprintln(w, strings.Repeat("-", 44))
 		keys := make([]string, 0, len(res.Counters))
 		for k := range res.Counters {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
 		for _, k := range keys {
-			fmt.Printf("%-32s %12d\n", k, res.Counters[k])
+			fmt.Fprintf(w, "%-32s %12d\n", k, res.Counters[k])
 		}
 	}
 	for _, out := range []struct{ what, path string }{
-		{"event trace", cell.Obs.EventsFile},
-		{"chrome trace", cell.Obs.ChromeFile},
-		{"counter summary", cell.Obs.CountersFile},
+		{"event trace", rs.Obs.EventsFile},
+		{"chrome trace", rs.Obs.ChromeFile},
+		{"counter summary", rs.Obs.CountersFile},
 	} {
 		if out.path != "" {
-			fmt.Printf("%s written to %s\n", out.what, out.path)
+			fmt.Fprintf(w, "%s written to %s\n", out.what, out.path)
 		}
 	}
 }

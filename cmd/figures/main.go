@@ -29,6 +29,7 @@ import (
 	"abm/internal/obs"
 	"abm/internal/prof"
 	"abm/internal/runner"
+	"abm/internal/scenario"
 )
 
 func main() { os.Exit(run()) }
@@ -44,6 +45,7 @@ func run() int {
 		workers = flag.Int("workers", runtime.NumCPU(), "parallel figure workers (with -out)")
 		shards  = flag.Int("shards", 0, "simulation shards per cell (0 = serial loop; >=1 runs the parallel engine, clamped to the fabric's leaf count)")
 		noJSON  = flag.Bool("no-json", false, "with -out, skip the per-cell JSON record store")
+		scn     = flag.String("scenario", "", "overlay this scenario file's fabric shape (dimensions, link rates, delay) onto every cell; -scale still picks durations")
 		pf      prof.Flags
 		of      obs.Flags
 	)
@@ -70,6 +72,16 @@ func run() int {
 		return 2
 	}
 
+	var fabric *scenario.Fabric
+	if *scn != "" {
+		s, err := scenario.Load(*scn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		fabric = &s.Fabric
+	}
+
 	ids := []string{*fig}
 	if *fig == "all" {
 		ids = experiments.FigureIDs
@@ -80,7 +92,7 @@ func run() int {
 		// interleave otherwise); each figure's cells still run in
 		// parallel on the pool.
 		for _, id := range ids {
-			opts := &experiments.RunOptions{Shards: *shards, Obs: obsOpts}
+			opts := &experiments.RunOptions{Shards: *shards, Obs: obsOpts, Fabric: fabric}
 			if err := experiments.RunFigureOpts(opts, id, sc, *seed, os.Stdout); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				return 1
@@ -114,7 +126,7 @@ func run() int {
 			Experiment: id,
 			Seed:       *seed,
 			Run: func(_ context.Context, _ int64) (runner.Result, error) {
-				opts := &experiments.RunOptions{Workers: 1, Shards: *shards, Store: store, Obs: obsOpts}
+				opts := &experiments.RunOptions{Workers: 1, Shards: *shards, Store: store, Obs: obsOpts, Fabric: fabric}
 				f, err := os.Create(filepath.Join(*out, id+".tsv"))
 				if err != nil {
 					return runner.Result{}, err

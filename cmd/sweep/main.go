@@ -15,6 +15,12 @@
 // performance work on the simulator core (see DESIGN.md, "Event engine
 // internals").
 //
+// Scenario mode starts every job from a declarative scenario file and
+// varies fields by dotted path instead of the fixed cell axes:
+//
+//	sweep -scenario scenarios/oversub-2to1.json \
+//	      -vary switch.bm=DT,ABM -vary workload.load=0.4,0.8 -reps 3
+//
 // Examples:
 //
 //	sweep -bms DT,ABM -ccs cubic -loads 0.2,0.4,0.6,0.8 -reps 3 -out results/sweep
@@ -59,6 +65,8 @@ func run() int {
 		qpp      = flag.Int("queues", 0, "queues per port (0 = default)")
 		workload = flag.String("workload", "", "background workload: websearch (default), datamining")
 		duration = flag.Float64("duration-ms", 0, "traffic duration override in milliseconds (0 = scale default)")
+		scnFile  = flag.String("scenario", "", "base scenario JSON file: jobs start from it and -vary axes mutate it (the cell axes above are ignored)")
+		vary     varyAxes
 
 		out         = flag.String("out", "sweep-results", "result store directory (jobs/, manifest.jsonl, aggregate.json)")
 		workers     = flag.Int("workers", runtime.NumCPU(), "parallel workers")
@@ -71,6 +79,7 @@ func run() int {
 		pf          prof.Flags
 		of          obs.Flags
 	)
+	flag.Var(&vary, "vary", "scenario-mode sweep axis as \"field.path=v1,v2,...\" (repeatable; crossed in flag order)")
 	pf.AddFlags()
 	of.AddFlags(true)
 	flag.Parse()
@@ -95,6 +104,11 @@ func run() int {
 		Shards:     *shards,
 		TimeoutSec: timeout.Seconds(),
 		Obs:        obsOpts,
+		Scenario:   *scnFile,
+		Vary:       vary,
+	}
+	if len(vary) > 0 && *scnFile == "" {
+		return die(fmt.Errorf("-vary requires -scenario (axes are scenario field paths)"))
 	}
 	if *planFile != "" {
 		data, err := os.ReadFile(*planFile)
@@ -203,6 +217,32 @@ func die(err error) int {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, err)
 	os.Exit(2)
+}
+
+// varyAxes parses repeatable -vary "field.path=v1,v2" flags into
+// scenario-mode grid axes, preserving flag order (axis order determines
+// job IDs and therefore derived seeds).
+type varyAxes []experiments.PathAxis
+
+func (v *varyAxes) String() string {
+	var parts []string
+	for _, a := range *v {
+		parts = append(parts, a.Path+"="+strings.Join(a.Values, ","))
+	}
+	return strings.Join(parts, " ")
+}
+
+func (v *varyAxes) Set(s string) error {
+	path, vals, ok := strings.Cut(s, "=")
+	if !ok || path == "" {
+		return fmt.Errorf("want field.path=v1,v2,..., got %q", s)
+	}
+	values := splitCSV(vals)
+	if len(values) == 0 {
+		return fmt.Errorf("axis %q has no values", path)
+	}
+	*v = append(*v, experiments.PathAxis{Path: path, Values: values})
+	return nil
 }
 
 func splitCSV(s string) []string {

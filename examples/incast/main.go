@@ -2,31 +2,48 @@
 // file-system query/response workload colliding with web-search
 // background traffic — and compare every buffer-management scheme on
 // tail flow-completion time. This is Figure 6 at one load point.
+//
+// The run is declared in the committed scenario.json next to this file;
+// the program only varies the buffer-management scheme across it.
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"abm"
 )
 
+// loadScenario finds the example's committed spec whether the program
+// runs from this directory or the repository root.
+func loadScenario(name string) abm.Scenario {
+	for _, path := range []string{"scenario.json", "examples/" + name + "/scenario.json"} {
+		if _, err := os.Stat(path); err != nil {
+			continue
+		}
+		s, err := abm.LoadScenario(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return s
+	}
+	log.Fatalf("scenario.json not found (run from the repo root or examples/%s)", name)
+	panic("unreachable")
+}
+
 func main() {
+	base := loadScenario("incast")
 	fmt.Println("Buffer management under incast (web-search at 60% load, request = 30% of buffer)")
 	fmt.Println()
 	fmt.Printf("%-6s %18s %18s %14s %12s\n", "scheme", "p99 incast FCT", "p99 short FCT", "p99 buffer", "throughput")
 
 	for _, scheme := range []string{"DT", "FAB", "CS", "IB", "ABM"} {
-		res, err := abm.RunExperiment(abm.Experiment{
-			Scale: abm.ScaleSmall,
-			Seed:  42,
-			BM:    scheme,
-			Load:  0.6,
-			WSCC:  "cubic",
-
-			RequestFrac: 0.3,
-			Fanout:      8,
-		})
+		sc := base.Clone()
+		if err := abm.SetScenarioField(&sc, "switch.bm", scheme); err != nil {
+			log.Fatal(err)
+		}
+		res, err := abm.RunScenario(sc)
 		if err != nil {
 			log.Fatal(err)
 		}

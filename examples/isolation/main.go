@@ -4,36 +4,52 @@
 // Under DT the aggressive Cubic class starves the others even though
 // they use different queues; ABM bounds each priority's occupancy
 // (Theorem 2) and keeps them isolated.
+//
+// The traffic mix lives in the committed scenario.json next to this
+// file; the program varies the scheme and the cubic load across it.
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"abm"
 )
 
+// loadScenario finds the example's committed spec whether the program
+// runs from this directory or the repository root.
+func loadScenario(name string) abm.Scenario {
+	for _, path := range []string{"scenario.json", "examples/" + name + "/scenario.json"} {
+		if _, err := os.Stat(path); err != nil {
+			continue
+		}
+		s, err := abm.LoadScenario(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return s
+	}
+	log.Fatalf("scenario.json not found (run from the repo root or examples/%s)", name)
+	panic("unreachable")
+}
+
 func main() {
+	base := loadScenario("isolation")
 	fmt.Println("Cross-priority isolation (cubic vs dctcp vs theta-powertcp, growing cubic load)")
 	fmt.Println()
 	fmt.Printf("%-5s %-12s %14s %14s %16s\n", "bm", "cubic load", "p99 cubic", "p99 dctcp", "p99 theta-ptcp")
 
 	for _, scheme := range []string{"DT", "ABM"} {
 		for _, load := range []float64{0.2, 0.4, 0.6} {
-			res, err := abm.RunExperiment(abm.Experiment{
-				Scale:         abm.ScaleSmall,
-				Seed:          42,
-				BM:            scheme,
-				Load:          load + 0.2,
-				QueuesPerPort: 3,
-				MixedCC: []abm.CCAssignment{
-					{CC: "cubic", Prio: 0},
-					{CC: "dctcp", Prio: 1},
-				},
-				RequestFrac: 0.25,
-				IncastCC:    "theta-powertcp",
-				IncastPrio:  2,
-			})
+			sc := base.Clone()
+			if err := abm.SetScenarioField(&sc, "switch.bm", scheme); err != nil {
+				log.Fatal(err)
+			}
+			if err := abm.SetScenarioField(&sc, "workload.load", fmt.Sprint(load+0.2)); err != nil {
+				log.Fatal(err)
+			}
+			res, err := abm.RunScenario(sc)
 			if err != nil {
 				log.Fatal(err)
 			}

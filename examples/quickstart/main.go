@@ -1,24 +1,40 @@
 // Quickstart: build a small leaf-spine fabric managed by ABM, run one
 // flow and one incast, and print what happened. Start here.
+//
+// The fabric is declared in the committed scenario.json next to this
+// file — the same spec format every CLI takes via -scenario — and the
+// program drives individual flows through the programmatic API.
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"abm"
 )
 
+// loadScenario finds the example's committed spec whether the program
+// runs from this directory or the repository root.
+func loadScenario(name string) abm.Scenario {
+	for _, path := range []string{"scenario.json", "examples/" + name + "/scenario.json"} {
+		if _, err := os.Stat(path); err != nil {
+			continue
+		}
+		s, err := abm.LoadScenario(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return s
+	}
+	log.Fatalf("scenario.json not found (run from the repo root or examples/%s)", name)
+	panic("unreachable")
+}
+
 func main() {
 	// A 2-spine, 2-leaf fabric with 4 hosts per leaf, 10 Gb/s links, and
-	// ABM managing every switch buffer.
-	sim, err := abm.NewSimulation(abm.SimulationConfig{
-		Seed:         1,
-		Spines:       2,
-		Leaves:       2,
-		HostsPerLeaf: 4,
-		BM:           "ABM",
-	})
+	// ABM managing every switch buffer (see scenario.json).
+	sim, err := abm.NewSimulationFromScenario(loadScenario("quickstart"))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,16 +1,38 @@
 // Shallowbuffer: the paper's Figure 11 — sweep the buffer across real
 // switch generations (Trident2 down to Tofino) and watch DT collapse
 // below ~7KB/port/Gbps while ABM keeps the incast tail flat.
+//
+// The base run lives in the committed scenario.json next to this file;
+// the program sweeps the chip size and the scheme across it.
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"abm"
 )
 
+// loadScenario finds the example's committed spec whether the program
+// runs from this directory or the repository root.
+func loadScenario(name string) abm.Scenario {
+	for _, path := range []string{"scenario.json", "examples/" + name + "/scenario.json"} {
+		if _, err := os.Stat(path); err != nil {
+			continue
+		}
+		s, err := abm.LoadScenario(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return s
+	}
+	log.Fatalf("scenario.json not found (run from the repo root or examples/%s)", name)
+	panic("unreachable")
+}
+
 func main() {
+	base := loadScenario("shallowbuffer")
 	devices := []struct {
 		name string
 		kb   float64
@@ -29,17 +51,19 @@ func main() {
 	for _, dev := range devices {
 		var vals [2]float64
 		for i, scheme := range []string{"DT", "ABM"} {
-			res, err := abm.RunExperiment(abm.Experiment{
-				Scale: abm.ScaleSmall,
-				Seed:  42,
-				BM:    scheme,
-				Load:  0.4,
-				WSCC:  "dctcp",
+			sc := base.Clone()
+			for path, value := range map[string]string{
+				"switch.bm":                   scheme,
+				"buffer.kb_per_port_per_gbps": fmt.Sprint(dev.kb),
 				// Burst sized against Trident2 so it stays constant while
 				// the buffer shrinks.
-				RequestFrac:         0.25 * 9.6 / dev.kb,
-				BufferKBPerPortGbps: dev.kb,
-			})
+				"workload.incast.request_frac": fmt.Sprint(0.25 * 9.6 / dev.kb),
+			} {
+				if err := abm.SetScenarioField(&sc, path, value); err != nil {
+					log.Fatal(err)
+				}
+			}
+			res, err := abm.RunScenario(sc)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -5,37 +5,61 @@
 // timeout. This example measures how trimming changes the incast tail
 // under DT, and how it compares with ABM's approach of absorbing the
 // burst instead of cutting it.
+//
+// The base run lives in the committed scenario.json next to this file;
+// the program varies the scheme and the trimming switch across it.
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"abm"
 )
 
+// loadScenario finds the example's committed spec whether the program
+// runs from this directory or the repository root.
+func loadScenario(name string) abm.Scenario {
+	for _, path := range []string{"scenario.json", "examples/" + name + "/scenario.json"} {
+		if _, err := os.Stat(path); err != nil {
+			continue
+		}
+		s, err := abm.LoadScenario(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return s
+	}
+	log.Fatalf("scenario.json not found (run from the repo root or examples/%s)", name)
+	panic("unreachable")
+}
+
 func main() {
+	base := loadScenario("trimming")
 	fmt.Println("Cut-payload trimming vs buffer management (web-search 40% + incast 50%)")
 	fmt.Println()
 	fmt.Printf("%-22s %16s %16s\n", "configuration", "p99 incast FCT", "p99 short FCT")
 
-	type variant struct {
-		label string
-		cell  abm.Experiment
-	}
-	base := abm.Experiment{
-		Scale: abm.ScaleSmall, Seed: 42,
-		Load: 0.4, WSCC: "cubic",
-		RequestFrac: 0.5,
-	}
-	variants := []variant{
-		{"DT", func() abm.Experiment { c := base; c.BM = "DT"; return c }()},
-		{"DT + trimming", func() abm.Experiment { c := base; c.BM = "DT"; c.Trimming = true; return c }()},
-		{"ABM", func() abm.Experiment { c := base; c.BM = "ABM"; return c }()},
-		{"ABM + trimming", func() abm.Experiment { c := base; c.BM = "ABM"; c.Trimming = true; return c }()},
+	variants := []struct {
+		label    string
+		bm       string
+		trimming bool
+	}{
+		{"DT", "DT", false},
+		{"DT + trimming", "DT", true},
+		{"ABM", "ABM", false},
+		{"ABM + trimming", "ABM", true},
 	}
 	for _, v := range variants {
-		res, err := abm.RunExperiment(v.cell)
+		sc := base.Clone()
+		if err := abm.SetScenarioField(&sc, "switch.bm", v.bm); err != nil {
+			log.Fatal(err)
+		}
+		if err := abm.SetScenarioField(&sc, "switch.trimming", fmt.Sprint(v.trimming)); err != nil {
+			log.Fatal(err)
+		}
+		res, err := abm.RunScenario(sc)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,20 +7,43 @@ import (
 	"abm/internal/units"
 )
 
+// Validate checks that a policy name and its parameters are
+// constructible without building anything: the scenario layer calls it
+// once during Resolve so that factory closures (one construction per
+// switch) can no longer fail at build time.
+func Validate(name string, numQueues int, interval units.Time) error {
+	switch name {
+	case "DT", "CS", "FAB", "IB", "ABM", "EDT":
+		return nil
+	case "CP":
+		if numQueues <= 0 {
+			return fmt.Errorf("bm: CP requires the total queue count")
+		}
+		return nil
+	case "ABM-approx":
+		if interval <= 0 {
+			return fmt.Errorf("bm: ABM-approx requires an update interval")
+		}
+		return nil
+	default:
+		return fmt.Errorf("bm: unknown policy %q (known: %v)", name, Names())
+	}
+}
+
 // New constructs a policy by name. Recognized names: "DT", "CS", "CP"
 // (requires numQueues > 0), "FAB", "IB", "ABM", and "ABM-approx"
 // (requires interval > 0). It is the single place CLIs and the
 // experiment harness resolve scheme names.
 func New(name string, numQueues int, interval units.Time) (Policy, error) {
+	if err := Validate(name, numQueues, interval); err != nil {
+		return nil, err
+	}
 	switch name {
 	case "DT":
 		return DT{}, nil
 	case "CS":
 		return CS{}, nil
 	case "CP":
-		if numQueues <= 0 {
-			return nil, fmt.Errorf("bm: CP requires the total queue count")
-		}
 		return CP{NumQueues: numQueues}, nil
 	case "FAB":
 		return NewFAB(0, 0), nil
@@ -30,14 +53,20 @@ func New(name string, numQueues int, interval units.Time) (Policy, error) {
 		return ABM{}, nil
 	case "EDT":
 		return NewEDT(), nil
-	case "ABM-approx":
-		if interval <= 0 {
-			return nil, fmt.Errorf("bm: ABM-approx requires an update interval")
-		}
+	default: // "ABM-approx"; Validate admits nothing else
 		return NewApprox(interval), nil
-	default:
-		return nil, fmt.Errorf("bm: unknown policy %q (known: %v)", name, Names())
 	}
+}
+
+// MustNew is New for pre-validated parameters: per-switch factory
+// closures use it after Validate has accepted the name, so a panic here
+// is an invariant violation, not a user-input path.
+func MustNew(name string, numQueues int, interval units.Time) Policy {
+	p, err := New(name, numQueues, interval)
+	if err != nil {
+		panic(err)
+	}
+	return p
 }
 
 // Names lists the recognized policy names.

@@ -206,7 +206,9 @@ func (m *MMU) Ports() int { return len(m.sw.ports) }
 // Prios implements bm.Stats.
 func (m *MMU) Prios() int { return m.sw.prios }
 
-// PortRate implements bm.Stats; ports are uniform-rate within a switch.
+// PortRate implements bm.Stats. Mixed-rate switches (SwitchConfig.
+// PortRates) report port 0 — the host-facing side on leaf switches —
+// as the nominal b the stateful policies normalize against.
 func (m *MMU) PortRate() units.Rate { return m.sw.ports[0].rate }
 
 // QueueLen implements bm.Stats.

@@ -87,6 +87,11 @@ type SwitchConfig struct {
 	QueuesPerPort int        // number of priorities
 	PortRate      units.Rate // uniform port bandwidth b
 
+	// PortRates optionally overrides PortRate per port (mixed-rate
+	// fabrics: host-facing ports vs uplinks). Entries <= 0 and ports
+	// beyond the slice fall back to PortRate, which must still be set.
+	PortRates []units.Rate
+
 	MMU MMUConfig
 
 	// NewScheduler creates the per-port scheduler; nil selects round
@@ -139,7 +144,11 @@ func NewSwitch(s *sim.Simulator, cfg SwitchConfig) *Switch {
 	sw := &Switch{sim: s, id: cfg.ID, prios: cfg.QueuesPerPort, cfg: cfg}
 	sw.ports = make([]*Port, cfg.NumPorts)
 	for i := range sw.ports {
-		sw.ports[i] = newPort(sw, i, cfg.PortRate, cfg.QueuesPerPort, cfg.NewScheduler)
+		rate := cfg.PortRate
+		if i < len(cfg.PortRates) && cfg.PortRates[i] > 0 {
+			rate = cfg.PortRates[i]
+		}
+		sw.ports[i] = newPort(sw, i, rate, cfg.QueuesPerPort, cfg.NewScheduler)
 	}
 	rng := cfg.RNG
 	if rng == nil {

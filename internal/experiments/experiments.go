@@ -1,26 +1,18 @@
 // Package experiments defines one runnable configuration per figure of
-// the paper's evaluation (§4) and the shared machinery to execute them:
-// building the fabric, attaching workloads, running to a deadline,
-// draining, and summarizing. The cmd/figures binary and the repository's
-// benchmarks are thin wrappers over this package.
+// the paper's evaluation (§4). A Cell is a point on one figure's axes;
+// it compiles to a declarative scenario.Scenario (Cell.Scenario) and the
+// scenario layer builds the fabric, attaches workloads, runs to the
+// deadline, drains and summarizes. The cmd/figures binary and the
+// repository's benchmarks are thin wrappers over this package.
 package experiments
 
 import (
 	"fmt"
-	"math/rand"
 
-	"abm/internal/aqm"
-	"abm/internal/bm"
-	"abm/internal/cc"
-	"abm/internal/device"
 	"abm/internal/metrics"
 	"abm/internal/obs"
-	"abm/internal/packet"
-	"abm/internal/randutil"
-	"abm/internal/sim"
-	"abm/internal/topo"
+	"abm/internal/scenario"
 	"abm/internal/units"
-	"abm/internal/workload"
 )
 
 // Scale selects the fabric size. The paper runs 8 spines x 8 leaves x 32
@@ -91,7 +83,12 @@ type Cell struct {
 	// events sharing an exact picosecond timestamp.
 	Shards int
 
-	BM             string     // bm.New name
+	// Fabric overrides the Scale-derived fabric shape (dimensions, link
+	// rates, delay) with an explicit spec — how a figure sweep runs on a
+	// fabric loaded from a scenario file. Scale still picks the duration.
+	Fabric *scenario.Fabric
+
+	BM             string     // bm policy name (bm.Names)
 	UpdateInterval units.Time // for ABM-approx, in absolute time
 
 	// Web-search workload.
@@ -133,7 +130,7 @@ type Cell struct {
 	// Duration overrides the scale's default traffic duration.
 	Duration units.Time
 
-	// Ablation knobs (DESIGN.md §6). Zero values select the defaults the
+	// Ablation knobs (DESIGN.md §7). Zero values select the defaults the
 	// figures use.
 	Alpha                 float64    // per-priority alpha, default 0.5
 	DrainRateMeasured     bool       // measured estimator instead of scheduler share
@@ -153,6 +150,78 @@ type CCAssignment struct {
 	Prio uint8
 }
 
+// Scenario compiles the cell to the declarative spec the scenario layer
+// executes. The result is unresolved: Cell zero values map to Scenario
+// zero values and scenario.Resolve supplies the shared defaults.
+func (c Cell) Scenario() scenario.Scenario {
+	spines, leaves, hostsPerLeaf, duration := c.Scale.fabric()
+	if c.Duration > 0 {
+		duration = c.Duration
+	}
+	sc := scenario.Scenario{
+		Seed:     c.Seed,
+		Shards:   c.Shards,
+		Duration: scenario.Duration(duration),
+		Fabric: scenario.Fabric{
+			Spines:       spines,
+			Leaves:       leaves,
+			HostsPerLeaf: hostsPerLeaf,
+		},
+		Buffer: scenario.Buffer{
+			KBPerPortPerGbps: c.BufferKBPerPortGbps,
+			QueuesPerPort:    c.QueuesPerPort,
+			AlphaUnscheduled: c.AlphaUnscheduled,
+		},
+		Switch: scenario.Switch{
+			BM:                c.BM,
+			UpdateInterval:    scenario.Duration(c.UpdateInterval),
+			CongestedFactor:   c.CongestedFactor,
+			DrainRateMeasured: c.DrainRateMeasured,
+			StatsInterval:     scenario.Duration(c.StatsIntervalOverride),
+			Scheduler:         c.Scheduler,
+			Trimming:          c.Trimming,
+		},
+		Workload: scenario.Workload{
+			Load:       c.Load,
+			Background: c.Workload,
+			CC:         c.WSCC,
+			Prio:       c.WSPrio,
+			RandomPrio: c.RandomPrio,
+			Incast: scenario.Incast{
+				RequestFrac: c.RequestFrac,
+				Fanout:      c.Fanout,
+				Load:        c.IncastLoad,
+				CC:          c.IncastCC,
+				Prio:        c.IncastPrio,
+			},
+		},
+		Obs: c.Obs,
+	}
+	if c.Fabric != nil {
+		sc.Fabric = *c.Fabric
+	}
+	// The Alpha knob replicates one value across every queue; scenario
+	// specs carry the explicit per-queue vector.
+	if c.Alpha > 0 {
+		sc.Buffer.Alphas = []float64{c.Alpha}
+	}
+	// Cell headroom is a sentinel float (0 scheme default, <0 disabled);
+	// the spec distinguishes "unset" from "explicitly zero" instead.
+	switch {
+	case c.HeadroomFrac > 0:
+		v := c.HeadroomFrac
+		sc.Buffer.HeadroomFrac = &v
+	case c.HeadroomFrac < 0:
+		v := 0.0
+		sc.Buffer.HeadroomFrac = &v
+	}
+	for _, a := range c.MixedCC {
+		sc.Workload.MixedCC = append(sc.Workload.MixedCC,
+			scenario.CCAssignment{CC: a.CC, Prio: a.Prio})
+	}
+	return sc
+}
+
 // Result is a finished cell.
 type Result struct {
 	Cell    Cell
@@ -169,20 +238,10 @@ type Result struct {
 	// the cell enabled telemetry (Cell.Obs); nil otherwise. The model/
 	// keys are shard-count-invariant.
 	Counters map[string]int64
-}
 
-// needsINT reports whether any configured algorithm requires telemetry.
-func (c Cell) needsINT() bool {
-	names := []string{c.WSCC, c.IncastCC}
-	for _, a := range c.MixedCC {
-		names = append(names, a.CC)
-	}
-	for _, n := range names {
-		if n == "powertcp" || n == "hpcc" {
-			return true
-		}
-	}
-	return false
+	// Resolved is the fully-explicit scenario the cell executed — the
+	// re-runnable record sweep job results embed.
+	Resolved scenario.Scenario
 }
 
 // Run executes one cell and returns its result.
@@ -194,335 +253,18 @@ func Run(cell Cell) (Result, error) {
 // RunDetailed is Run, additionally returning the metrics collector with
 // every flow record for tracing and custom analysis.
 func RunDetailed(cell Cell) (Result, *metrics.Collector, error) {
-	spines, leaves, hostsPerLeaf, duration := cell.Scale.fabric()
-	if cell.Duration > 0 {
-		duration = cell.Duration
-	}
-	if cell.QueuesPerPort <= 0 {
-		cell.QueuesPerPort = 1
-	}
-	if cell.IncastCC == "" {
-		cell.IncastCC = cell.WSCC
-	}
-	if cell.IncastLoad <= 0 {
-		cell.IncastLoad = 0.04
-	}
-	if cell.Fanout <= 0 {
-		cell.Fanout = 8
-	}
-	kb := cell.BufferKBPerPortGbps
-	if kb <= 0 {
-		kb = 9.6 // Trident2
-	}
-
-	rate := 10 * units.GigabitPerSec
-	ports := hostsPerLeaf + spines
-	totalBuffer := topo.BufferFor(kb, ports, rate)
-
-	// ABM-family schemes reserve 1/8 of the chip as headroom (§4.1: "uses
-	// headroom similar to IB"); others use the whole chip as shared pool.
-	// Cell.HeadroomFrac overrides for ablations.
-	hrFrac := 0.0
-	if cell.BM == "ABM" || cell.BM == "IB" || cell.BM == "ABM-approx" {
-		hrFrac = 1.0 / 8
-	}
-	if cell.HeadroomFrac > 0 {
-		hrFrac = cell.HeadroomFrac
-	}
-	if cell.HeadroomFrac < 0 {
-		hrFrac = 0
-	}
-	headroom := units.ByteCount(float64(totalBuffer) * hrFrac)
-	shared := totalBuffer - headroom
-
-	numQueues := cell.QueuesPerPort * ports
-	alphaVal := cell.Alpha
-	if alphaVal <= 0 {
-		alphaVal = 0.5
-	}
-	alphas := make([]float64, cell.QueuesPerPort)
-	for i := range alphas {
-		alphas[i] = alphaVal
-	}
-
-	alphaU := cell.AlphaUnscheduled
-	if alphaU <= 0 {
-		alphaU = 64
-	}
-	drainMode := device.DrainRateShare
-	if cell.DrainRateMeasured {
-		drainMode = device.DrainRateMeasured
-	}
-	cfg := topo.Config{
-		NumSpines:     spines,
-		NumLeaves:     leaves,
-		HostsPerLeaf:  hostsPerLeaf,
-		LinkRate:      rate,
-		LinkDelay:     10 * units.Microsecond,
-		QueuesPerPort: cell.QueuesPerPort,
-		BufferSize:    shared,
-		Headroom:      headroom,
-		BMFactory: func() bm.Policy {
-			p, err := bm.New(cell.BM, numQueues, cell.UpdateInterval)
-			if err != nil {
-				panic(err)
-			}
-			return p
-		},
-		Alphas:           alphas,
-		AlphaUnscheduled: alphaU,
-		CongestedFactor:  cell.CongestedFactor,
-		StatsInterval:    cell.StatsIntervalOverride,
-		DrainRate:        drainMode,
-		EnableINT:        cell.needsINT(),
-	}
-	switch cell.Scheduler {
-	case "", "rr":
-		// round robin, the device default
-	case "dwrr":
-		cfg.NewScheduler = func() device.Scheduler { return &device.DWRR{} }
-	case "strict":
-		cfg.NewScheduler = func() device.Scheduler { return device.StrictPriority{} }
-	default:
-		return Result{}, nil, fmt.Errorf("experiments: unknown scheduler %q", cell.Scheduler)
-	}
-	// DCTCP needs its marking threshold K = 65 packets (§4.1); the
-	// threshold only marks ECT packets, so it is safe fabric-wide.
-	if usesDCTCP(cell) {
-		if cell.Trimming {
-			return Result{}, nil, fmt.Errorf("experiments: trimming and DCTCP AQMs are mutually exclusive")
-		}
-		k := 65 * (1440 + packet.HeaderBytes)
-		cfg.AQMFactory = func() aqm.Policy { return aqm.ECNThreshold{K: k} }
-	} else if cell.Trimming {
-		// Trim once a queue holds an eighth of the chip — roughly where
-		// deep per-queue backlogs turn into timeout-inducing tail drops.
-		trimAt := totalBuffer / 8
-		cfg.AQMFactory = func() aqm.Policy { return aqm.CutPayload{TrimAbove: trimAt} }
-	}
-
-	if cell.Shards >= 1 {
-		return runSharded(cell, cfg, totalBuffer, duration, rate)
-	}
-
-	sess, err := obs.NewSession(cell.Obs, 1)
+	sres, col, err := scenario.Run(cell.Scenario())
 	if err != nil {
 		return Result{}, nil, err
 	}
-	cfg.Obs = sess
-
-	s := sim.New(cell.Seed)
-	n := topo.NewNetwork(s, cfg)
-	col := &metrics.Collector{}
-
-	// Incast requests are sized against the chip buffer, not the
-	// scheme-dependent shared pool, so every scheme sees the same load.
-	ws, ic, sampler, err := buildWorkloads(n, cell, col, totalBuffer)
-	if err != nil {
-		return Result{}, nil, err
-	}
-	if ws != nil {
-		ws.Start()
-	}
-	if ic != nil {
-		ic.Start()
-	}
-	sampler.Start(samplerInterval)
-
-	s.RunUntil(duration)
-	if ws != nil {
-		ws.Stop()
-	}
-	if ic != nil {
-		ic.Stop()
-	}
-	// Drain: let in-flight flows finish (bounded so pathological cells
-	// still terminate).
-	s.RunUntil(duration + 500*units.Millisecond)
-	sampler.Stop()
-	n.Stop()
-	s.Run() // flush canceled tickers
-
-	res := collectResult(cell, n, col, rate, s.Executed())
-	res.Counters = sess.Totals()
-	if err := writeObsOutputs(cell.Obs, sess, n); err != nil {
-		return Result{}, nil, err
-	}
-	return res, col, nil
-}
-
-// samplerInterval is the buffer-occupancy sampling period in both run
-// modes.
-const samplerInterval = 100 * units.Microsecond
-
-// runSharded executes a cell on the parallel engine: the fabric is
-// partitioned across shards, workloads are pre-generated to the traffic
-// horizon (reproducing the live generators' RNG streams draw-for-draw),
-// and the buffer sampler runs at window barriers.
-func runSharded(cell Cell, cfg topo.Config, totalBuffer units.ByteCount,
-	duration units.Time, rate units.Rate) (Result, *metrics.Collector, error) {
-
-	part := topo.MakePartition(cfg.NumLeaves, cfg.NumSpines, cell.Shards)
-	sess, err := obs.NewSession(cell.Obs, part.Shards)
-	if err != nil {
-		return Result{}, nil, err
-	}
-	cfg.Obs = sess
-
-	p := sim.NewParallel(cell.Seed, part.Shards)
-	defer p.Close()
-	p.SetObs(sess)
-	n := topo.NewShardedNetwork(p, cfg, part)
-	col := &metrics.Collector{}
-
-	ws, ic, sampler, err := buildWorkloads(n, cell, col, totalBuffer)
-	if err != nil {
-		return Result{}, nil, err
-	}
-	workload.SchedulePregen(ws, ic, duration)
-	sampler.StartBarrier(samplerInterval)
-
-	p.RunUntil(duration)
-	p.RunUntil(duration + 500*units.Millisecond)
-	sampler.Stop()
-	n.Stop()
-	p.Drain() // run remaining retransmission chains to exhaustion
-
-	res := collectResult(cell, n, col, rate, p.Executed())
-	res.Counters = sess.Totals()
-	if err := writeObsOutputs(cell.Obs, sess, n); err != nil {
-		return Result{}, nil, err
-	}
-	return res, col, nil
-}
-
-// collectResult assembles the cell result from a finished network.
-func collectResult(cell Cell, n *topo.Network, col *metrics.Collector,
-	rate units.Rate, events uint64) Result {
-
-	var unschedDrops int64
-	for _, sw := range n.Switches() {
-		for p := 0; p < sw.NumPorts(); p++ {
-			for q := 0; q < sw.Prios(); q++ {
-				unschedDrops += sw.Port(p).Queue(q).DropsUnscheduled
-			}
-		}
-	}
-	res := Result{
+	return Result{
 		Cell:             cell,
-		Summary:          col.Summarize(rate),
-		Drops:            n.TotalDrops(),
-		UnscheduledDrops: unschedDrops,
-		Events:           events,
-	}
-	if len(cell.MixedCC) > 0 {
-		res.PerPrioP99Short = make(map[uint8]float64)
-		for _, a := range cell.MixedCC {
-			vals := col.Filter(func(r metrics.FlowRecord) bool {
-				return r.Prio == a.Prio && r.Size <= metrics.ShortFlowCut
-			})
-			res.PerPrioP99Short[a.Prio] = metrics.Percentile(vals, 99)
-		}
-		if cell.RequestFrac > 0 {
-			vals := col.Filter(metrics.ByClass(metrics.ClassIncast))
-			res.PerPrioP99Short[cell.IncastPrio] = metrics.Percentile(vals, 99)
-		}
-	}
-	return res
-}
-
-func usesDCTCP(cell Cell) bool {
-	ecnBased := func(n string) bool { return n == "dctcp" || n == "dcqcn" }
-	if ecnBased(cell.WSCC) || ecnBased(cell.IncastCC) {
-		return true
-	}
-	for _, a := range cell.MixedCC {
-		if ecnBased(a.CC) {
-			return true
-		}
-	}
-	return false
-}
-
-// buildWorkloads builds the cell's generators and the buffer sampler
-// without starting any of them: the serial path Starts the generators
-// live, the sharded path pre-generates their schedules instead.
-func buildWorkloads(n *topo.Network, cell Cell, col *metrics.Collector,
-	shared units.ByteCount) (*workload.WebSearch, *workload.Incast, *workload.BufferSampler, error) {
-
-	// Workload randomness is isolated from simulation randomness so every
-	// scheme at the same seed sees identical arrivals.
-	rng := rand.New(rand.NewSource(cell.Seed + 1000))
-	qpp := cell.QueuesPerPort
-
-	var ws *workload.WebSearch
-	if cell.Load > 0 {
-		ws = &workload.WebSearch{Net: n, Load: cell.Load, Collect: col, Seed: cell.Seed + 1}
-		switch cell.Workload {
-		case "", "websearch":
-			// the default distribution
-		case "datamining":
-			ws.Sizes = randutil.DataMining
-		default:
-			return nil, nil, nil, fmt.Errorf("experiments: unknown workload %q", cell.Workload)
-		}
-		switch {
-		case len(cell.MixedCC) > 0:
-			factories := make([]cc.Factory, len(cell.MixedCC))
-			for i, a := range cell.MixedCC {
-				f, err := cc.NewFactory(a.CC)
-				if err != nil {
-					return nil, nil, nil, err
-				}
-				factories[i] = f
-			}
-			assignments := cell.MixedCC
-			ws.PickCC = func(i int) (cc.Factory, uint8) {
-				j := i % len(assignments)
-				return factories[j], assignments[j].Prio
-			}
-		case cell.RandomPrio:
-			f, err := cc.NewFactory(cell.WSCC)
-			if err != nil {
-				return nil, nil, nil, err
-			}
-			ws.PickCC = func(int) (cc.Factory, uint8) {
-				return f, uint8(rng.Intn(qpp))
-			}
-		default:
-			f, err := cc.NewFactory(cell.WSCC)
-			if err != nil {
-				return nil, nil, nil, err
-			}
-			ws.CC = f
-			ws.Prio = cell.WSPrio
-		}
-	}
-
-	var ic *workload.Incast
-	if cell.RequestFrac > 0 {
-		f, err := cc.NewFactory(cell.IncastCC)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		reqSize := units.ByteCount(cell.RequestFrac * float64(shared))
-		bisection := float64(n.Cfg.LinkRate) * float64(n.Cfg.NumLeaves*n.Cfg.NumSpines)
-		qps := cell.IncastLoad * bisection / float64(reqSize.Bits())
-		ic = &workload.Incast{
-			Net:         n,
-			RequestSize: reqSize,
-			Fanout:      cell.Fanout,
-			QueryRate:   qps,
-			Prio:        cell.IncastPrio,
-			CC:          f,
-			Collect:     col,
-			Seed:        cell.Seed + 2,
-		}
-		if cell.RandomPrio {
-			ic.PickPrio = func() uint8 { return uint8(rng.Intn(qpp)) }
-		}
-	}
-
-	sampler := &workload.BufferSampler{Net: n, Collect: col}
-	return ws, ic, sampler, nil
+		Summary:          sres.Summary,
+		PerPrioP99Short:  sres.PerPrioP99Short,
+		Drops:            sres.Drops,
+		UnscheduledDrops: sres.UnscheduledDrops,
+		Events:           sres.Events,
+		Counters:         sres.Counters,
+		Resolved:         sres.Scenario,
+	}, col, nil
 }

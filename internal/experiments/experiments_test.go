@@ -73,14 +73,13 @@ func TestRunRejectsUnknownNames(t *testing.T) {
 	}
 }
 
-func TestRunUnknownBMPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for unknown BM")
-		}
-	}()
-	Run(Cell{Scale: ScaleSmall, BM: "bogus", Load: 0.1, WSCC: "cubic",
-		Duration: units.Millisecond})
+func TestRunRejectsUnknownBM(t *testing.T) {
+	// Unknown policies used to panic out of the per-switch factory; name
+	// validation now happens once, during scenario resolution.
+	if _, err := Run(Cell{Scale: ScaleSmall, BM: "bogus", Load: 0.1, WSCC: "cubic",
+		Duration: units.Millisecond}); err == nil {
+		t.Fatal("expected bm error")
+	}
 }
 
 func TestMixedCCPerPrioResults(t *testing.T) {

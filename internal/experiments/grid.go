@@ -3,10 +3,12 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"strings"
 	"time"
 
 	"abm/internal/obs"
 	"abm/internal/runner"
+	"abm/internal/scenario"
 	"abm/internal/units"
 )
 
@@ -46,6 +48,22 @@ type Grid struct {
 	// Obs enables telemetry on every job; with PerJob set the path
 	// fields are directories holding one file per job.
 	Obs obs.Options `json:"obs,omitempty"`
+
+	// Scenario switches the grid to scenario mode: every job starts from
+	// this scenario JSON file and the Vary axes mutate it by field path.
+	// The cell axes above (BMs, CCs, ...) are ignored in this mode.
+	Scenario string `json:"scenario,omitempty"`
+	// Vary are the scenario-mode sweep axes, crossed in order. Axis
+	// order is part of the job-ID/seed contract, exactly like the fixed
+	// bm/cc/load/request/alpha order of cell mode.
+	Vary []PathAxis `json:"vary,omitempty"`
+}
+
+// PathAxis is one scenario-mode sweep axis: a dotted scenario field
+// path (see scenario.SetField) and the values it steps through.
+type PathAxis struct {
+	Path   string   `json:"path"`
+	Values []string `json:"values"`
 }
 
 // normalized fills the documented defaults.
@@ -83,15 +101,26 @@ func (g Grid) normalized() Grid {
 // Jobs returns the number of jobs the grid expands to.
 func (g Grid) Jobs() int {
 	g = g.normalized()
+	if g.Scenario != "" {
+		n := g.Reps
+		for _, axis := range g.Vary {
+			n *= len(axis.Values)
+		}
+		return n
+	}
 	return len(g.BMs) * len(g.CCs) * len(g.Loads) * len(g.RequestFracs) * len(g.Alphas) * g.Reps
 }
 
 // Plan expands the grid into a runner plan: one job per configuration
 // and replication, in a fixed axis order (bm, cc, load, request, alpha,
-// rep), so job indexes — and therefore derived seeds — are stable
-// across runs and worker counts.
+// rep — or the declared Vary order in scenario mode), so job indexes —
+// and therefore derived seeds — are stable across runs and worker
+// counts.
 func (g Grid) Plan() (*runner.Plan, error) {
 	g = g.normalized()
+	if g.Scenario != "" {
+		return g.scenarioPlan()
+	}
 	scale, err := ParseScale(g.Scale)
 	if err != nil {
 		return nil, err
@@ -142,6 +171,90 @@ func (g Grid) Plan() (*runner.Plan, error) {
 					}
 				}
 			}
+		}
+	}
+	return plan, nil
+}
+
+// scenarioPlan expands the Vary axes over the base scenario file into a
+// runner plan. Every axis combination is validated up front (bad field
+// paths or values fail the whole sweep before any job runs), and each
+// job's record embeds the fully-resolved scenario it executed.
+func (g Grid) scenarioPlan() (*runner.Plan, error) {
+	base, err := scenario.Load(g.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	for _, axis := range g.Vary {
+		if axis.Path == "" || len(axis.Values) == 0 {
+			return nil, fmt.Errorf("experiments: vary axis %q needs a path and at least one value", axis.Path)
+		}
+	}
+	timeout := time.Duration(g.TimeoutSec * float64(time.Second))
+	plan := &runner.Plan{Name: g.Name, Seed: g.Seed}
+
+	// Walk the cross product in declared axis order, rightmost axis
+	// fastest — the scenario-mode analogue of the fixed cell-axis order.
+	choice := make([]int, len(g.Vary))
+	for {
+		sc := base.Clone()
+		var parts []string
+		for i, axis := range g.Vary {
+			value := axis.Values[choice[i]]
+			if err := scenario.SetField(&sc, axis.Path, value); err != nil {
+				return nil, fmt.Errorf("experiments: %w", err)
+			}
+			parts = append(parts, fmt.Sprintf("%s=%s", axis.Path, value))
+		}
+		if g.Shards >= 1 {
+			sc.Shards = g.Shards
+		}
+		group := strings.Join(parts, ",")
+		if group == "" {
+			group = "scenario"
+		}
+		for rep := 0; rep < g.Reps; rep++ {
+			job := sc.Clone()
+			id := fmt.Sprintf("%s/%04d-%s,rep=%d", g.Name, len(plan.Specs), group, rep)
+			if g.Obs.Active() {
+				job.Obs = g.Obs.ForJob(id)
+			}
+			plan.Add(runner.Spec{
+				ID:         id,
+				Experiment: g.Name,
+				Group:      group,
+				Timeout:    timeout,
+				Config:     job,
+				Run: func(ctx context.Context, seed int64) (runner.Result, error) {
+					c := job.Clone()
+					c.Seed = seed
+					res, _, err := scenario.Run(c)
+					if err != nil {
+						return runner.Result{}, err
+					}
+					return runnerResult(Result{
+						Summary:          res.Summary,
+						PerPrioP99Short:  res.PerPrioP99Short,
+						Drops:            res.Drops,
+						UnscheduledDrops: res.UnscheduledDrops,
+						Events:           res.Events,
+						Counters:         res.Counters,
+						Resolved:         res.Scenario,
+					}), nil
+				},
+			})
+		}
+		// Advance the odometer; done when the leftmost axis wraps.
+		i := len(choice) - 1
+		for ; i >= 0; i-- {
+			choice[i]++
+			if choice[i] < len(g.Vary[i].Values) {
+				break
+			}
+			choice[i] = 0
+		}
+		if i < 0 {
+			break
 		}
 	}
 	return plan, nil

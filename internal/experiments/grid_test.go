@@ -163,8 +163,9 @@ func TestRunCellsStoreRoundTrip(t *testing.T) {
 }
 
 // TestRunCellsPropagatesFailure checks that a failing cell surfaces its
-// job ID and does not take the figure's process down even when it
-// panics (unknown BM names panic inside the simulator's factory).
+// job ID and does not take the figure's process down. (Unknown BM names
+// used to panic inside the simulator's per-switch factory; scenario
+// resolution now rejects them as an ordinary error.)
 func TestRunCellsPropagatesFailure(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation test")
@@ -177,7 +178,7 @@ func TestRunCellsPropagatesFailure(t *testing.T) {
 	if err == nil {
 		t.Fatal("expected error")
 	}
-	if !strings.Contains(err.Error(), "boom/000-bad") || !strings.Contains(err.Error(), "panic") {
+	if !strings.Contains(err.Error(), "boom/000-bad") || !strings.Contains(err.Error(), "unknown policy") {
 		t.Fatalf("error lacks job identity: %v", err)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"abm/internal/scenario"
 	"abm/internal/units"
 )
 
@@ -64,7 +65,10 @@ func TestShardCountInvariance(t *testing.T) {
 				if err != nil {
 					t.Fatalf("shards=%d: %v", shards, err)
 				}
-				res.Cell = Cell{} // differs by construction (Shards)
+				// Cell and the resolved scenario differ by construction
+				// (Shards); the invariance claim is about the outputs.
+				res.Cell = Cell{}
+				res.Resolved = scenario.Scenario{}
 				if shards == 1 {
 					refRes, refFlows, refSamples = res, col.Flows, col.BufferSamples
 					if res.Summary.Flows < 25 {

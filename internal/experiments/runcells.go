@@ -8,6 +8,7 @@ import (
 
 	"abm/internal/obs"
 	"abm/internal/runner"
+	"abm/internal/scenario"
 )
 
 // RunOptions configures how a figure's cells are executed on the
@@ -35,6 +36,10 @@ type RunOptions struct {
 	// surface's default for figures), the path fields are directories
 	// and each job writes its own files, named by its sanitized ID.
 	Obs obs.Options
+	// Fabric, when non-nil, overlays an explicit fabric shape on every
+	// cell (see Cell.Fabric) — how "figures -scenario" reruns a figure's
+	// axes on a fabric loaded from a scenario file.
+	Fabric *scenario.Fabric
 }
 
 // pool builds the runner pool an options value describes.
@@ -70,6 +75,9 @@ func runCells(o *RunOptions, experiment string, jobs []cellJob) ([]Result, error
 		cell := job.cell
 		if o != nil && o.Shards >= 1 {
 			cell.Shards = o.Shards
+		}
+		if o != nil && o.Fabric != nil {
+			cell.Fabric = o.Fabric
 		}
 		id := fmt.Sprintf("%s/%03d-%s", experiment, i, job.label)
 		if o != nil && o.Obs.Active() {
@@ -119,6 +127,7 @@ func runnerResult(res Result) runner.Result {
 		Drops:            res.Drops,
 		UnscheduledDrops: res.UnscheduledDrops,
 		Counters:         res.Counters,
+		Scenario:         res.Resolved,
 	}
 	if len(res.PerPrioP99Short) > 0 {
 		out.Extra = make(map[string]float64, len(res.PerPrioP99Short))

@@ -18,21 +18,27 @@ type Flags struct {
 // -trace-sample and -counters. perJob selects directory semantics for
 // the path flags (figures/sweep) instead of single files (abmsim).
 func (f *Flags) AddFlags(perJob bool) {
+	f.AddFlagsTo(flag.CommandLine, perJob)
+}
+
+// AddFlagsTo is AddFlags on an explicit flag set, for CLIs that parse
+// into their own set instead of the process-global one.
+func (f *Flags) AddFlagsTo(fs *flag.FlagSet, perJob bool) {
 	noun := "this file"
 	if perJob {
 		noun = "one file per job under this directory"
 	}
 	f.Opts.PerJob = perJob
-	flag.StringVar(&f.Opts.EventsFile, "trace-events", "",
+	fs.StringVar(&f.Opts.EventsFile, "trace-events", "",
 		"write the telemetry event stream as NDJSON to "+noun)
-	flag.StringVar(&f.Opts.ChromeFile, "trace-chrome", "",
+	fs.StringVar(&f.Opts.ChromeFile, "trace-chrome", "",
 		"write a Chrome trace-event JSON (chrome://tracing, Perfetto) to "+noun)
-	flag.StringVar(&f.Opts.Filter, "trace-filter", "",
+	fs.StringVar(&f.Opts.Filter, "trace-filter", "",
 		"event kinds to record: comma-separated "+strings.Join(kindNames[:], ", ")+
 			", or the aliases model, engine, all (default all)")
-	flag.Float64Var(&f.Opts.Sample, "trace-sample", 0,
+	fs.Float64Var(&f.Opts.Sample, "trace-sample", 0,
 		"keep roughly this fraction of queue-level events, selected by a shard-invariant identity hash (0 or 1 = all)")
-	flag.StringVar(&f.Opts.CountersFile, "counters", "",
+	fs.StringVar(&f.Opts.CountersFile, "counters", "",
 		"write telemetry counter totals and the per-queue summary TSV to "+noun)
 }
 

@@ -66,6 +66,11 @@ type Result struct {
 	// Counters carries the run's telemetry counter totals by export
 	// name when the job enabled telemetry (see internal/obs).
 	Counters map[string]int64 `json:"counters,omitempty"`
+	// Scenario is the fully-resolved scenario spec the job executed
+	// (scenario.Scenario, typed any to keep this package policy-free):
+	// unlike the Config echo, it records every defaulted knob explicitly,
+	// so the record alone is enough to re-run the job exactly.
+	Scenario any `json:"scenario,omitempty"`
 }
 
 // Status classifies how a job ended.

@@ -1,0 +1,165 @@
+package scenario
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"abm/internal/units"
+)
+
+// SetField assigns one scenario field addressed by its dotted JSON-tag
+// path ("switch.bm", "fabric.uplink_gbps", "workload.incast.load", ...),
+// parsing value by the field's type. This is how sweep grids and CLI
+// "-vary path=v1,v2" axes mutate a base scenario without the sweep layer
+// knowing the spec's shape.
+//
+// Supported leaf types: string, bool, integers, floats, Duration (Go
+// duration syntax), *float64 (headroom_frac), []float64 (comma list) and
+// []CCAssignment ("cc:prio" comma list).
+func SetField(s *Scenario, path, value string) error {
+	if path == "" {
+		return fmt.Errorf("scenario: empty field path")
+	}
+	v := reflect.ValueOf(s).Elem()
+	parts := strings.Split(path, ".")
+	for i, part := range parts {
+		if v.Kind() != reflect.Struct {
+			return fmt.Errorf("scenario: field %q has no sub-field %q",
+				strings.Join(parts[:i], "."), part)
+		}
+		fv, ok := fieldByTag(v, part)
+		if !ok {
+			return fmt.Errorf("scenario: unknown field %q (at %q; known: %s)",
+				path, part, strings.Join(tagsOf(v), ", "))
+		}
+		v = fv
+	}
+	if err := setLeaf(v, value); err != nil {
+		return fmt.Errorf("scenario: field %q: %w", path, err)
+	}
+	return nil
+}
+
+// fieldByTag resolves a struct field by the name part of its json tag.
+func fieldByTag(v reflect.Value, tag string) (reflect.Value, bool) {
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		if tagName(t.Field(i)) == tag {
+			return v.Field(i), true
+		}
+	}
+	return reflect.Value{}, false
+}
+
+func tagName(f reflect.StructField) string {
+	tag := f.Tag.Get("json")
+	if tag == "" || tag == "-" {
+		return ""
+	}
+	if i := strings.IndexByte(tag, ','); i >= 0 {
+		tag = tag[:i]
+	}
+	return tag
+}
+
+// tagsOf lists the addressable json tags of a struct value, sorted.
+func tagsOf(v reflect.Value) []string {
+	t := v.Type()
+	var tags []string
+	for i := 0; i < t.NumField(); i++ {
+		if name := tagName(t.Field(i)); name != "" {
+			tags = append(tags, name)
+		}
+	}
+	sort.Strings(tags)
+	return tags
+}
+
+func setLeaf(v reflect.Value, value string) error {
+	switch v.Interface().(type) {
+	case Duration:
+		d, err := time.ParseDuration(value)
+		if err != nil {
+			return err
+		}
+		v.Set(reflect.ValueOf(Duration(d.Nanoseconds()) * Duration(units.Nanosecond)))
+		return nil
+	case *float64:
+		f, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return err
+		}
+		v.Set(reflect.ValueOf(&f))
+		return nil
+	case []float64:
+		var out []float64
+		for _, part := range strings.Split(value, ",") {
+			f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				return err
+			}
+			out = append(out, f)
+		}
+		v.Set(reflect.ValueOf(out))
+		return nil
+	case []CCAssignment:
+		var out []CCAssignment
+		for _, part := range strings.Split(value, ",") {
+			name, prioStr, ok := strings.Cut(strings.TrimSpace(part), ":")
+			if !ok {
+				return fmt.Errorf("bad cc assignment %q (want cc:prio)", part)
+			}
+			prio, err := strconv.ParseUint(prioStr, 10, 8)
+			if err != nil {
+				return err
+			}
+			out = append(out, CCAssignment{CC: name, Prio: uint8(prio)})
+		}
+		v.Set(reflect.ValueOf(out))
+		return nil
+	}
+	switch v.Kind() {
+	case reflect.String:
+		v.SetString(value)
+	case reflect.Bool:
+		b, err := strconv.ParseBool(value)
+		if err != nil {
+			return err
+		}
+		v.SetBool(b)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		n, err := strconv.ParseInt(value, 10, 64)
+		if err != nil {
+			return err
+		}
+		if v.OverflowInt(n) {
+			return fmt.Errorf("value %s overflows %s", value, v.Type())
+		}
+		v.SetInt(n)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		n, err := strconv.ParseUint(value, 10, 64)
+		if err != nil {
+			return err
+		}
+		if v.OverflowUint(n) {
+			return fmt.Errorf("value %s overflows %s", value, v.Type())
+		}
+		v.SetUint(n)
+	case reflect.Float32, reflect.Float64:
+		f, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return err
+		}
+		v.SetFloat(f)
+	case reflect.Struct:
+		return fmt.Errorf("path names a section, not a field (sub-fields: %s)",
+			strings.Join(tagsOf(v), ", "))
+	default:
+		return fmt.Errorf("unsupported field type %s", v.Type())
+	}
+	return nil
+}

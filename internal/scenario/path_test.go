@@ -1,0 +1,118 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"abm/internal/units"
+)
+
+// TestSetField drives every supported leaf type through the dotted-path
+// mutator sweep grids are built on.
+func TestSetField(t *testing.T) {
+	var s Scenario
+	for path, value := range map[string]string{
+		"name":                         "tuned",
+		"seed":                         "7",
+		"shards":                       "4",
+		"duration":                     "2ms",
+		"fabric.spines":                "4",
+		"fabric.uplink_gbps":           "25",
+		"fabric.link_delay":            "4us",
+		"buffer.queues_per_port":       "4",
+		"buffer.headroom_frac":         "0.25",
+		"buffer.alphas":                "2, 1, 0.5, 0.25",
+		"switch.bm":                    "IB",
+		"switch.trimming":              "true",
+		"workload.load":                "0.6",
+		"workload.prio":                "3",
+		"workload.mixed_cc":            "cubic:0, dctcp:1",
+		"workload.incast.request_frac": "0.3",
+	} {
+		if err := SetField(&s, path, value); err != nil {
+			t.Fatalf("SetField(%q, %q): %v", path, value, err)
+		}
+	}
+	if s.Name != "tuned" || s.Seed != 7 || s.Shards != 4 {
+		t.Errorf("scalar roots not set: %+v", s)
+	}
+	if s.Duration.Time() != 2*units.Millisecond {
+		t.Errorf("duration = %v ps", int64(s.Duration))
+	}
+	if s.Fabric.Spines != 4 || s.Fabric.UplinkGbps != 25 ||
+		s.Fabric.LinkDelay.Time() != 4*units.Microsecond {
+		t.Errorf("fabric fields not set: %+v", s.Fabric)
+	}
+	if s.Buffer.HeadroomFrac == nil || *s.Buffer.HeadroomFrac != 0.25 {
+		t.Errorf("headroom pointer not set: %+v", s.Buffer.HeadroomFrac)
+	}
+	if want := []float64{2, 1, 0.5, 0.25}; !reflect.DeepEqual(s.Buffer.Alphas, want) {
+		t.Errorf("alphas = %v", s.Buffer.Alphas)
+	}
+	if s.Switch.BM != "IB" || !s.Switch.Trimming {
+		t.Errorf("switch fields not set: %+v", s.Switch)
+	}
+	if s.Workload.Prio != 3 || s.Workload.Load != 0.6 ||
+		s.Workload.Incast.RequestFrac != 0.3 {
+		t.Errorf("workload fields not set: %+v", s.Workload)
+	}
+	if want := []CCAssignment{{CC: "cubic", Prio: 0}, {CC: "dctcp", Prio: 1}}; !reflect.DeepEqual(s.Workload.MixedCC, want) {
+		t.Errorf("mixed cc = %+v", s.Workload.MixedCC)
+	}
+}
+
+// TestSetFieldErrors: every failure mode names the path and, for
+// unknown fields, lists the valid ones.
+func TestSetFieldErrors(t *testing.T) {
+	var s Scenario
+	for name, tc := range map[string]struct{ path, value, want string }{
+		"empty path":        {"", "1", "empty"},
+		"unknown root":      {"topology", "x", "unknown field"},
+		"unknown leaf":      {"fabric.spine_count", "4", "spines"}, // lists valid tags
+		"section not leaf":  {"fabric", "4", "sub-fields"},
+		"leaf not section":  {"seed.low", "1", "no sub-field"},
+		"bad int":           {"fabric.spines", "many", "many"},
+		"bad bool":          {"switch.trimming", "maybe", "maybe"},
+		"bad duration":      {"duration", "fast", "fast"},
+		"bad cc assignment": {"workload.mixed_cc", "cubic", "cc:prio"},
+		"prio overflow":     {"workload.prio", "300", "300"},
+	} {
+		t.Run(name, func(t *testing.T) {
+			err := SetField(&s, tc.path, tc.value)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestSetFieldMatchesJSON: for a sample of paths, SetField agrees with
+// decoding the equivalent JSON document — the two ways a spec field can
+// be written must not drift apart.
+func TestSetFieldMatchesJSON(t *testing.T) {
+	var byPath Scenario
+	for path, value := range map[string]string{
+		"switch.bm":          "ABM",
+		"workload.load":      "0.6",
+		"fabric.uplink_gbps": "25",
+	} {
+		if err := SetField(&byPath, path, value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	byJSON, err := Parse([]byte(`{
+		"switch": {"bm": "ABM"},
+		"workload": {"load": 0.6},
+		"fabric": {"uplink_gbps": 25}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(byPath, byJSON) {
+		t.Fatalf("SetField and JSON disagree:\npath %+v\njson %+v", byPath, byJSON)
+	}
+}

@@ -1,0 +1,248 @@
+package scenario
+
+import (
+	"fmt"
+
+	"abm/internal/bm"
+	"abm/internal/cc"
+	"abm/internal/obs"
+	"abm/internal/units"
+)
+
+// Paper defaults: the 8x8x32 Trident2 fabric of §4.1 and the scheme
+// parameters of §3. Every other layer (experiment cells, the
+// Simulation API, CLI flags) used to re-implement these; Resolve is now
+// the only place they live.
+const (
+	defaultSpines       = 8
+	defaultLeaves       = 8
+	defaultHostsPerLeaf = 32
+	defaultLinkGbps     = 10
+	defaultKBPerGbps    = 9.6 // Trident2
+	defaultAlpha        = 0.5
+	defaultAlphaUnsched = 64
+	defaultCongestedF   = 0.9
+	defaultIncastLoad   = 0.04
+	defaultFanout       = 8
+	abmHeadroomFrac     = 1.0 / 8 // §4.1: ABM "uses headroom similar to IB"
+)
+
+var (
+	defaultLinkDelay = Duration(10 * units.Microsecond)
+	defaultDuration  = Duration(25 * units.Millisecond)
+)
+
+// Resolve validates the scenario and returns the fully-explicit spec:
+// every defaulted field is filled with its concrete value, so the
+// result is a complete record of what a run will do and resolving it
+// again is a no-op. The input is not mutated.
+func (s Scenario) Resolve() (Scenario, error) {
+	r := s.Clone()
+
+	// Fabric: the paper's 8x8x32 at 10G, 10us per link.
+	f := &r.Fabric
+	if f.Spines <= 0 {
+		f.Spines = defaultSpines
+	}
+	if f.Leaves <= 0 {
+		f.Leaves = defaultLeaves
+	}
+	if f.HostsPerLeaf <= 0 {
+		f.HostsPerLeaf = defaultHostsPerLeaf
+	}
+	if f.LinkGbps <= 0 {
+		f.LinkGbps = defaultLinkGbps
+	}
+	if f.UplinkGbps <= 0 {
+		f.UplinkGbps = f.LinkGbps
+	}
+	if f.LinkDelay <= 0 {
+		f.LinkDelay = defaultLinkDelay
+	}
+	if r.Duration <= 0 {
+		r.Duration = defaultDuration
+	}
+	if r.Shards < 0 {
+		r.Shards = 0
+	}
+
+	// Buffer model.
+	b := &r.Buffer
+	if b.KBPerPortPerGbps <= 0 {
+		b.KBPerPortPerGbps = defaultKBPerGbps
+	}
+	if b.QueuesPerPort <= 0 {
+		b.QueuesPerPort = 1
+	}
+	b.Alphas = expandAlphas(b.Alphas, b.QueuesPerPort)
+	if b.AlphaUnscheduled <= 0 {
+		b.AlphaUnscheduled = defaultAlphaUnsched
+	}
+
+	// Switch policies.
+	sw := &r.Switch
+	if sw.BM == "" {
+		sw.BM = "DT"
+	}
+	if sw.CongestedFactor <= 0 {
+		sw.CongestedFactor = defaultCongestedF
+	}
+	if sw.StatsInterval <= 0 {
+		sw.StatsInterval = 8 * f.LinkDelay // one base RTT on the two-tier fabric
+	}
+	switch sw.Scheduler {
+	case "":
+		sw.Scheduler = "rr"
+	case "rr", "dwrr", "strict":
+	default:
+		return Scenario{}, fmt.Errorf("scenario: unknown scheduler %q (known: rr, dwrr, strict)", sw.Scheduler)
+	}
+	numQueues := b.QueuesPerPort * (f.HostsPerLeaf + f.Spines)
+	if err := bm.Validate(sw.BM, numQueues, sw.UpdateInterval.Time()); err != nil {
+		return Scenario{}, err
+	}
+
+	// Headroom: scheme default unless the spec pins a fraction.
+	if b.HeadroomFrac == nil {
+		frac := 0.0
+		if sw.BM == "ABM" || sw.BM == "IB" || sw.BM == "ABM-approx" {
+			frac = abmHeadroomFrac
+		}
+		b.HeadroomFrac = &frac
+	}
+	if *b.HeadroomFrac < 0 {
+		*b.HeadroomFrac = 0
+	}
+	if *b.HeadroomFrac > 1 {
+		return Scenario{}, fmt.Errorf("scenario: headroom_frac %g exceeds the whole buffer", *b.HeadroomFrac)
+	}
+
+	// Workload mix.
+	w := &r.Workload
+	if w.Load < 0 || w.Load > 1 {
+		return Scenario{}, fmt.Errorf("scenario: workload load %g outside [0, 1]", w.Load)
+	}
+	switch w.Background {
+	case "":
+		w.Background = "websearch"
+	case "websearch", "datamining":
+	default:
+		return Scenario{}, fmt.Errorf("scenario: unknown background workload %q (known: websearch, datamining)", w.Background)
+	}
+	if w.CC == "" {
+		w.CC = "cubic"
+	}
+	ic := &w.Incast
+	if ic.RequestFrac < 0 {
+		ic.RequestFrac = 0
+	}
+	if ic.Fanout <= 0 {
+		ic.Fanout = defaultFanout
+	}
+	if ic.Load <= 0 {
+		ic.Load = defaultIncastLoad
+	}
+	if ic.CC == "" {
+		ic.CC = w.CC
+	}
+	// CC names are checked where a factory will actually be built:
+	// background names when Load > 0, incast when RequestFrac > 0.
+	if w.Load > 0 {
+		if len(w.MixedCC) > 0 {
+			for _, a := range w.MixedCC {
+				if err := validCC(a.CC); err != nil {
+					return Scenario{}, err
+				}
+			}
+		} else if err := validCC(w.CC); err != nil {
+			return Scenario{}, err
+		}
+	}
+	if ic.RequestFrac > 0 {
+		if err := validCC(ic.CC); err != nil {
+			return Scenario{}, err
+		}
+	}
+
+	if sw.Trimming && r.usesECN() {
+		return Scenario{}, fmt.Errorf("scenario: trimming and ECN-based CC (dctcp/dcqcn) AQMs are mutually exclusive")
+	}
+	sw.EnableINT = sw.EnableINT || r.needsINT()
+
+	// Telemetry options share the CLI flag surface's validation.
+	if _, err := obs.ParseMask(r.Obs.Filter); err != nil {
+		return Scenario{}, err
+	}
+	if r.Obs.Sample < 0 || r.Obs.Sample > 1 {
+		return Scenario{}, fmt.Errorf("scenario: obs sample %g outside [0, 1]", r.Obs.Sample)
+	}
+	return r, nil
+}
+
+// MustResolve is Resolve for specs that are known-valid (committed
+// files covered by tests); it panics on error.
+func (s Scenario) MustResolve() Scenario {
+	r, err := s.Resolve()
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// expandAlphas produces the explicit per-queue alpha vector: a single
+// entry replicates across every queue (the "one alpha" knob of the
+// evaluation cells), missing or non-positive entries take the paper's
+// 0.5.
+func expandAlphas(in []float64, queues int) []float64 {
+	out := make([]float64, queues)
+	for i := range out {
+		switch {
+		case len(in) == 1 && in[0] > 0:
+			out[i] = in[0]
+		case i < len(in) && in[i] > 0:
+			out[i] = in[i]
+		default:
+			out[i] = defaultAlpha
+		}
+	}
+	return out
+}
+
+func validCC(name string) error {
+	if _, err := cc.NewFactory(name); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ccNames lists every algorithm the scenario configures, enabled or
+// not, mirroring how the evaluation cells derived INT and AQM needs.
+func (s Scenario) ccNames() []string {
+	names := []string{s.Workload.CC, s.Workload.Incast.CC}
+	for _, a := range s.Workload.MixedCC {
+		names = append(names, a.CC)
+	}
+	return names
+}
+
+// needsINT reports whether any configured algorithm requires in-band
+// telemetry.
+func (s Scenario) needsINT() bool {
+	for _, n := range s.ccNames() {
+		if n == "powertcp" || n == "hpcc" {
+			return true
+		}
+	}
+	return false
+}
+
+// usesECN reports whether any configured algorithm needs the ECN
+// threshold AQM (DCTCP's K = 65 packets, §4.1).
+func (s Scenario) usesECN() bool {
+	for _, n := range s.ccNames() {
+		if n == "dctcp" || n == "dcqcn" {
+			return true
+		}
+	}
+	return false
+}

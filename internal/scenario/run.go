@@ -1,0 +1,344 @@
+package scenario
+
+import (
+	"math"
+	"math/rand"
+
+	"abm/internal/aqm"
+	"abm/internal/bm"
+	"abm/internal/cc"
+	"abm/internal/device"
+	"abm/internal/metrics"
+	"abm/internal/obs"
+	"abm/internal/packet"
+	"abm/internal/randutil"
+	"abm/internal/sim"
+	"abm/internal/topo"
+	"abm/internal/units"
+	"abm/internal/workload"
+)
+
+// Result is one finished run.
+type Result struct {
+	// Scenario is the fully-resolved spec the run executed — embedding it
+	// (e.g. in runner job records) makes the result re-runnable as-is.
+	Scenario Scenario
+	Summary  metrics.Summary
+	// PerPrioP99Short holds the per-priority p99 short-flow slowdown for
+	// mixed-protocol scenarios (fig8).
+	PerPrioP99Short map[uint8]float64
+
+	Drops            int64
+	UnscheduledDrops int64
+	Events           uint64
+
+	// Counters holds the telemetry counter totals by export name when the
+	// scenario enabled telemetry; nil otherwise. The keys and values are
+	// shard-count-invariant.
+	Counters map[string]int64
+}
+
+// samplerInterval is the buffer-occupancy sampling period in both run
+// modes.
+const samplerInterval = 100 * units.Microsecond
+
+// rateOf converts a Gbps knob to the simulator's integer bits/s rate.
+func rateOf(gbps float64) units.Rate {
+	return units.Rate(math.Round(gbps * float64(units.GigabitPerSec)))
+}
+
+// topoConfig compiles a resolved scenario into the fabric config and the
+// chip buffer size. Incast requests and trim thresholds are sized
+// against the chip buffer, not the scheme-dependent shared pool, so
+// every scheme sees the same load.
+func (s Scenario) topoConfig() (topo.Config, units.ByteCount) {
+	f := s.Fabric
+	rate := rateOf(f.LinkGbps)
+	ports := f.HostsPerLeaf + f.Spines
+	totalBuffer := topo.BufferFor(s.Buffer.KBPerPortPerGbps, ports, rate)
+
+	headroom := units.ByteCount(float64(totalBuffer) * *s.Buffer.HeadroomFrac)
+	shared := totalBuffer - headroom
+
+	numQueues := s.Buffer.QueuesPerPort * ports
+	bmName, bmInterval := s.Switch.BM, s.Switch.UpdateInterval.Time()
+	drainMode := device.DrainRateShare
+	if s.Switch.DrainRateMeasured {
+		drainMode = device.DrainRateMeasured
+	}
+	cfg := topo.Config{
+		NumSpines:     f.Spines,
+		NumLeaves:     f.Leaves,
+		HostsPerLeaf:  f.HostsPerLeaf,
+		LinkRate:      rate,
+		LinkDelay:     f.LinkDelay.Time(),
+		QueuesPerPort: s.Buffer.QueuesPerPort,
+		BufferSize:    shared,
+		Headroom:      headroom,
+		// Resolve already validated the name; MustNew only re-checks the
+		// invariant per switch.
+		BMFactory: func() bm.Policy {
+			return bm.MustNew(bmName, numQueues, bmInterval)
+		},
+		Alphas:           s.Buffer.Alphas,
+		AlphaUnscheduled: s.Buffer.AlphaUnscheduled,
+		CongestedFactor:  s.Switch.CongestedFactor,
+		StatsInterval:    s.Switch.StatsInterval.Time(),
+		DrainRate:        drainMode,
+		EnableINT:        s.Switch.EnableINT,
+	}
+	if up := rateOf(f.UplinkGbps); up != rate {
+		cfg.UplinkRate = up
+	}
+	switch s.Switch.Scheduler {
+	case "rr":
+		// round robin, the device default
+	case "dwrr":
+		cfg.NewScheduler = func() device.Scheduler { return &device.DWRR{} }
+	case "strict":
+		cfg.NewScheduler = func() device.Scheduler { return device.StrictPriority{} }
+	}
+	// DCTCP needs its marking threshold K = 65 packets (§4.1); the
+	// threshold only marks ECT packets, so it is safe fabric-wide.
+	if s.usesECN() {
+		k := 65 * (1440 + packet.HeaderBytes)
+		cfg.AQMFactory = func() aqm.Policy { return aqm.ECNThreshold{K: k} }
+	} else if s.Switch.Trimming {
+		// Trim once a queue holds an eighth of the chip — roughly where
+		// deep per-queue backlogs turn into timeout-inducing tail drops.
+		trimAt := totalBuffer / 8
+		cfg.AQMFactory = func() aqm.Policy { return aqm.CutPayload{TrimAbove: trimAt} }
+	}
+	return cfg, totalBuffer
+}
+
+// BuildFabric resolves the scenario and constructs the serial engine and
+// fabric without any workloads attached — the programmatic Simulation
+// API drives traffic itself.
+func BuildFabric(s Scenario) (Scenario, *sim.Simulator, *topo.Network, units.ByteCount, error) {
+	r, err := s.Resolve()
+	if err != nil {
+		return Scenario{}, nil, nil, 0, err
+	}
+	cfg, totalBuffer := r.topoConfig()
+	eng := sim.New(r.Seed)
+	n := topo.NewNetwork(eng, cfg)
+	return r, eng, n, totalBuffer, nil
+}
+
+// Run resolves and executes one scenario, returning its result and the
+// metrics collector with every flow record for tracing and custom
+// analysis. Shards selects the engine; output is identical at every
+// shard count.
+func Run(s Scenario) (Result, *metrics.Collector, error) {
+	r, err := s.Resolve()
+	if err != nil {
+		return Result{}, nil, err
+	}
+	cfg, totalBuffer := r.topoConfig()
+	duration := r.Duration.Time()
+	rate := cfg.LinkRate
+
+	if r.Shards >= 1 {
+		return runSharded(r, cfg, totalBuffer, duration, rate)
+	}
+
+	sess, err := obs.NewSession(r.Obs, 1)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	cfg.Obs = sess
+
+	eng := sim.New(r.Seed)
+	n := topo.NewNetwork(eng, cfg)
+	col := &metrics.Collector{}
+
+	ws, ic, sampler, err := buildWorkloads(n, r, col, totalBuffer)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	if ws != nil {
+		ws.Start()
+	}
+	if ic != nil {
+		ic.Start()
+	}
+	sampler.Start(samplerInterval)
+
+	eng.RunUntil(duration)
+	if ws != nil {
+		ws.Stop()
+	}
+	if ic != nil {
+		ic.Stop()
+	}
+	// Drain: let in-flight flows finish (bounded so pathological runs
+	// still terminate).
+	eng.RunUntil(duration + 500*units.Millisecond)
+	sampler.Stop()
+	n.Stop()
+	eng.Run() // flush canceled tickers
+
+	res := collectResult(r, n, col, rate, eng.Executed())
+	res.Counters = sess.Totals()
+	if err := writeObsOutputs(r.Obs, sess, n); err != nil {
+		return Result{}, nil, err
+	}
+	return res, col, nil
+}
+
+// runSharded executes a scenario on the parallel engine: the fabric is
+// partitioned across shards, workloads are pre-generated to the traffic
+// horizon (reproducing the live generators' RNG streams draw-for-draw),
+// and the buffer sampler runs at window barriers.
+func runSharded(r Scenario, cfg topo.Config, totalBuffer units.ByteCount,
+	duration units.Time, rate units.Rate) (Result, *metrics.Collector, error) {
+
+	part := topo.MakePartition(cfg.NumLeaves, cfg.NumSpines, r.Shards)
+	sess, err := obs.NewSession(r.Obs, part.Shards)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	cfg.Obs = sess
+
+	p := sim.NewParallel(r.Seed, part.Shards)
+	defer p.Close()
+	p.SetObs(sess)
+	n := topo.NewShardedNetwork(p, cfg, part)
+	col := &metrics.Collector{}
+
+	ws, ic, sampler, err := buildWorkloads(n, r, col, totalBuffer)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	workload.SchedulePregen(ws, ic, duration)
+	sampler.StartBarrier(samplerInterval)
+
+	p.RunUntil(duration)
+	p.RunUntil(duration + 500*units.Millisecond)
+	sampler.Stop()
+	n.Stop()
+	p.Drain() // run remaining retransmission chains to exhaustion
+
+	res := collectResult(r, n, col, rate, p.Executed())
+	res.Counters = sess.Totals()
+	if err := writeObsOutputs(r.Obs, sess, n); err != nil {
+		return Result{}, nil, err
+	}
+	return res, col, nil
+}
+
+// buildWorkloads builds the scenario's generators and the buffer sampler
+// without starting any of them: the serial path Starts the generators
+// live, the sharded path pre-generates their schedules instead.
+func buildWorkloads(n *topo.Network, r Scenario, col *metrics.Collector,
+	chip units.ByteCount) (*workload.WebSearch, *workload.Incast, *workload.BufferSampler, error) {
+
+	// Workload randomness is isolated from simulation randomness so every
+	// scheme at the same seed sees identical arrivals.
+	rng := rand.New(rand.NewSource(r.Seed + 1000))
+	qpp := r.Buffer.QueuesPerPort
+	w := r.Workload
+
+	var ws *workload.WebSearch
+	if w.Load > 0 {
+		ws = &workload.WebSearch{Net: n, Load: w.Load, Collect: col, Seed: r.Seed + 1}
+		if w.Background == "datamining" {
+			ws.Sizes = randutil.DataMining
+		}
+		switch {
+		case len(w.MixedCC) > 0:
+			factories := make([]cc.Factory, len(w.MixedCC))
+			for i, a := range w.MixedCC {
+				f, err := cc.NewFactory(a.CC)
+				if err != nil {
+					return nil, nil, nil, err
+				}
+				factories[i] = f
+			}
+			assignments := w.MixedCC
+			ws.PickCC = func(i int) (cc.Factory, uint8) {
+				j := i % len(assignments)
+				return factories[j], assignments[j].Prio
+			}
+		case w.RandomPrio:
+			f, err := cc.NewFactory(w.CC)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			ws.PickCC = func(int) (cc.Factory, uint8) {
+				return f, uint8(rng.Intn(qpp))
+			}
+		default:
+			f, err := cc.NewFactory(w.CC)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			ws.CC = f
+			ws.Prio = w.Prio
+		}
+	}
+
+	var ic *workload.Incast
+	if w.Incast.RequestFrac > 0 {
+		f, err := cc.NewFactory(w.Incast.CC)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		reqSize := units.ByteCount(w.Incast.RequestFrac * float64(chip))
+		bisection := float64(n.Cfg.Uplink()) * float64(n.Cfg.NumLeaves*n.Cfg.NumSpines)
+		qps := w.Incast.Load * bisection / float64(reqSize.Bits())
+		ic = &workload.Incast{
+			Net:         n,
+			RequestSize: reqSize,
+			Fanout:      w.Incast.Fanout,
+			QueryRate:   qps,
+			Prio:        w.Incast.Prio,
+			CC:          f,
+			Collect:     col,
+			Seed:        r.Seed + 2,
+		}
+		if w.RandomPrio {
+			ic.PickPrio = func() uint8 { return uint8(rng.Intn(qpp)) }
+		}
+	}
+
+	sampler := &workload.BufferSampler{Net: n, Collect: col}
+	return ws, ic, sampler, nil
+}
+
+// collectResult assembles the result from a finished network.
+func collectResult(r Scenario, n *topo.Network, col *metrics.Collector,
+	rate units.Rate, events uint64) Result {
+
+	var unschedDrops int64
+	for _, sw := range n.Switches() {
+		for p := 0; p < sw.NumPorts(); p++ {
+			for q := 0; q < sw.Prios(); q++ {
+				unschedDrops += sw.Port(p).Queue(q).DropsUnscheduled
+			}
+		}
+	}
+	res := Result{
+		Scenario:         r,
+		Summary:          col.Summarize(rate),
+		Drops:            n.TotalDrops(),
+		UnscheduledDrops: unschedDrops,
+		Events:           events,
+	}
+	w := r.Workload
+	if len(w.MixedCC) > 0 {
+		res.PerPrioP99Short = make(map[uint8]float64)
+		for _, a := range w.MixedCC {
+			vals := col.Filter(func(fr metrics.FlowRecord) bool {
+				return fr.Prio == a.Prio && fr.Size <= metrics.ShortFlowCut
+			})
+			res.PerPrioP99Short[a.Prio] = metrics.Percentile(vals, 99)
+		}
+		if w.Incast.RequestFrac > 0 {
+			vals := col.Filter(metrics.ByClass(metrics.ClassIncast))
+			res.PerPrioP99Short[w.Incast.Prio] = metrics.Percentile(vals, 99)
+		}
+	}
+	return res
+}

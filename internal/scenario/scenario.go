@@ -1,0 +1,262 @@
+// Package scenario is the declarative layer of the simulator: one
+// validated, JSON-serializable Scenario value describes everything a
+// run needs — fabric shape (including oversubscription and asymmetric
+// link rates), buffer model, buffer-management and scheduler policy,
+// workload mix, shard count, telemetry, duration and seed. Every entry
+// point (the abm root API, internal/experiments cells, the abmsim/
+// figures/sweep CLIs and the examples) compiles down to a Scenario, and
+// one builder constructs the fabric and workloads for both the serial
+// and the topology-sharded engines.
+//
+// A Scenario has exactly one defaults-resolution pass: Resolve returns
+// a fully-explicit spec (goldens pin it) and is idempotent, so a
+// resolved scenario embedded in a runner job record re-runs exactly.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"abm/internal/obs"
+	"abm/internal/units"
+)
+
+// Duration is a simulated time span (picoseconds, like units.Time) with
+// human-friendly JSON: it marshals as a Go duration string ("25ms")
+// when representable at nanosecond resolution and as a raw picosecond
+// number otherwise; it unmarshals either form. Both directions are
+// exact, so specs round-trip without drifting the virtual clock.
+type Duration units.Time
+
+// Time converts to the simulator's time type.
+func (d Duration) Time() units.Time { return units.Time(d) }
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	if d%1000 == 0 {
+		return json.Marshal(time.Duration(d / 1000).String())
+	}
+	return json.Marshal(int64(d))
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(data []byte) error {
+	if len(data) > 0 && data[0] == '"' {
+		var s string
+		if err := json.Unmarshal(data, &s); err != nil {
+			return err
+		}
+		td, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("scenario: bad duration %q: %w", s, err)
+		}
+		*d = Duration(td.Nanoseconds()) * Duration(units.Nanosecond)
+		return nil
+	}
+	var ps int64
+	if err := json.Unmarshal(data, &ps); err != nil {
+		return err
+	}
+	*d = Duration(ps)
+	return nil
+}
+
+// Scenario is the complete declarative description of one run.
+type Scenario struct {
+	// Name labels the scenario in job IDs and reports.
+	Name string `json:"name,omitempty"`
+	// Seed drives every random stream of the run (workload arrivals,
+	// per-switch policy randomness, ...) deterministically.
+	Seed int64 `json:"seed"`
+	// Shards selects the engine: 0 is the legacy serial loop; >= 1 runs
+	// the topology-sharded parallel engine with min(Shards, Leaves)
+	// shards. Output is identical at every shard count.
+	Shards int `json:"shards,omitempty"`
+	// Duration is how long the workload generators offer traffic; the
+	// run then drains in-flight flows (bounded) before summarizing.
+	Duration Duration `json:"duration"`
+
+	Fabric   Fabric   `json:"fabric"`
+	Buffer   Buffer   `json:"buffer"`
+	Switch   Switch   `json:"switch"`
+	Workload Workload `json:"workload"`
+
+	// Obs configures the run's telemetry (see internal/obs); the zero
+	// value disables it.
+	Obs obs.Options `json:"obs,omitempty"`
+}
+
+// Fabric is the leaf–spine shape and its link speeds.
+type Fabric struct {
+	Spines       int `json:"spines"`
+	Leaves       int `json:"leaves"`
+	HostsPerLeaf int `json:"hosts_per_leaf"`
+	// LinkGbps is the host access rate and the uniform fabric rate.
+	LinkGbps float64 `json:"link_gbps"`
+	// UplinkGbps gives the leaf<->spine tier its own speed (asymmetric
+	// fabrics: 10G hosts under 25G uplinks, or slower uplinks for
+	// steeper oversubscription). Zero resolves to LinkGbps.
+	UplinkGbps float64 `json:"uplink_gbps,omitempty"`
+	// LinkDelay is the one-way propagation delay of every link.
+	LinkDelay Duration `json:"link_delay"`
+}
+
+// Oversubscription returns the leaf oversubscription ratio: host
+// capacity per leaf over uplink capacity per leaf.
+func (f Fabric) Oversubscription() float64 {
+	up := f.UplinkGbps
+	if up <= 0 {
+		up = f.LinkGbps
+	}
+	return (float64(f.HostsPerLeaf) * f.LinkGbps) / (float64(f.Spines) * up)
+}
+
+// Buffer is the shared-memory model of every switch.
+type Buffer struct {
+	// KBPerPortPerGbps sizes the chip (§4.3): Trident2 9.6, Tomahawk
+	// 5.12, Tofino 3.44.
+	KBPerPortPerGbps float64 `json:"kb_per_port_per_gbps"`
+	// HeadroomFrac reserves this fraction of the chip for first-RTT
+	// (unscheduled) packets. nil resolves to the scheme default — 1/8
+	// for ABM, IB and ABM-approx, 0 otherwise; an explicit 0 disables.
+	HeadroomFrac  *float64 `json:"headroom_frac,omitempty"`
+	QueuesPerPort int      `json:"queues_per_port"`
+	// Alphas are the per-priority DT/ABM parameters. Resolve expands to
+	// one entry per queue: a single entry replicates across all queues,
+	// missing or non-positive entries become 0.5.
+	Alphas []float64 `json:"alphas,omitempty"`
+	// AlphaUnscheduled is the headroom-admission alpha (§3.3, paper 64).
+	AlphaUnscheduled float64 `json:"alpha_unscheduled"`
+}
+
+// Switch selects the per-switch policies: buffer management, AQM
+// behavior and the egress scheduler.
+type Switch struct {
+	// BM names the buffer-management scheme (bm.Names).
+	BM string `json:"bm"`
+	// UpdateInterval is ABM-approx's control-plane period.
+	UpdateInterval Duration `json:"update_interval,omitempty"`
+	// CongestedFactor marks a queue congested above this fraction of
+	// its threshold (paper 0.9).
+	CongestedFactor float64 `json:"congested_factor"`
+	// DrainRateMeasured uses the measured mu/b estimator instead of the
+	// scheduler-share one (DESIGN.md §7 ablation).
+	DrainRateMeasured bool `json:"drain_rate_measured,omitempty"`
+	// StatsInterval is the n_p / mu refresh period; zero resolves to
+	// one base RTT (8 link delays on the two-tier fabric).
+	StatsInterval Duration `json:"stats_interval"`
+	// Scheduler is the per-port egress scheduler: rr, dwrr or strict.
+	Scheduler string `json:"scheduler"`
+	// Trimming enables the cut-payload AQM. Incompatible with ECN-based
+	// congestion control (DCTCP/DCQCN), which installs its own AQM.
+	Trimming bool `json:"trimming,omitempty"`
+	// EnableINT stamps per-hop telemetry onto data packets. Resolve
+	// also forces it on when any configured CC requires it (PowerTCP,
+	// HPCC).
+	EnableINT bool `json:"enable_int,omitempty"`
+}
+
+// Workload is the traffic mix.
+type Workload struct {
+	// Load is the web-search background load as a fraction of bisection
+	// bandwidth; 0 disables the background workload.
+	Load float64 `json:"load"`
+	// Background selects the flow-size distribution: websearch or
+	// datamining.
+	Background string `json:"background"`
+	// CC names the congestion-control algorithm (cc.Names).
+	CC string `json:"cc"`
+	// Prio is the priority (queue) background flows use.
+	Prio uint8 `json:"prio"`
+	// RandomPrio spreads flows uniformly across the queues instead.
+	RandomPrio bool `json:"random_prio,omitempty"`
+	// MixedCC assigns background flows round-robin to these CC/priority
+	// pairs (the Fig. 8 mixed-protocol setting); overrides CC/Prio.
+	MixedCC []CCAssignment `json:"mixed_cc,omitempty"`
+
+	Incast Incast `json:"incast"`
+}
+
+// CCAssignment binds a congestion-control algorithm to a priority.
+type CCAssignment struct {
+	CC   string `json:"cc"`
+	Prio uint8  `json:"prio"`
+}
+
+// Incast is the query/response burst workload; RequestFrac 0 disables.
+type Incast struct {
+	// RequestFrac sizes each request as a fraction of the chip buffer.
+	RequestFrac float64 `json:"request_frac"`
+	// Fanout is the fan-in degree of each query.
+	Fanout int `json:"fanout"`
+	// Load is the fraction of aggregate bandwidth offered as incast.
+	Load float64 `json:"load"`
+	// CC defaults to the background workload's algorithm.
+	CC string `json:"cc"`
+	// Prio is the priority incast responses use.
+	Prio uint8 `json:"prio"`
+}
+
+// Clone returns a deep copy, so callers can mutate axes (SetField) off
+// one base scenario without aliasing slices or the headroom pointer.
+func (s Scenario) Clone() Scenario {
+	if s.Buffer.HeadroomFrac != nil {
+		v := *s.Buffer.HeadroomFrac
+		s.Buffer.HeadroomFrac = &v
+	}
+	if s.Buffer.Alphas != nil {
+		s.Buffer.Alphas = append([]float64(nil), s.Buffer.Alphas...)
+	}
+	if s.Workload.MixedCC != nil {
+		s.Workload.MixedCC = append([]CCAssignment(nil), s.Workload.MixedCC...)
+	}
+	return s
+}
+
+// Parse decodes a scenario from JSON, rejecting unknown fields so typos
+// in hand-written spec files fail loudly instead of silently defaulting.
+func Parse(data []byte) (Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return Scenario{}, fmt.Errorf("scenario: %w", err)
+	}
+	return s, nil
+}
+
+// Load reads and decodes a scenario file. The result is not resolved;
+// callers apply overrides first, then Resolve.
+func Load(path string) (Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Scenario{}, err
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Marshal renders the scenario as indented JSON with a trailing
+// newline — the committed-file and job-record format.
+func (s Scenario) Marshal() ([]byte, error) {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Save writes the scenario as indented JSON.
+func (s Scenario) Save(path string) error {
+	data, err := s.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

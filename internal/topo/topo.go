@@ -30,6 +30,12 @@ type Config struct {
 	LinkRate  units.Rate
 	LinkDelay units.Time
 
+	// UplinkRate, when positive and different from LinkRate, gives the
+	// leaf<->spine tier its own link speed (mixed-rate fabrics, e.g.
+	// 10G hosts under 25G uplinks). Zero keeps the uniform LinkRate.
+	// Host access links always run at LinkRate.
+	UplinkRate units.Rate
+
 	QueuesPerPort int
 
 	BufferSize units.ByteCount // shared buffer per switch
@@ -95,6 +101,16 @@ func (c *Config) fillDefaults() {
 	if c.StatsInterval <= 0 {
 		c.StatsInterval = 8 * c.LinkDelay // one base RTT
 	}
+}
+
+// Uplink returns the leaf<->spine tier rate: UplinkRate when set, the
+// uniform LinkRate otherwise. Workload generators define bisection
+// capacity against it.
+func (c Config) Uplink() units.Rate {
+	if c.UplinkRate > 0 {
+		return c.UplinkRate
+	}
+	return c.LinkRate
 }
 
 // BufferFor computes a switch buffer from a KB-per-port-per-Gbps spec,
@@ -258,12 +274,30 @@ func (n *Network) build(baseSeed int64) {
 		}
 	}
 
+	// Mixed-rate fabrics: leaf uplink ports and the whole spine tier run
+	// at UplinkRate; host-facing ports stay at LinkRate. Uniform fabrics
+	// (UplinkRate zero or equal) take the single-rate path untouched.
+	var leafRates []units.Rate
+	spineRate := cfg.LinkRate
+	if up := cfg.UplinkRate; up > 0 && up != cfg.LinkRate {
+		leafRates = make([]units.Rate, cfg.HostsPerLeaf+cfg.NumSpines)
+		for i := range leafRates {
+			if i < cfg.HostsPerLeaf {
+				leafRates[i] = cfg.LinkRate
+			} else {
+				leafRates[i] = up
+			}
+		}
+		spineRate = up
+	}
+
 	for l := 0; l < cfg.NumLeaves; l++ {
 		sw := device.NewSwitch(n.leafSim[l], device.SwitchConfig{
 			ID:            packet.NodeID(leafIDBase + l),
 			NumPorts:      cfg.HostsPerLeaf + cfg.NumSpines,
 			QueuesPerPort: cfg.QueuesPerPort,
 			PortRate:      cfg.LinkRate,
+			PortRates:     leafRates,
 			MMU:           mmuFor(),
 			NewScheduler:  cfg.NewScheduler,
 			EnableINT:     cfg.EnableINT,
@@ -278,7 +312,7 @@ func (n *Network) build(baseSeed int64) {
 			ID:            packet.NodeID(spineIDBase + sp),
 			NumPorts:      cfg.NumLeaves,
 			QueuesPerPort: cfg.QueuesPerPort,
-			PortRate:      cfg.LinkRate,
+			PortRate:      spineRate,
 			MMU:           mmuFor(),
 			NewScheduler:  cfg.NewScheduler,
 			EnableINT:     cfg.EnableINT,
@@ -423,10 +457,15 @@ func (n *Network) IdealFCT(src, dst int, size units.ByteCount) units.Time {
 	hops := n.Hops(src, dst)
 	segs := int64(size+n.Cfg.MSS-1) / int64(n.Cfg.MSS)
 	wire := size + units.ByteCount(segs)*packet.HeaderBytes
+	// On mixed-rate fabrics the slower tier bottlenecks a lone flow.
+	rate := n.Cfg.LinkRate
+	if up := n.Cfg.UplinkRate; up > 0 && up < rate {
+		rate = up
+	}
 	prop := units.Time(2*hops) * n.Cfg.LinkDelay
-	tx := n.Cfg.LinkRate.TxTime(wire)
-	sf := units.Time(hops-1) * n.Cfg.LinkRate.TxTime(n.Cfg.MSS+packet.HeaderBytes)
-	ackBack := n.Cfg.LinkRate.TxTime(packet.HeaderBytes) * units.Time(hops)
+	tx := rate.TxTime(wire)
+	sf := units.Time(hops-1) * rate.TxTime(n.Cfg.MSS+packet.HeaderBytes)
+	ackBack := rate.TxTime(packet.HeaderBytes) * units.Time(hops)
 	return prop + tx + sf + ackBack
 }
 

@@ -73,7 +73,7 @@ func (w *WebSearch) Start() {
 // that fraction equal Load * bisection capacity.
 func (w *WebSearch) interArrival() units.Time {
 	cfg := w.Net.Cfg
-	bisection := float64(cfg.LinkRate) * float64(cfg.NumLeaves*cfg.NumSpines) // bits/s
+	bisection := float64(cfg.Uplink()) * float64(cfg.NumLeaves*cfg.NumSpines) // bits/s
 	n := float64(w.Net.NumHosts())
 	interRackFrac := (n - float64(cfg.HostsPerLeaf)) / (n - 1)
 	flowsPerSec := w.Load * bisection / (w.Sizes.Mean() * 8 * interRackFrac)
