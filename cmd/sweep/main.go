@@ -21,11 +21,16 @@
 //	sweep -scenario scenarios/oversub-2to1.json \
 //	      -vary switch.bm=DT,ABM -vary workload.load=0.4,0.8 -reps 3
 //
+// With -connect the process instead joins a cmd/sweepd coordinator as
+// a worker: the coordinator owns the grid, this process just executes
+// leased jobs on the same code path.
+//
 // Examples:
 //
 //	sweep -bms DT,ABM -ccs cubic -loads 0.2,0.4,0.6,0.8 -reps 3 -out results/sweep
 //	sweep -plan plan.json -out results/sweep -workers 8
 //	sweep -plan plan.json -out results/sweep -resume
+//	sweep -connect 127.0.0.1:7077 -workers 4
 package main
 
 import (
@@ -44,6 +49,7 @@ import (
 	"abm/internal/obs"
 	"abm/internal/prof"
 	"abm/internal/runner"
+	"abm/internal/sweepd"
 )
 
 func main() { os.Exit(run()) }
@@ -68,6 +74,7 @@ func run() int {
 		scnFile  = flag.String("scenario", "", "base scenario JSON file: jobs start from it and -vary axes mutate it (the cell axes above are ignored)")
 		vary     varyAxes
 
+		connect     = flag.String("connect", "", "join a sweepd coordinator at this address as a worker instead of running a local sweep (uses -workers slots; all grid flags are ignored)")
 		out         = flag.String("out", "sweep-results", "result store directory (jobs/, manifest.jsonl, aggregate.json)")
 		workers     = flag.Int("workers", runtime.NumCPU(), "parallel workers")
 		shards      = flag.Int("shards", 0, "simulation shards per job (0 = serial loop; >=1 runs the parallel engine; workers are capped so shards x workers <= GOMAXPROCS)")
@@ -95,6 +102,23 @@ func run() int {
 		return 2
 	}
 	defer stopProf()
+
+	if *connect != "" {
+		// Worker mode: the coordinator owns the grid; this process just
+		// executes leases until the sweep is done.
+		w := &sweepd.Worker{
+			Dispatcher: sweepd.NewClient(*connect),
+			Slots:      *workers,
+			Timeout:    *timeout,
+			Retries:    *retries,
+			Progress:   os.Stderr,
+		}
+		if err := w.Run(context.Background()); err != nil {
+			return die(err)
+		}
+		fmt.Fprintln(os.Stderr, "sweep: coordinator reports the sweep done, exiting")
+		return 0
+	}
 
 	grid := experiments.Grid{
 		Name: *name, Scale: *scale, Seed: *seed, Reps: *reps,

@@ -130,7 +130,7 @@ type Cell struct {
 	// Duration overrides the scale's default traffic duration.
 	Duration units.Time
 
-	// Ablation knobs (DESIGN.md §7). Zero values select the defaults the
+	// Ablation knobs (DESIGN.md §8). Zero values select the defaults the
 	// figures use.
 	Alpha                 float64    // per-priority alpha, default 0.5
 	DrainRateMeasured     bool       // measured estimator instead of scheduler share

@@ -47,14 +47,19 @@ func (o *RunOptions) pool() *runner.Pool {
 	if o == nil {
 		o = &RunOptions{}
 	}
-	return &runner.Pool{
+	p := &runner.Pool{
 		Workers:   o.Workers,
 		JobShards: o.Shards,
 		Timeout:   o.Timeout,
 		Retries:   o.Retries,
-		Store:     o.Store,
 		Progress:  o.Progress,
 	}
+	// Pool.Store is an interface: assigning a nil *runner.Store would
+	// make it non-nil and turn persistence on with no store behind it.
+	if o.Store != nil {
+		p.Store = o.Store
+	}
+	return p
 }
 
 // cellJob is one labeled cell of a figure's grid.

@@ -66,7 +66,7 @@ func Aggregate(records []Record) []Group {
 		}
 		g.N++
 		g.Seeds = append(g.Seeds, rec.Seed)
-		for name, v := range metricsOf(rec) {
+		for name, v := range MetricsOf(rec) {
 			vals[k][name] = append(vals[k][name], v)
 		}
 	}
@@ -130,8 +130,11 @@ func bootstrapCI(vs []float64, tag string) (lo, hi float64) {
 	return metrics.Percentile(means, 2.5), metrics.Percentile(means, 97.5)
 }
 
-// metricsOf flattens a record's result into named scalar metrics.
-func metricsOf(rec Record) map[string]float64 {
+// MetricsOf flattens a record's result into named scalar metrics — the
+// exact value set Aggregate reduces. Exported so other layers (the
+// sweep coordinator's adaptive-replication check) agree byte-for-byte
+// with Aggregate on what a record is worth.
+func MetricsOf(rec Record) map[string]float64 {
 	if rec.Result == nil {
 		return nil
 	}

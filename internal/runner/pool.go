@@ -15,6 +15,19 @@ import (
 // cancellation, which is never retried and aborts dispatch).
 var errTimeout = errors.New("job deadline exceeded")
 
+// RecordSink is where a pool persists records as jobs complete and
+// where it reads previously-completed jobs from when resuming. *Store
+// (one JSON file per job plus a manifest) is the classic implementation;
+// internal/sweepd's batched append-only record log is another.
+type RecordSink interface {
+	// Put persists one finished record durably.
+	Put(Record) error
+	// Completed returns the latest successful record of every job the
+	// sink already holds, keyed by job ID; jobs it lists are skipped on
+	// resume.
+	Completed() (map[string]Record, error)
+}
+
 // Pool executes a Plan's jobs across a fixed set of worker goroutines.
 // Each job runs with an optional wall-clock timeout and panic recovery:
 // a crashing or hung simulation marks its own record failed and never
@@ -46,7 +59,9 @@ type Pool struct {
 	Progress io.Writer
 	// Store, when non-nil, persists every record as it completes and
 	// lets already-completed jobs be skipped on a re-run (resume).
-	Store *Store
+	// Assign a concrete value only when it is non-nil: a typed-nil
+	// *Store inside the interface would read as "persistence on".
+	Store RecordSink
 }
 
 // Run executes the plan and returns one record per job, in plan order.
@@ -149,22 +164,46 @@ dispatch:
 
 // runJob executes one job to a final record, including its retry loop.
 func (p *Pool) runJob(ctx context.Context, spec Spec, seed int64) Record {
+	return Execute(ctx, spec, seed, ExecOptions{
+		Timeout: p.Timeout, Retries: p.Retries, Backoff: p.Backoff,
+	})
+}
+
+// ExecOptions bounds one Execute call: the defaults a Pool would apply
+// to a job whose spec leaves them unset.
+type ExecOptions struct {
+	// Timeout is the wall-clock limit when spec.Timeout is zero; zero
+	// means none.
+	Timeout time.Duration
+	// Retries is how many times a job returning a plain error re-runs.
+	Retries int
+	// Backoff is the first retry delay, doubling per attempt; <=0 means
+	// 100ms.
+	Backoff time.Duration
+}
+
+// Execute runs one job to a final record — panic recovery, per-job
+// deadline, bounded retries with exponential backoff — exactly as a
+// Pool worker would. It is the single job-execution path shared by the
+// in-process Pool and the distributed sweep workers (internal/sweepd),
+// so a job's record is identical wherever it runs.
+func Execute(ctx context.Context, spec Spec, seed int64, opt ExecOptions) Record {
 	rec := Record{
 		ID: spec.ID, Experiment: spec.Experiment, Group: spec.Group,
 		Seed: seed, Config: spec.Config,
 	}
 	timeout := spec.Timeout
 	if timeout == 0 {
-		timeout = p.Timeout
+		timeout = opt.Timeout
 	}
-	backoff := p.Backoff
+	backoff := opt.Backoff
 	if backoff <= 0 {
 		backoff = 100 * time.Millisecond
 	}
 	start := time.Now()
 	for {
 		rec.Attempts++
-		res, stack, err := p.attempt(ctx, spec, seed, timeout)
+		res, stack, err := attempt(ctx, spec, seed, timeout)
 		switch {
 		case err == nil:
 			rec.Status, rec.Result, rec.Error, rec.Stack = StatusOK, &res, "", ""
@@ -179,7 +218,7 @@ func (p *Pool) runJob(ctx context.Context, spec Spec, seed int64) Record {
 		}
 		// Panics and timeouts are deterministic in a seeded simulator;
 		// only plain errors are worth retrying.
-		if rec.Status != StatusFailed || rec.Attempts > p.Retries {
+		if rec.Status != StatusFailed || rec.Attempts > opt.Retries {
 			break
 		}
 		select {
@@ -197,7 +236,7 @@ func (p *Pool) runJob(ctx context.Context, spec Spec, seed int64) Record {
 
 // attempt runs spec.Run once under the deadline, converting panics into
 // errors with their stack attached.
-func (p *Pool) attempt(ctx context.Context, spec Spec, seed int64,
+func attempt(ctx context.Context, spec Spec, seed int64,
 	timeout time.Duration) (Result, []byte, error) {
 
 	jobCtx := ctx

@@ -1,7 +1,6 @@
 package runner
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -31,17 +30,43 @@ type manifestEntry struct {
 	File   string `json:"file"`
 }
 
-// OpenStore creates (or reopens) a result store rooted at dir.
+// OpenStore creates (or reopens) a result store rooted at dir. Reopening
+// first heals a torn manifest tail — the partial final line a killed
+// sweep can leave behind — by truncating it, so fresh appends never
+// merge with the fragment into one unparseable line.
 func OpenStore(dir string) (*Store, error) {
 	if err := os.MkdirAll(filepath.Join(dir, "jobs"), 0o755); err != nil {
 		return nil, err
 	}
-	mf, err := os.OpenFile(filepath.Join(dir, "manifest.jsonl"),
-		os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	path := filepath.Join(dir, "manifest.jsonl")
+	if err := truncateTornTail(path); err != nil {
+		return nil, err
+	}
+	mf, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, err
 	}
 	return &Store{dir: dir, manifest: mf}, nil
+}
+
+// truncateTornTail drops a trailing partial line (one with no final
+// newline) from the file at path, if any.
+func truncateTornTail(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	if len(data) == 0 || data[len(data)-1] == '\n' {
+		return nil
+	}
+	keep := 0
+	if i := strings.LastIndexByte(string(data), '\n'); i >= 0 {
+		keep = i + 1
+	}
+	return os.Truncate(path, int64(keep))
 }
 
 // Dir returns the store's root directory.
@@ -67,6 +92,18 @@ func (s *Store) Put(rec Record) error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	// Fsync before the rename and the manifest append: the manifest
+	// acknowledges the record, so the record bytes must be durable
+	// first — otherwise a crash could leave a manifest entry pointing
+	// at a missing or empty job file and resume would silently skip a
+	// job that never really completed. (Completed re-checks the job
+	// file, so the failure mode is losing work, not corruption — but
+	// an acknowledged record should survive a crash.)
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return err
@@ -81,40 +118,46 @@ func (s *Store) Put(rec Record) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_, err = s.manifest.Write(append(line, '\n'))
-	return err
+	if _, err := s.manifest.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	return s.manifest.Sync()
 }
 
 // Completed replays the manifest and loads the latest record of every
-// job whose final entry says ok. Corrupt or missing job files are
-// treated as incomplete (the job will simply re-run), so a sweep killed
-// mid-write resumes cleanly.
+// job whose final entry says ok. A truncated final manifest line — the
+// partial write of a sweep killed mid-append — is explicitly tolerated
+// and dropped (its job simply re-runs); a malformed line anywhere else
+// is corruption and an error, because silently skipping it could hide
+// completed work or mask a damaged store. Corrupt or missing job files
+// are treated as incomplete (the job will simply re-run), so a sweep
+// killed mid-write resumes cleanly.
 func (s *Store) Completed() (map[string]Record, error) {
-	f, err := os.Open(filepath.Join(s.dir, "manifest.jsonl"))
+	data, err := os.ReadFile(filepath.Join(s.dir, "manifest.jsonl"))
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, nil
 		}
 		return nil, err
 	}
-	defer f.Close()
 
 	latest := make(map[string]manifestEntry)
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
+	lines := strings.Split(string(data), "\n")
+	for i, raw := range lines {
+		line := strings.TrimSpace(raw)
 		if line == "" {
 			continue
 		}
 		var e manifestEntry
 		if err := json.Unmarshal([]byte(line), &e); err != nil {
-			continue // torn final line from a killed run
+			if i == len(lines)-1 {
+				// No trailing newline: a torn final append from a
+				// killed run. Drop it; the job re-runs.
+				continue
+			}
+			return nil, fmt.Errorf("runner: manifest.jsonl:%d: corrupt entry: %w", i+1, err)
 		}
 		latest[e.ID] = e
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
 	}
 
 	done := make(map[string]Record)

@@ -76,6 +76,110 @@ func TestStoreFailedNotCompleted(t *testing.T) {
 	}
 }
 
+// TestStoreTornManifestTail replays the crash a kill mid-append leaves
+// behind: the final manifest line is a partial write. The torn tail must
+// be dropped (its job re-runs) while every fully-appended record before
+// it resumes, and corruption anywhere *else* in the manifest must be an
+// error rather than a silent skip.
+func TestStoreTornManifestTail(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"a", "b", "c"} {
+		if err := st.Put(Record{ID: id, Status: StatusOK, Result: &Result{}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+
+	manifest := filepath.Join(dir, "manifest.jsonl")
+	data, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(strings.TrimSuffix(string(data), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("manifest lines = %d, want 3", len(lines))
+	}
+
+	// Crash replay: the last entry is cut mid-line, no trailing newline.
+	torn := lines[0] + lines[1] + lines[2][:len(lines[2])/2]
+	if err := os.WriteFile(manifest, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	done, err := st2.Completed()
+	if err != nil {
+		t.Fatalf("torn tail must not fail resume: %v", err)
+	}
+	if len(done) != 2 {
+		t.Fatalf("resumed %d records, want 2 (torn tail dropped): %v", len(done), done)
+	}
+	for _, id := range []string{"a", "b"} {
+		if _, ok := done[id]; !ok {
+			t.Fatalf("record %q lost: %v", id, done)
+		}
+	}
+
+	// A fully-terminated garbage line mid-file is corruption, not a torn
+	// append (appends are single line+newline writes), and must surface.
+	bad := lines[0] + "{broken\n" + lines[2]
+	if err := os.WriteFile(manifest, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st2.Completed(); err == nil {
+		t.Fatal("mid-file corruption silently skipped")
+	}
+}
+
+// TestStoreTornTailThenAppend proves a store reopened over a torn tail
+// keeps working: OpenStore truncates the fragment, so the next append
+// starts on its own line instead of merging with the torn bytes into
+// one unparseable (and now mid-file, so fatal) garbage line.
+func TestStoreTornTailThenAppend(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(Record{ID: "a", Status: StatusOK, Result: &Result{}}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	manifest := filepath.Join(dir, "manifest.jsonl")
+	data, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the only line, then append a fresh record through a reopened
+	// store.
+	if err := os.WriteFile(manifest, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if err := st2.Put(Record{ID: "b", Status: StatusOK, Result: &Result{}}); err != nil {
+		t.Fatal(err)
+	}
+	done, err := st2.Completed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := done["b"]; !ok || len(done) != 1 {
+		t.Fatalf("want exactly {b}, got %v", done)
+	}
+}
+
 func TestFileForCollisionSafety(t *testing.T) {
 	a, b := fileFor("fig6/00-bm=DT"), fileFor("fig6 00-bm=DT")
 	if a == b {

@@ -143,7 +143,7 @@ type Switch struct {
 	// its threshold (paper 0.9).
 	CongestedFactor float64 `json:"congested_factor"`
 	// DrainRateMeasured uses the measured mu/b estimator instead of the
-	// scheduler-share one (DESIGN.md §7 ablation).
+	// scheduler-share one (DESIGN.md §8 ablation).
 	DrainRateMeasured bool `json:"drain_rate_measured,omitempty"`
 	// StatsInterval is the n_p / mu refresh period; zero resolves to
 	// one base RTT (8 link delays on the two-tier fabric).

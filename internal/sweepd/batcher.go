@@ -1,0 +1,140 @@
+package sweepd
+
+import (
+	"sync"
+	"time"
+
+	"abm/internal/runner"
+)
+
+// Batcher turns individual record Puts into size- and deadline-driven
+// batch commits against a RecordLog: a batch is committed (appended and
+// fsynced) when it reaches MaxBatch records or when MaxDelay has passed
+// since its first record, whichever comes first. One fsync per batch
+// amortizes the durability cost across records without letting an
+// acknowledged record sit volatile for long. Commit errors are sticky:
+// once a commit fails, every later Put/Flush/Close reports it, so a
+// sweep never silently keeps feeding a dead log.
+type Batcher struct {
+	log      RecordLog
+	maxBatch int
+	maxDelay time.Duration
+
+	mu      sync.Mutex
+	pending []runner.Record
+	timer   *time.Timer
+	err     error
+
+	stats BatchStats
+}
+
+// BatchStats counts a batcher's lifetime work.
+type BatchStats struct {
+	// Records is the number of records committed.
+	Records int64 `json:"records"`
+	// Batches is the number of commits (each one append + one fsync).
+	Batches int64 `json:"batches"`
+	// MaxBatchLen is the largest single commit.
+	MaxBatchLen int `json:"max_batch_len"`
+}
+
+// Batching defaults.
+const (
+	defaultMaxBatch = 64
+	defaultMaxDelay = 200 * time.Millisecond
+)
+
+// NewBatcher wraps log. maxBatch <= 0 selects 64 records; maxDelay <= 0
+// selects 200ms.
+func NewBatcher(log RecordLog, maxBatch int, maxDelay time.Duration) *Batcher {
+	if maxBatch <= 0 {
+		maxBatch = defaultMaxBatch
+	}
+	if maxDelay <= 0 {
+		maxDelay = defaultMaxDelay
+	}
+	return &Batcher{log: log, maxBatch: maxBatch, maxDelay: maxDelay}
+}
+
+// Put enqueues one record for the next commit. It returns immediately
+// unless the record fills the batch, in which case it carries out the
+// commit (and reports its error) itself.
+func (b *Batcher) Put(rec runner.Record) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.err != nil {
+		return b.err
+	}
+	b.pending = append(b.pending, rec)
+	if len(b.pending) >= b.maxBatch {
+		return b.commitLocked()
+	}
+	if b.timer == nil {
+		b.timer = time.AfterFunc(b.maxDelay, b.deadline)
+	}
+	return nil
+}
+
+// deadline is the timer callback committing an aged batch.
+func (b *Batcher) deadline() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.commitLocked() // error is sticky; the next Put surfaces it
+}
+
+// Flush commits everything pending and returns when it is durable.
+func (b *Batcher) Flush() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.err != nil {
+		return b.err
+	}
+	return b.commitLocked()
+}
+
+// Close flushes and releases the timer. It does not close the
+// underlying log (the log may outlive the batcher, e.g. for Replay).
+func (b *Batcher) Close() error {
+	err := b.Flush()
+	b.mu.Lock()
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	b.mu.Unlock()
+	return err
+}
+
+// Stats returns a snapshot of the batcher's counters.
+func (b *Batcher) Stats() BatchStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// commitLocked appends and fsyncs the pending batch. Callers hold b.mu.
+func (b *Batcher) commitLocked() error {
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	if len(b.pending) == 0 {
+		return b.err
+	}
+	batch := b.pending
+	b.pending = nil
+	if err := b.log.Append(batch); err != nil {
+		b.err = err
+		return err
+	}
+	if err := b.log.Sync(); err != nil {
+		b.err = err
+		return err
+	}
+	b.stats.Records += int64(len(batch))
+	b.stats.Batches++
+	if len(batch) > b.stats.MaxBatchLen {
+		b.stats.MaxBatchLen = len(batch)
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package sweepd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"abm/internal/runner"
+)
+
+// Client implements Dispatcher over the coordinator's HTTP endpoint —
+// the worker side of the wire protocol.
+type Client struct {
+	// Base is the coordinator's base URL, e.g. "http://127.0.0.1:7077".
+	Base string
+	// HTTP overrides the transport; nil selects a client with a 30s
+	// request timeout.
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the coordinator at base (scheme
+// optional; bare host:port gets "http://").
+func NewClient(base string) *Client {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+// PlanInfo implements Dispatcher.
+func (c *Client) PlanInfo() (*PlanInfo, error) {
+	var info PlanInfo
+	if err := c.call(http.MethodGet, "/v1/plan", nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Lease implements Dispatcher.
+func (c *Client) Lease(worker string, n int) (*LeaseResponse, error) {
+	var resp LeaseResponse
+	if err := c.call(http.MethodPost, "/v1/lease", LeaseRequest{Worker: worker, N: n}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Heartbeat implements Dispatcher.
+func (c *Client) Heartbeat(worker string, jobIDs []string) (*HeartbeatResponse, error) {
+	var resp HeartbeatResponse
+	req := HeartbeatRequest{Worker: worker, JobIDs: jobIDs}
+	if err := c.call(http.MethodPost, "/v1/heartbeat", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Complete implements Dispatcher.
+func (c *Client) Complete(worker string, rec runner.Record) error {
+	var resp struct{}
+	return c.call(http.MethodPost, "/v1/result", CompleteRequest{Worker: worker, Record: rec}, &resp)
+}
+
+// Status fetches the coordinator's live state.
+func (c *Client) Status() (*Status, error) {
+	var st Status
+	if err := c.call(http.MethodGet, "/v1/status", nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// call issues one JSON round trip.
+func (c *Client) call(method, path string, body, out any) error {
+	var reqBody io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		reqBody = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.Base+path, reqBody)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("sweepd: %s: %s", path, e.Error)
+		}
+		return fmt.Errorf("sweepd: %s: HTTP %d", path, resp.StatusCode)
+	}
+	return json.Unmarshal(data, out)
+}

@@ -1,0 +1,420 @@
+package sweepd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"abm/internal/runner"
+)
+
+// syntheticPlan builds a plan of instant deterministic jobs: the result
+// is a pure function of the seed, so any execution order and any
+// worker topology must aggregate identically.
+func syntheticPlan(name string, jobs int, calls *atomic.Int64) *runner.Plan {
+	plan := &runner.Plan{Name: name, Seed: 7}
+	for i := 0; i < jobs; i++ {
+		group := fmt.Sprintf("g%d", i%3)
+		plan.Add(runner.Spec{
+			ID:         fmt.Sprintf("%s/%04d-%s", name, i, group),
+			Experiment: name,
+			Group:      group,
+			Run: func(ctx context.Context, seed int64) (runner.Result, error) {
+				if calls != nil {
+					calls.Add(1)
+				}
+				return syntheticResult(seed), nil
+			},
+		})
+	}
+	return plan
+}
+
+// syntheticResult derives a high-variance metric from the seed.
+func syntheticResult(seed int64) runner.Result {
+	return runner.Result{
+		Events: uint64(seed),
+		Extra:  map[string]float64{"val": float64(seed % 977)},
+	}
+}
+
+// aggBytes renders records the way cmd/sweep persists them: the
+// aggregate JSON plus the TSV table. Byte equality of this is the
+// equivalence the service guarantees.
+func aggBytes(t *testing.T, recs []runner.Record) string {
+	t.Helper()
+	groups := runner.Aggregate(recs)
+	data, err := json.MarshalIndent(groups, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data) + "\n---\n" + runner.FormatGroups(groups)
+}
+
+// runWorkers drives the coordinator with n in-process workers sharing
+// its plan and waits for the sweep to finish.
+func runWorkers(t *testing.T, c *Coordinator, n int) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		w := &Worker{
+			Dispatcher: c,
+			Name:       fmt.Sprintf("w%d", i),
+			Plan:       c.Plan(),
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := w.Run(ctx); err != nil {
+				t.Errorf("worker: %v", err)
+			}
+		}()
+	}
+	if err := c.Wait(ctx); err != nil {
+		t.Fatalf("sweep did not finish: %v", err)
+	}
+	wg.Wait()
+}
+
+// TestCoordinatorMatchesPool is the core determinism contract on
+// synthetic jobs: coordinator + workers and the classic in-process pool
+// must aggregate byte-identically.
+func TestCoordinatorMatchesPool(t *testing.T) {
+	poolRecs, err := (&runner.Pool{Workers: 4}).Run(t.Context(), syntheticPlan("eq", 12, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := aggBytes(t, poolRecs)
+
+	c, err := NewCoordinator(Config{
+		Plan:  syntheticPlan("eq", 12, nil),
+		Store: NewStore(NewMemLog(), 0, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWorkers(t, c, 3)
+	if got := aggBytes(t, c.Records()); got != want {
+		t.Fatalf("aggregate mismatch\npool:\n%s\nsweepd:\n%s", want, got)
+	}
+	// And the durable log replays to the same aggregate.
+	done, err := c.cfg.Store.Completed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 12 {
+		t.Fatalf("log holds %d records, want 12", len(done))
+	}
+}
+
+// TestLeaseExpiryAndWorkerChurn kills a worker mid-job: its leased job
+// must be re-leased after the TTL and the final aggregate must be
+// byte-identical to an uninterrupted run.
+func TestLeaseExpiryAndWorkerChurn(t *testing.T) {
+	const blockedJob = "churn/0004-g1"
+
+	makePlan := func(blockOnce bool) *runner.Plan {
+		var once sync.Once
+		block := make(chan struct{})
+		plan := syntheticPlan("churn", 9, nil)
+		if !blockOnce {
+			return plan
+		}
+		for i := range plan.Specs {
+			spec := &plan.Specs[i]
+			if spec.ID != blockedJob {
+				continue
+			}
+			inner := spec.Run
+			spec.Run = func(ctx context.Context, seed int64) (runner.Result, error) {
+				var first bool
+				once.Do(func() { first = true })
+				if first {
+					// Simulate the job the dying worker was holding:
+					// hang until the test tears the worker down.
+					<-ctx.Done()
+					<-block // released at cleanup; result is discarded
+				}
+				return inner(ctx, seed)
+			}
+		}
+		t.Cleanup(func() { close(block) })
+		return plan
+	}
+
+	poolRecs, err := (&runner.Pool{Workers: 4}).Run(t.Context(), makePlan(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := aggBytes(t, poolRecs)
+
+	c, err := NewCoordinator(Config{
+		Plan:             makePlan(true),
+		LeaseTTL:         150 * time.Millisecond,
+		MaxLeaseAttempts: 10,
+		Store:            NewStore(NewMemLog(), 0, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The doomed worker: runs until it blocks on the poisoned job, then
+	// its context is killed once the coordinator shows a stuck lease.
+	doomedCtx, killWorker := context.WithCancel(context.Background())
+	defer killWorker()
+	doomed := &Worker{Dispatcher: c, Name: "doomed", Plan: c.Plan()}
+	doomedDone := make(chan struct{})
+	go func() {
+		defer close(doomedDone)
+		doomed.Run(doomedCtx)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		c.mu.Lock()
+		stuck := c.byID[blockedJob].state == jobLeased && c.byID[blockedJob].worker == "doomed"
+		c.mu.Unlock()
+		if stuck {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("doomed worker never leased the poisoned job")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	killWorker()
+	<-doomedDone
+
+	// A healthy worker joins; after the TTL the coordinator re-leases
+	// the orphaned job to it and the sweep completes.
+	runWorkers(t, c, 1)
+
+	c.mu.Lock()
+	attempts := c.byID[blockedJob].attempt
+	c.mu.Unlock()
+	if attempts < 2 {
+		t.Fatalf("poisoned job leased %d times, want >= 2 (re-lease after expiry)", attempts)
+	}
+	if got := aggBytes(t, c.Records()); got != want {
+		t.Fatalf("aggregate after churn differs from uninterrupted run\nwant:\n%s\ngot:\n%s", want, got)
+	}
+}
+
+// TestLeaseGiveUp bounds re-leasing: a job whose every lease expires is
+// eventually recorded failed instead of looping forever.
+func TestLeaseGiveUp(t *testing.T) {
+	c, err := NewCoordinator(Config{
+		Plan:             syntheticPlan("giveup", 1, nil),
+		LeaseTTL:         20 * time.Millisecond,
+		MaxLeaseAttempts: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		resp, err := c.Lease("ghost", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Leases) != 1 {
+			t.Fatalf("lease %d: got %d leases", i, len(resp.Leases))
+		}
+		time.Sleep(30 * time.Millisecond) // let it expire, never heartbeat
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := c.Wait(ctx); err != nil {
+		t.Fatalf("coordinator never gave up: %v", err)
+	}
+	recs := c.Records()
+	if len(recs) != 1 || recs[0].Status != runner.StatusFailed ||
+		!strings.Contains(recs[0].Error, "lease expired") {
+		t.Fatalf("want a lease-expiry failure record, got %+v", recs)
+	}
+}
+
+// TestHeartbeatKeepsLease proves the opposite of expiry: a slow worker
+// that heartbeats keeps its lease past several TTLs.
+func TestHeartbeatKeepsLease(t *testing.T) {
+	c, err := NewCoordinator(Config{
+		Plan:     syntheticPlan("hb", 1, nil),
+		LeaseTTL: 60 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Lease("slow", 1)
+	if err != nil || len(resp.Leases) != 1 {
+		t.Fatalf("lease: %v %+v", err, resp)
+	}
+	id := resp.Leases[0].JobID
+	for i := 0; i < 6; i++ {
+		time.Sleep(20 * time.Millisecond)
+		hb, err := c.Heartbeat("slow", []string{id})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hb.Lost) != 0 {
+			t.Fatalf("heartbeat %d lost the lease: %v", i, hb.Lost)
+		}
+	}
+	rec := runner.Execute(context.Background(), c.Plan().Specs[0], resp.Leases[0].Seed, runner.ExecOptions{})
+	if err := c.Complete("slow", rec); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Status().Finished {
+		t.Fatal("sweep not finished after the slow job completed")
+	}
+}
+
+// TestCoordinatorResume seeds the store with half the records: only the
+// other half may run, and the final aggregate still matches a full run.
+func TestCoordinatorResume(t *testing.T) {
+	full, err := (&runner.Pool{Workers: 2}).Run(t.Context(), syntheticPlan("res", 8, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := aggBytes(t, full)
+
+	store := NewStore(NewMemLog(), 0, 0)
+	for _, rec := range full[:4] {
+		if err := store.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var calls atomic.Int64
+	c, err := NewCoordinator(Config{Plan: syntheticPlan("res", 8, &calls), Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWorkers(t, c, 2)
+	if n := calls.Load(); n != 4 {
+		t.Fatalf("resume ran %d jobs, want 4", n)
+	}
+	if got := aggBytes(t, c.Records()); got != want {
+		t.Fatalf("resumed aggregate differs\nwant:\n%s\ngot:\n%s", want, got)
+	}
+}
+
+// TestAdaptiveReplication drives a high-variance group against a tight
+// CI target: the coordinator must keep adding deterministic extra
+// replications until the cap, and a second identical run must create
+// exactly the same extra jobs with the same seeds.
+func TestAdaptiveReplication(t *testing.T) {
+	run := func() (map[string]int64, int) {
+		c, err := NewCoordinator(Config{
+			Plan:     syntheticPlan("adapt", 6, nil), // 3 groups x 2 reps
+			CITarget: 1e-6,                           // unreachably tight
+			CIMetric: "val",
+			MaxReps:  5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runWorkers(t, c, 2)
+		extras := make(map[string]int64)
+		c.mu.Lock()
+		for _, j := range c.jobs {
+			if strings.HasPrefix(j.id, "adapt/extra-") {
+				extras[j.id] = j.seed
+			}
+		}
+		c.mu.Unlock()
+		return extras, len(c.Records())
+	}
+
+	extras, total := run()
+	// 3 groups, 2 base reps each, cap 5: every group gains 3 extras.
+	if len(extras) != 9 || total != 15 {
+		t.Fatalf("extras = %d (records %d), want 9 extras / 15 records: %v", len(extras), total, extras)
+	}
+	extras2, total2 := run()
+	if total2 != total {
+		t.Fatalf("second run made %d records, first %d", total2, total)
+	}
+	for id, seed := range extras {
+		if extras2[id] != seed {
+			t.Fatalf("extra %s seed changed across runs: %d vs %d", id, seed, extras2[id])
+		}
+	}
+
+	// A loose target stays at the base replication count.
+	c, err := NewCoordinator(Config{
+		Plan:     syntheticPlan("adapt", 6, nil),
+		CITarget: 1e9,
+		CIMetric: "val",
+		MaxReps:  5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWorkers(t, c, 2)
+	if n := len(c.Records()); n != 6 {
+		t.Fatalf("loose target ran %d records, want 6", n)
+	}
+}
+
+// TestHTTPDispatcher runs the whole lease/heartbeat/result protocol
+// over a real HTTP round trip and checks the aggregate still matches
+// the pool.
+func TestHTTPDispatcher(t *testing.T) {
+	poolRecs, err := (&runner.Pool{Workers: 4}).Run(t.Context(), syntheticPlan("http", 10, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := aggBytes(t, poolRecs)
+
+	c, err := NewCoordinator(Config{Plan: syntheticPlan("http", 10, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		w := &Worker{
+			Dispatcher: NewClient(srv.URL),
+			Name:       fmt.Sprintf("remote%d", i),
+			Plan:       c.Plan(), // synthetic plans cannot travel as grids
+			Slots:      2,
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := w.Run(ctx); err != nil {
+				t.Errorf("worker: %v", err)
+			}
+		}()
+	}
+	if err := c.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if got := aggBytes(t, c.Records()); got != want {
+		t.Fatalf("HTTP aggregate mismatch\nwant:\n%s\ngot:\n%s", want, got)
+	}
+
+	// Status over the wire reflects the finished sweep.
+	st, err := NewClient(srv.URL).Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Finished || st.Done != 10 {
+		t.Fatalf("status: %+v", st)
+	}
+
+	// A plan-only coordinator refuses PlanInfo with a useful error.
+	if _, err := NewClient(srv.URL).PlanInfo(); err == nil {
+		t.Fatal("PlanInfo on a plan-only coordinator must fail")
+	}
+}

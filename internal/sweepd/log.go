@@ -1,0 +1,213 @@
+// Package sweepd is the distributed sweep service: a coordinator that
+// owns a job table expanded from the same grids cmd/sweep runs locally,
+// hands out time-bounded job leases to workers over HTTP+JSON (or
+// in-process), re-leases jobs whose workers miss heartbeats, and
+// persists finished records in a durable append-only record log with
+// batched fsync commits. Workers are thin wrappers around the
+// internal/runner execution path — same SplitMix64 per-job seeding,
+// panic/timeout isolation and retries — so a job's record is identical
+// whether it ran on the classic in-process pool or on a fleet of worker
+// processes, and the aggregated output is byte-identical at seed 42.
+//
+// The coordinator can also replicate adaptively: with a CI target set,
+// it keeps enqueueing extra replication seeds for a group until the
+// bootstrap confidence interval of the target metric tightens below the
+// target, so large grids spend compute where the variance lives.
+package sweepd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"strconv"
+	"sync"
+
+	"abm/internal/runner"
+)
+
+// RecordLog is an append-only store of job records: the durable layer
+// under a sweep. Append buffers records in the backend; Sync makes
+// everything appended so far durable (the batch-commit point). Replay
+// returns every durable record in append order — duplicates included,
+// latest-wins resolution is the reader's job (see Store.Completed).
+type RecordLog interface {
+	Append(recs []runner.Record) error
+	Sync() error
+	Replay() ([]runner.Record, error)
+	Close() error
+}
+
+// MemLog is an in-memory RecordLog for tests and ephemeral sweeps.
+type MemLog struct {
+	mu   sync.Mutex
+	recs []runner.Record
+}
+
+// NewMemLog returns an empty in-memory log.
+func NewMemLog() *MemLog { return &MemLog{} }
+
+// Append implements RecordLog.
+func (m *MemLog) Append(recs []runner.Record) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.recs = append(m.recs, recs...)
+	return nil
+}
+
+// Sync implements RecordLog (memory is always "durable").
+func (m *MemLog) Sync() error { return nil }
+
+// Replay implements RecordLog.
+func (m *MemLog) Replay() ([]runner.Record, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]runner.Record(nil), m.recs...), nil
+}
+
+// Close implements RecordLog.
+func (m *MemLog) Close() error { return nil }
+
+// FileLog is the file-backed RecordLog: one record per line as
+//
+//	<crc32c-hex-of-payload> '\t' <compact JSON record> '\n'
+//
+// The checksum makes replay self-validating: a torn final line (the
+// partial flush of a crashed process) is detected and dropped, while a
+// checksum or JSON failure anywhere before the tail is reported as
+// corruption. Appends go through one file handle; Sync fsyncs it, which
+// is the log's only durability point — the Batcher calls it once per
+// batch rather than per record.
+type FileLog struct {
+	path string
+
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenFileLog creates or reopens the log at path, first truncating a
+// torn tail left by a crash so new appends start on their own line.
+func OpenFileLog(path string) (*FileLog, error) {
+	if err := healTornTail(path); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &FileLog{path: path, f: f}, nil
+}
+
+// Path returns the log's file path.
+func (l *FileLog) Path() string { return l.path }
+
+// Append implements RecordLog: the whole batch is serialized into one
+// buffer and issued as a single write, so a crash can tear at most one
+// suffix of the batch rather than interleave with other writers.
+func (l *FileLog) Append(recs []runner.Record) error {
+	var buf bytes.Buffer
+	for _, rec := range recs {
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("sweepd: marshal record %s: %w", rec.ID, err)
+		}
+		fmt.Fprintf(&buf, "%08x\t", crc32.ChecksumIEEE(payload))
+		buf.Write(payload)
+		buf.WriteByte('\n')
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, err := l.f.Write(buf.Bytes())
+	return err
+}
+
+// Sync implements RecordLog: records appended before Sync returns are
+// durable.
+func (l *FileLog) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Sync()
+}
+
+// Close implements RecordLog.
+func (l *FileLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}
+
+// Replay implements RecordLog: it reads the whole log, verifying each
+// line's checksum. A torn final line is dropped; damage anywhere else
+// is an error.
+func (l *FileLog) Replay() ([]runner.Record, error) {
+	data, err := os.ReadFile(l.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return decodeLog(l.path, data)
+}
+
+// decodeLog parses the log bytes, tolerating exactly one torn tail.
+func decodeLog(path string, data []byte) ([]runner.Record, error) {
+	var recs []runner.Record
+	lines := bytes.Split(data, []byte("\n"))
+	for i, line := range lines {
+		if len(line) == 0 {
+			continue
+		}
+		tail := i == len(lines)-1 // no trailing newline: a torn write
+		rec, err := decodeLine(line)
+		if err != nil {
+			if tail {
+				continue
+			}
+			return nil, fmt.Errorf("sweepd: %s:%d: %w", path, i+1, err)
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// decodeLine parses and checksum-verifies one log line.
+func decodeLine(line []byte) (runner.Record, error) {
+	i := bytes.IndexByte(line, '\t')
+	if i != 8 {
+		return runner.Record{}, fmt.Errorf("malformed frame")
+	}
+	want, err := strconv.ParseUint(string(line[:8]), 16, 32)
+	if err != nil {
+		return runner.Record{}, fmt.Errorf("malformed checksum: %w", err)
+	}
+	payload := line[9:]
+	if got := crc32.ChecksumIEEE(payload); got != uint32(want) {
+		return runner.Record{}, fmt.Errorf("checksum mismatch: %08x != %08x", got, want)
+	}
+	var rec runner.Record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return runner.Record{}, fmt.Errorf("corrupt record: %w", err)
+	}
+	return rec, nil
+}
+
+// healTornTail truncates a trailing partial line (no final newline).
+func healTornTail(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	if len(data) == 0 || data[len(data)-1] == '\n' {
+		return nil
+	}
+	keep := 0
+	if i := bytes.LastIndexByte(data, '\n'); i >= 0 {
+		keep = i + 1
+	}
+	return os.Truncate(path, int64(keep))
+}

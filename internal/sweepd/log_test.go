@@ -1,0 +1,264 @@
+package sweepd
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"abm/internal/runner"
+)
+
+func testRecord(id string, seed int64) runner.Record {
+	return runner.Record{
+		ID: id, Experiment: "t", Group: "g", Seed: seed,
+		Status: runner.StatusOK, Attempts: 1,
+		Result: &runner.Result{Events: uint64(seed) * 10, Extra: map[string]float64{"x": float64(seed)}},
+	}
+}
+
+func TestFileLogRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "records.log")
+	l, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []runner.Record{testRecord("a", 1), testRecord("b", 2), testRecord("c", 3)}
+	if err := l.Append(want[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(want[2:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := l.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("replayed %d records, want 3", len(got))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID || got[i].Seed != want[i].Seed ||
+			got[i].Result == nil || got[i].Result.Events != want[i].Result.Events {
+			t.Fatalf("record %d mangled: %+v", i, got[i])
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFileLogTornTail cuts the final line mid-write — the shape a
+// SIGKILL during a batch commit leaves — and checks replay keeps every
+// whole record and drops only the torn one.
+func TestFileLogTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "records.log")
+	l, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]runner.Record{testRecord("a", 1), testRecord("b", 2)}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut inside the final record's JSON.
+	if err := os.WriteFile(path, data[:len(data)-15], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got, err := l2.Replay()
+	if err != nil {
+		t.Fatalf("torn tail must not fail replay: %v", err)
+	}
+	if len(got) != 1 || got[0].ID != "a" {
+		t.Fatalf("want only record a, got %+v", got)
+	}
+
+	// The reopened log healed the tail, so an append lands cleanly.
+	if err := l2.Append([]runner.Record{testRecord("c", 3)}); err != nil {
+		t.Fatal(err)
+	}
+	got, err = l2.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1].ID != "c" {
+		t.Fatalf("append after heal: got %+v", got)
+	}
+}
+
+// TestFileLogMidFileCorruption flips a byte away from the tail: that is
+// damage, not a crash artifact, and must be an error.
+func TestFileLogMidFileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "records.log")
+	l, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.Append([]runner.Record{testRecord(string(rune('a'+i)), int64(i+1))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a byte inside the first line's payload.
+	i := strings.IndexByte(string(data), '\t') + 5
+	data[i] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if _, err := l2.Replay(); err == nil {
+		t.Fatal("mid-file corruption replayed silently")
+	}
+}
+
+func TestBatcherSizeTrigger(t *testing.T) {
+	log := NewMemLog()
+	b := NewBatcher(log, 3, time.Hour) // deadline effectively off
+	for i := 0; i < 7; i++ {
+		if err := b.Put(testRecord(string(rune('a'+i)), int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 7 puts with batch size 3: two full batches committed, one record
+	// still pending.
+	recs, _ := log.Replay()
+	if len(recs) != 6 {
+		t.Fatalf("committed %d records before flush, want 6", len(recs))
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ = log.Replay()
+	if len(recs) != 7 {
+		t.Fatalf("committed %d records after close, want 7", len(recs))
+	}
+	st := b.Stats()
+	if st.Records != 7 || st.Batches != 3 || st.MaxBatchLen != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestBatcherDeadlineTrigger(t *testing.T) {
+	log := NewMemLog()
+	b := NewBatcher(log, 1<<20, 20*time.Millisecond)
+	if err := b.Put(testRecord("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if recs, _ := log.Replay(); len(recs) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("deadline commit never fired")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreCompletedLatestWins checks the RecordSink adapter resolves
+// duplicates the same way the manifest store does: the latest entry for
+// a job decides, and only ok records resume.
+func TestStoreCompletedLatestWins(t *testing.T) {
+	s := NewStore(NewMemLog(), 0, 0)
+	fail := testRecord("a", 1)
+	fail.Status, fail.Result = runner.StatusFailed, nil
+	if err := s.Put(fail); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testRecord("a", 1)); err != nil { // retry succeeded
+		t.Fatal(err)
+	}
+	if err := s.Put(testRecord("b", 2)); err != nil {
+		t.Fatal(err)
+	}
+	late := testRecord("b", 2) // later failure supersedes
+	late.Status, late.Result = runner.StatusFailed, nil
+	if err := s.Put(late); err != nil {
+		t.Fatal(err)
+	}
+	done, err := s.Completed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 1 {
+		t.Fatalf("completed = %v, want only a", done)
+	}
+	if _, ok := done["a"]; !ok {
+		t.Fatalf("a missing: %v", done)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreAsPoolSink runs a real Pool against the batched log store:
+// the existing resume path must work unchanged through the adapter.
+func TestStoreAsPoolSink(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "records.log")
+	log, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewStore(log, 4, 10*time.Millisecond)
+	plan := syntheticPlan("pool-sink", 9, nil)
+	recs, err := (&runner.Pool{Workers: 3, Store: store}).Run(t.Context(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runner.Failed(recs)) != 0 {
+		t.Fatalf("failures: %+v", runner.Failed(recs))
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume: every job served from the log, zero re-runs.
+	log2, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store2 := NewStore(log2, 0, 0)
+	defer store2.Close()
+	var calls atomic.Int64
+	plan2 := syntheticPlan("pool-sink", 9, &calls)
+	recs2, err := (&runner.Pool{Workers: 3, Store: store2}).Run(t.Context(), plan2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := calls.Load(); n != 0 {
+		t.Fatalf("resume re-ran %d jobs, want 0", n)
+	}
+	for i := range recs2 {
+		if !recs2[i].Cached || recs2[i].Seed != recs[i].Seed {
+			t.Fatalf("record %d not served from log: %+v", i, recs2[i])
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package sweepd
+
+import (
+	"encoding/json"
+
+	"abm/internal/experiments"
+	"abm/internal/runner"
+)
+
+// The wire protocol is plain HTTP+JSON on loopback or a trusted LAN:
+// four POST/GET endpoints under /v1/ (plan, lease, heartbeat, result,
+// status). Everything a worker needs to reconstruct the job table
+// travels in PlanInfo, so workers share nothing with the coordinator
+// but the socket — the grid expansion they run locally is the same
+// deterministic Plan() the coordinator used, which is what makes a
+// lease as small as (job ID, spec index, seed).
+
+// PlanInfo is what a worker needs to rebuild the coordinator's plan
+// locally: the grid (whose deterministic expansion defines spec
+// indexes, job IDs and derived seeds) plus the contents of the grid's
+// scenario file, if any, so remote workers need no shared filesystem.
+type PlanInfo struct {
+	Name string `json:"name"`
+	// Jobs is the base plan's job count — a cheap skew check: a worker
+	// whose local expansion disagrees must not run anything.
+	Jobs int               `json:"jobs"`
+	Grid *experiments.Grid `json:"grid"`
+	// Scenario is the raw bytes of Grid.Scenario when the grid is in
+	// scenario mode; the worker materializes them to a local temp file.
+	Scenario json.RawMessage `json:"scenario,omitempty"`
+	// LeaseTTLMillis is the lease duration; workers must heartbeat
+	// comfortably within it (TTL/3 is the convention).
+	LeaseTTLMillis int64 `json:"lease_ttl_ms"`
+}
+
+// LeaseRequest asks for up to N job leases.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+	N      int    `json:"n"`
+}
+
+// Lease is one time-bounded job assignment.
+type Lease struct {
+	// JobID is the record ID the worker must report back. For adaptive
+	// extra replications it differs from the spec's own ID.
+	JobID string `json:"job_id"`
+	// Index is the spec to execute, as an index into the deterministic
+	// plan expansion both sides share.
+	Index int `json:"index"`
+	// SpecID is the plan's ID at Index — a skew guard the worker checks
+	// against its local expansion before running anything.
+	SpecID string `json:"spec_id"`
+	// Seed is the explicit simulation seed (already resolved by the
+	// coordinator, including adaptive extra-replication seeds).
+	Seed int64 `json:"seed"`
+	// Attempt counts prior leases of this job (0 on first lease).
+	Attempt int `json:"attempt"`
+}
+
+// LeaseResponse carries zero or more leases. Done reports that the
+// sweep is complete and the worker should exit; an empty non-done
+// response means "nothing leasable right now, poll again after
+// BackoffMillis".
+type LeaseResponse struct {
+	Leases        []Lease `json:"leases,omitempty"`
+	Done          bool    `json:"done,omitempty"`
+	TTLMillis     int64   `json:"ttl_ms"`
+	BackoffMillis int64   `json:"backoff_ms,omitempty"`
+}
+
+// HeartbeatRequest renews the worker's leases on the listed jobs.
+type HeartbeatRequest struct {
+	Worker string   `json:"worker"`
+	JobIDs []string `json:"job_ids"`
+}
+
+// HeartbeatResponse lists jobs the worker no longer holds (expired and
+// re-leased, or already completed elsewhere); results for them will be
+// ignored, so the worker can stop caring.
+type HeartbeatResponse struct {
+	Lost []string `json:"lost,omitempty"`
+}
+
+// CompleteRequest submits one finished record.
+type CompleteRequest struct {
+	Worker string        `json:"worker"`
+	Record runner.Record `json:"record"`
+}
+
+// GroupStatus is the per-group view of the status endpoint: replication
+// progress and, with adaptive replication on, how tight the group's
+// confidence interval currently is.
+type GroupStatus struct {
+	Group string `json:"group"`
+	// OK and Failed count finished replications; Total counts every job
+	// created for the group so far (including leased/pending extras).
+	OK     int `json:"ok"`
+	Failed int `json:"failed,omitempty"`
+	Total  int `json:"total"`
+	// Mean and RelCIHalfWidth describe the adaptive target metric: the
+	// bootstrap CI half-width of the mean, relative to the mean.
+	Mean           float64 `json:"mean,omitempty"`
+	RelCIHalfWidth float64 `json:"rel_ci_half_width,omitempty"`
+	// Settled reports the group needs no more replications (CI under
+	// target, metric absent, or replication cap reached).
+	Settled bool `json:"settled"`
+}
+
+// Status is the coordinator's live state summary.
+type Status struct {
+	Name     string        `json:"name"`
+	Jobs     int           `json:"jobs"`
+	Pending  int           `json:"pending"`
+	Leased   int           `json:"leased"`
+	Done     int           `json:"done"`
+	Failed   int           `json:"failed"`
+	Finished bool          `json:"finished"`
+	Groups   []GroupStatus `json:"groups,omitempty"`
+	// Batch reports the record log's commit counters when the
+	// coordinator persists through a batched store.
+	Batch *BatchStats `json:"batch,omitempty"`
+}
+
+// Dispatcher is the coordinator as a worker sees it. *Coordinator
+// implements it natively for in-process workers; *Client implements it
+// over HTTP for worker processes. Workers are written against this
+// interface, so single-process and distributed sweeps share every line
+// of execution code.
+type Dispatcher interface {
+	PlanInfo() (*PlanInfo, error)
+	Lease(worker string, n int) (*LeaseResponse, error)
+	Heartbeat(worker string, jobIDs []string) (*HeartbeatResponse, error)
+	Complete(worker string, rec runner.Record) error
+}

@@ -1,0 +1,67 @@
+package sweepd
+
+import (
+	"time"
+
+	"abm/internal/runner"
+)
+
+// Store adapts a batched RecordLog to runner.RecordSink, so the
+// append-only log slots in everywhere the classic per-job JSON store
+// does: a Pool (or the sweep coordinator) persists through Put and the
+// existing Completed-based resume path and all aggregation/TSV emission
+// work unchanged.
+type Store struct {
+	log RecordLog
+	b   *Batcher
+}
+
+// NewStore wraps log with batched commits (see NewBatcher for the
+// defaults zero values select).
+func NewStore(log RecordLog, maxBatch int, maxDelay time.Duration) *Store {
+	return &Store{log: log, b: NewBatcher(log, maxBatch, maxDelay)}
+}
+
+// Put implements runner.RecordSink: the record is durable by the next
+// batch commit (size- or deadline-triggered, or an explicit Flush).
+func (s *Store) Put(rec runner.Record) error { return s.b.Put(rec) }
+
+// Completed implements runner.RecordSink: it replays the log and
+// returns the latest successful record of every job, exactly like the
+// manifest-based Store. Pending records are flushed first so a resume
+// within one process never misses its own writes.
+func (s *Store) Completed() (map[string]runner.Record, error) {
+	if err := s.b.Flush(); err != nil {
+		return nil, err
+	}
+	recs, err := s.log.Replay()
+	if err != nil {
+		return nil, err
+	}
+	done := make(map[string]runner.Record)
+	for _, rec := range recs {
+		if rec.OK() {
+			done[rec.ID] = rec
+		} else {
+			// A later failure supersedes an earlier success, matching
+			// the manifest store's latest-entry-wins semantics.
+			delete(done, rec.ID)
+		}
+	}
+	return done, nil
+}
+
+// Flush commits everything pending and returns when it is durable.
+func (s *Store) Flush() error { return s.b.Flush() }
+
+// Stats returns the batch-commit counters.
+func (s *Store) Stats() BatchStats { return s.b.Stats() }
+
+// Close flushes and closes the underlying log.
+func (s *Store) Close() error {
+	if err := s.b.Close(); err != nil {
+		s.log.Close()
+		return err
+	}
+	return s.log.Close()
+}

@@ -1,0 +1,279 @@
+package sweepd
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"abm/internal/runner"
+)
+
+// Worker executes leased jobs against a Dispatcher. It is a thin shell
+// around runner.Execute — the exact execution path (panic recovery,
+// per-job deadline, bounded retries) the in-process pool uses — plus
+// the lease lifecycle: poll for leases, heartbeat while running, report
+// records, exit when the coordinator says the sweep is done.
+type Worker struct {
+	// Dispatcher is the coordinator: in-process (*Coordinator) or over
+	// HTTP (*Client).
+	Dispatcher Dispatcher
+	// Name identifies the worker in leases and logs. Default
+	// "worker-<pid>".
+	Name string
+	// Slots is how many jobs run concurrently. Default 1.
+	Slots int
+	// Timeout, Retries, Backoff configure runner.Execute per job.
+	Timeout time.Duration
+	Retries int
+	Backoff time.Duration
+	// Plan, when set, skips the PlanInfo fetch and uses these specs
+	// directly — how in-process workers share the coordinator's plan.
+	Plan *runner.Plan
+	// Progress, when non-nil, receives per-job log lines.
+	Progress io.Writer
+
+	mu     sync.Mutex
+	active map[string]bool // job IDs currently running (heartbeat set)
+}
+
+// Run works the sweep until the coordinator reports it done or ctx is
+// canceled. Transport errors back off and retry; ErrCoordinatorGone is
+// returned after the coordinator stays unreachable for ~10 consecutive
+// polls.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.Name == "" {
+		w.Name = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	slots := w.Slots
+	if slots <= 0 {
+		slots = 1
+	}
+	w.active = make(map[string]bool)
+
+	plan := w.Plan
+	if plan == nil {
+		var err error
+		if plan, err = w.fetchPlan(); err != nil {
+			return err
+		}
+	}
+
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	var ttl atomicDuration
+	ttl.set(30 * time.Second)
+	go w.heartbeatLoop(hbCtx, &ttl)
+
+	errs := make(chan error, slots)
+	for s := 0; s < slots; s++ {
+		go func() { errs <- w.slot(ctx, plan, &ttl) }()
+	}
+	var first error
+	for s := 0; s < slots; s++ {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ErrCoordinatorGone reports a coordinator that stopped answering.
+var ErrCoordinatorGone = fmt.Errorf("sweepd: coordinator unreachable")
+
+// slot is one lease-execute-report loop.
+func (w *Worker) slot(ctx context.Context, plan *runner.Plan, ttl *atomicDuration) error {
+	consecutiveFails := 0
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		resp, err := w.Dispatcher.Lease(w.Name, 1)
+		if err != nil {
+			consecutiveFails++
+			if consecutiveFails >= 10 {
+				return fmt.Errorf("%w: %v", ErrCoordinatorGone, err)
+			}
+			w.sleep(ctx, time.Second)
+			continue
+		}
+		consecutiveFails = 0
+		if resp.TTLMillis > 0 {
+			ttl.set(time.Duration(resp.TTLMillis) * time.Millisecond)
+		}
+		if len(resp.Leases) == 0 {
+			if resp.Done {
+				return nil
+			}
+			backoff := time.Duration(resp.BackoffMillis) * time.Millisecond
+			if backoff <= 0 {
+				backoff = 200 * time.Millisecond
+			}
+			w.sleep(ctx, backoff)
+			continue
+		}
+		for _, lease := range resp.Leases {
+			if err := w.runLease(ctx, plan, lease); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// runLease executes one leased job and reports its record.
+func (w *Worker) runLease(ctx context.Context, plan *runner.Plan, lease Lease) error {
+	if lease.Index < 0 || lease.Index >= len(plan.Specs) {
+		return fmt.Errorf("sweepd: lease %s: spec index %d outside local plan (%d specs) — worker and coordinator disagree on the grid",
+			lease.JobID, lease.Index, len(plan.Specs))
+	}
+	spec := plan.Specs[lease.Index]
+	if lease.SpecID != "" && spec.ID != lease.SpecID {
+		return fmt.Errorf("sweepd: lease %s: local spec %d is %q, coordinator says %q — worker and coordinator disagree on the grid",
+			lease.JobID, lease.Index, spec.ID, lease.SpecID)
+	}
+
+	w.mu.Lock()
+	w.active[lease.JobID] = true
+	w.mu.Unlock()
+	w.logf("run %s (seed %d, attempt %d)", lease.JobID, lease.Seed, lease.Attempt)
+
+	rec := runner.Execute(ctx, spec, lease.Seed, runner.ExecOptions{
+		Timeout: w.Timeout, Retries: w.Retries, Backoff: w.Backoff,
+	})
+	// The record reports under the lease's job ID: adaptive extra
+	// replications re-run a base spec under their own identity.
+	rec.ID = lease.JobID
+
+	w.mu.Lock()
+	delete(w.active, lease.JobID)
+	w.mu.Unlock()
+
+	if rec.Status == runner.StatusCanceled {
+		// Ours was the canceled context; the lease will expire and the
+		// job re-runs elsewhere. Nothing to report.
+		return nil
+	}
+	// The result is real work; try hard to deliver it.
+	var err error
+	for i := 0; i < 5; i++ {
+		if err = w.Dispatcher.Complete(w.Name, rec); err == nil {
+			w.logf("done %s (%s)", lease.JobID, rec.Status)
+			return nil
+		}
+		w.sleep(ctx, time.Duration(i+1)*200*time.Millisecond)
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	w.logf("dropping result for %s: %v", lease.JobID, err)
+	return nil // the lease expires and the job re-runs; not fatal
+}
+
+// heartbeatLoop renews leases on every active job at TTL/3.
+func (w *Worker) heartbeatLoop(ctx context.Context, ttl *atomicDuration) {
+	for {
+		interval := ttl.get() / 3
+		if interval < 50*time.Millisecond {
+			interval = 50 * time.Millisecond
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(interval):
+		}
+		w.mu.Lock()
+		ids := make([]string, 0, len(w.active))
+		for id := range w.active {
+			ids = append(ids, id)
+		}
+		w.mu.Unlock()
+		if len(ids) == 0 {
+			continue
+		}
+		resp, err := w.Dispatcher.Heartbeat(w.Name, ids)
+		if err != nil {
+			continue // transient; the next beat retries
+		}
+		for _, lost := range resp.Lost {
+			w.logf("lease lost: %s (will finish and be ignored)", lost)
+		}
+	}
+}
+
+// fetchPlan pulls PlanInfo and rebuilds the plan locally, materializing
+// the scenario bytes to a temp file when the grid is in scenario mode.
+func (w *Worker) fetchPlan() (*runner.Plan, error) {
+	info, err := w.Dispatcher.PlanInfo()
+	if err != nil {
+		return nil, err
+	}
+	if info.Grid == nil {
+		return nil, fmt.Errorf("sweepd: coordinator sent no grid")
+	}
+	grid := *info.Grid
+	if grid.Scenario != "" {
+		if len(info.Scenario) == 0 {
+			return nil, fmt.Errorf("sweepd: grid names scenario %q but plan info carries no scenario bytes", grid.Scenario)
+		}
+		tmp, err := os.CreateTemp("", "sweepd-scenario-*.json")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := tmp.Write(info.Scenario); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return nil, err
+		}
+		if err := tmp.Close(); err != nil {
+			os.Remove(tmp.Name())
+			return nil, err
+		}
+		// The temp spec only needs to exist while Plan() loads it.
+		defer os.Remove(tmp.Name())
+		grid.Scenario = tmp.Name()
+	}
+	plan, err := grid.Plan()
+	if err != nil {
+		return nil, err
+	}
+	if len(plan.Specs) != info.Jobs {
+		return nil, fmt.Errorf("sweepd: local grid expansion has %d jobs, coordinator says %d — version skew",
+			len(plan.Specs), info.Jobs)
+	}
+	return plan, nil
+}
+
+// sleep waits without outliving ctx.
+func (w *Worker) sleep(ctx context.Context, d time.Duration) {
+	select {
+	case <-ctx.Done():
+	case <-time.After(d):
+	}
+}
+
+// logf writes one worker log line when Progress is set.
+func (w *Worker) logf(format string, args ...any) {
+	if w.Progress != nil {
+		fmt.Fprintf(w.Progress, "%s: "+format+"\n", append([]any{w.Name}, args...)...)
+	}
+}
+
+// atomicDuration is a tiny atomic time.Duration.
+type atomicDuration struct {
+	mu sync.Mutex
+	d  time.Duration
+}
+
+func (a *atomicDuration) set(d time.Duration) {
+	a.mu.Lock()
+	a.d = d
+	a.mu.Unlock()
+}
+
+func (a *atomicDuration) get() time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.d
+}
