@@ -182,6 +182,36 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		}
 		c.pending = append(c.pending, j)
 	}
+	// Adaptive extra replications persisted by a previous run have
+	// deterministic IDs and seeds, so they can be revived too — without
+	// this a resumed sweep re-runs (and re-logs) every settled group's
+	// extras. Extras are created one at a time per group, so replayed
+	// records are contiguous in rep; stop at the first gap.
+	if cfg.CITarget > 0 && len(resumed) > 0 {
+		names := make([]string, 0, len(c.groups))
+		for name := range c.groups {
+			names = append(names, name)
+		}
+		sort.Slice(names, func(a, b int) bool {
+			return c.groups[names[a]].firstIndex < c.groups[names[b]].firstIndex
+		})
+		for _, name := range names {
+			g := c.groups[name]
+			for g.reps < c.maxReps(g) {
+				rep := g.reps
+				rec, ok := resumed[c.extraJobID(name, rep)]
+				if !ok || !rec.OK() || rec.Seed != c.extraSeed(g, rep) {
+					break
+				}
+				rec.Cached = true
+				j := &job{id: rec.ID, index: g.firstIndex, group: name,
+					seed: rec.Seed, state: jobDone, rec: &rec}
+				c.jobs = append(c.jobs, j)
+				c.byID[j.id] = j
+				g.reps++
+			}
+		}
+	}
 	// Groups revived whole from the store still owe their adaptive
 	// check; checkGroup is cheap and idempotent, so probe every group.
 	for group := range c.groups {
@@ -202,6 +232,10 @@ func groupKey(s runner.Spec) string {
 // Plan returns the coordinator's job plan (shared with in-process
 // workers).
 func (c *Coordinator) Plan() *runner.Plan { return c.plan }
+
+// LeaseTTL returns the configured lease duration, so in-process workers
+// can pace heartbeats correctly before their first lease response.
+func (c *Coordinator) LeaseTTL() time.Duration { return c.cfg.LeaseTTL }
 
 // PlanInfo implements Dispatcher for remote workers.
 func (c *Coordinator) PlanInfo() (*PlanInfo, error) {
@@ -233,6 +267,11 @@ func (c *Coordinator) Lease(worker string, n int) (*LeaseResponse, error) {
 	for len(resp.Leases) < n && len(c.pending) > 0 {
 		j := c.pending[0]
 		c.pending = c.pending[1:]
+		if j.state != jobPending {
+			// A requeued job whose original worker's late Complete
+			// landed after all: it is done, not leasable.
+			continue
+		}
 		j.state, j.worker = jobLeased, worker
 		j.expiry = time.Now().Add(c.cfg.LeaseTTL)
 		j.attempt++
@@ -291,11 +330,28 @@ func (c *Coordinator) Complete(worker string, rec runner.Record) error {
 			return err
 		}
 	}
+	if j.state == jobPending {
+		// A late result for a job reapLocked already requeued: accept it
+		// and pull the job back out of the pending queue so it is not
+		// leased — and re-run — a second time.
+		c.removePendingLocked(j)
+	}
 	j.state, j.worker, j.rec = jobDone, "", &rec
 	c.logf("done %s from %s (%s)", rec.ID, worker, rec.Status)
 	c.checkGroupLocked(j.group)
 	c.maybeFinishLocked()
 	return nil
+}
+
+// removePendingLocked deletes one job from the pending queue (a late
+// Complete for a requeued job).
+func (c *Coordinator) removePendingLocked(target *job) {
+	for i, j := range c.pending {
+		if j == target {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			return
+		}
+	}
 }
 
 // reapLocked re-queues jobs whose leases expired; a job leased too many
@@ -306,6 +362,14 @@ func (c *Coordinator) reapLocked(now time.Time) {
 			continue
 		}
 		if j.attempt >= c.cfg.MaxLeaseAttempts {
+			if j.rec != nil && j.rec.OK() {
+				// A successful record already landed for this job (it
+				// should not still be leased, but never let the give-up
+				// path clobber a real result with a synthesized failure).
+				j.state, j.worker = jobDone, ""
+				c.checkGroupLocked(j.group)
+				continue
+			}
 			rec := runner.Record{
 				ID:         j.id,
 				Experiment: c.plan.Specs[j.index].Experiment,
@@ -409,15 +473,25 @@ func (c *Coordinator) relCIHalfWidth(recs []runner.Record) (rel float64, ok bool
 	return half, true
 }
 
+// extraJobID names a group's rep-th replication (base reps included in
+// the numbering); extraSeed derives its seed from (plan seed -> first
+// spec index -> replication number). Both are pure functions of the
+// plan, so the k-th extra replication is identical in every run of the
+// sweep — whatever order groups tighten in, and across resumes.
+func (c *Coordinator) extraJobID(group string, rep int) string {
+	return fmt.Sprintf("%s/extra-%s,rep=%d", c.plan.Name, group, rep)
+}
+
+func (c *Coordinator) extraSeed(g *groupInfo, rep int) int64 {
+	return randutil.DeriveSeed(randutil.DeriveSeed(c.plan.Seed, g.firstIndex), rep)
+}
+
 // addReplicationLocked enqueues one extra replication for the group.
-// The seed derives from (plan seed -> first spec index -> replication
-// number), so the k-th extra replication of a group gets the same seed
-// in every run of the sweep, whatever order groups tighten in.
 func (c *Coordinator) addReplicationLocked(group string, g *groupInfo) {
 	rep := g.reps
 	g.reps++
-	id := fmt.Sprintf("%s/extra-%s,rep=%d", c.plan.Name, group, rep)
-	seed := randutil.DeriveSeed(randutil.DeriveSeed(c.plan.Seed, g.firstIndex), rep)
+	id := c.extraJobID(group, rep)
+	seed := c.extraSeed(g, rep)
 	j := &job{id: id, index: g.firstIndex, group: group, seed: seed}
 	c.jobs = append(c.jobs, j)
 	c.byID[id] = j

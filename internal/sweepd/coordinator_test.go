@@ -240,6 +240,60 @@ func TestLeaseGiveUp(t *testing.T) {
 	}
 }
 
+// TestLateCompleteAfterRequeue covers the race where a lease expires,
+// the job is requeued, and the original worker's result then arrives
+// late: the result must be accepted and the job pulled back out of the
+// pending queue — not leased (and re-run) a second time, and never
+// later overwritten by a synthesized failure.
+func TestLateCompleteAfterRequeue(t *testing.T) {
+	plan := syntheticPlan("late", 1, nil)
+	c, err := NewCoordinator(Config{
+		Plan:             plan,
+		LeaseTTL:         20 * time.Millisecond,
+		MaxLeaseAttempts: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Lease("a", 1)
+	if err != nil || len(resp.Leases) != 1 {
+		t.Fatalf("lease: %v %+v", err, resp)
+	}
+	lease := resp.Leases[0]
+
+	// Let the lease expire and reap (Heartbeat reaps as a side effect).
+	time.Sleep(30 * time.Millisecond)
+	if _, err := c.Heartbeat("other", nil); err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	state, npend := c.byID[lease.JobID].state, len(c.pending)
+	c.mu.Unlock()
+	if state != jobPending || npend != 1 {
+		t.Fatalf("job not requeued after expiry: state=%v pending=%d", state, npend)
+	}
+
+	// The late result from the original worker lands.
+	rec := runner.Execute(context.Background(), plan.Specs[0], lease.Seed, runner.ExecOptions{})
+	if err := c.Complete("a", rec); err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := c.Lease("b", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp2.Leases) != 0 {
+		t.Fatalf("done job leased again: %+v", resp2.Leases)
+	}
+	if !resp2.Done {
+		t.Fatal("sweep not done after the late complete")
+	}
+	recs := c.Records()
+	if len(recs) != 1 || !recs[0].OK() {
+		t.Fatalf("want one successful record, got %+v", recs)
+	}
+}
+
 // TestHeartbeatKeepsLease proves the opposite of expiry: a slow worker
 // that heartbeats keeps its lease past several TTLs.
 func TestHeartbeatKeepsLease(t *testing.T) {
@@ -358,6 +412,74 @@ func TestAdaptiveReplication(t *testing.T) {
 	runWorkers(t, c, 2)
 	if n := len(c.Records()); n != 6 {
 		t.Fatalf("loose target ran %d records, want 6", n)
+	}
+}
+
+// TestResumeRevivesAdaptiveExtras restarts an adaptive sweep against
+// its own record log: the extra-replication records (deterministic IDs
+// and seeds) must be revived alongside the base jobs, so nothing
+// re-runs and the aggregate is unchanged.
+func TestResumeRevivesAdaptiveExtras(t *testing.T) {
+	mkConfig := func(plan *runner.Plan, store *Store) Config {
+		return Config{Plan: plan, Store: store, CITarget: 1e-6, CIMetric: "val", MaxReps: 5}
+	}
+	store := NewStore(NewMemLog(), 0, 0)
+	c1, err := NewCoordinator(mkConfig(syntheticPlan("rev", 6, nil), store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWorkers(t, c1, 2)
+	want := aggBytes(t, c1.Records())
+
+	var calls atomic.Int64
+	c2, err := NewCoordinator(mkConfig(syntheticPlan("rev", 6, &calls), store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c2.Status().Finished {
+		t.Fatal("fully replayed adaptive sweep should be finished at construction")
+	}
+	runWorkers(t, c2, 2)
+	if n := calls.Load(); n != 0 {
+		t.Fatalf("resume re-ran %d jobs, want 0", n)
+	}
+	if got := aggBytes(t, c2.Records()); got != want {
+		t.Fatalf("resumed adaptive aggregate differs\nwant:\n%s\ngot:\n%s", want, got)
+	}
+}
+
+// TestWorkerHeartbeatShortTTL runs a job several times longer than the
+// lease TTL through a real in-process worker: the worker must learn the
+// coordinator's TTL before its first heartbeat window, so the lease is
+// renewed and the job runs exactly once.
+func TestWorkerHeartbeatShortTTL(t *testing.T) {
+	var calls atomic.Int64
+	plan := &runner.Plan{Name: "ttl", Seed: 7}
+	plan.Add(runner.Spec{
+		ID: "ttl/slow", Experiment: "ttl", Group: "g",
+		Run: func(ctx context.Context, seed int64) (runner.Result, error) {
+			calls.Add(1)
+			select {
+			case <-ctx.Done():
+				return runner.Result{}, ctx.Err()
+			case <-time.After(500 * time.Millisecond):
+			}
+			return syntheticResult(seed), nil
+		},
+	})
+	c, err := NewCoordinator(Config{Plan: plan, LeaseTTL: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWorkers(t, c, 1)
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("short-TTL job ran %d times, want 1 (heartbeats must hold the lease)", n)
+	}
+	c.mu.Lock()
+	attempts := c.byID["ttl/slow"].attempt
+	c.mu.Unlock()
+	if attempts != 1 {
+		t.Fatalf("short-TTL job leased %d times, want 1", attempts)
 	}
 }
 

@@ -53,18 +53,31 @@ func (w *Worker) Run(ctx context.Context) error {
 	}
 	w.active = make(map[string]bool)
 
+	// Seed the heartbeat pacing from the coordinator's real lease TTL —
+	// the in-process coordinator exposes it directly, remote ones send
+	// it in PlanInfo — so the very first heartbeat lands inside even a
+	// short lease instead of assuming the 30s default.
+	var ttl atomicDuration
+	ttl.set(30 * time.Second)
+	if src, ok := w.Dispatcher.(interface{ LeaseTTL() time.Duration }); ok {
+		if d := src.LeaseTTL(); d > 0 {
+			ttl.set(d)
+		}
+	}
 	plan := w.Plan
 	if plan == nil {
-		var err error
-		if plan, err = w.fetchPlan(); err != nil {
+		info, err := w.fetchPlan()
+		if err != nil {
 			return err
+		}
+		plan = info.plan
+		if info.leaseTTL > 0 {
+			ttl.set(info.leaseTTL)
 		}
 	}
 
 	hbCtx, stopHB := context.WithCancel(ctx)
 	defer stopHB()
-	var ttl atomicDuration
-	ttl.set(30 * time.Second)
 	go w.heartbeatLoop(hbCtx, &ttl)
 
 	errs := make(chan error, slots)
@@ -171,18 +184,28 @@ func (w *Worker) runLease(ctx context.Context, plan *runner.Plan, lease Lease) e
 	return nil // the lease expires and the job re-runs; not fatal
 }
 
-// heartbeatLoop renews leases on every active job at TTL/3.
+// heartbeatLoop renews leases on every active job at TTL/3. It sleeps
+// in short steps so a TTL update from a lease response takes effect on
+// the in-flight wait, not one full (possibly 30s-stale) interval later.
 func (w *Worker) heartbeatLoop(ctx context.Context, ttl *atomicDuration) {
+	last := time.Now()
 	for {
 		interval := ttl.get() / 3
 		if interval < 50*time.Millisecond {
 			interval = 50 * time.Millisecond
 		}
-		select {
-		case <-ctx.Done():
-			return
-		case <-time.After(interval):
+		if wait := interval - time.Since(last); wait > 0 {
+			if wait > 100*time.Millisecond {
+				wait = 100 * time.Millisecond
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(wait):
+			}
+			continue
 		}
+		last = time.Now()
 		w.mu.Lock()
 		ids := make([]string, 0, len(w.active))
 		for id := range w.active {
@@ -202,9 +225,16 @@ func (w *Worker) heartbeatLoop(ctx context.Context, ttl *atomicDuration) {
 	}
 }
 
+// fetchedPlan is a rebuilt plan plus the coordinator-announced lease
+// TTL that rode along in PlanInfo.
+type fetchedPlan struct {
+	plan     *runner.Plan
+	leaseTTL time.Duration
+}
+
 // fetchPlan pulls PlanInfo and rebuilds the plan locally, materializing
 // the scenario bytes to a temp file when the grid is in scenario mode.
-func (w *Worker) fetchPlan() (*runner.Plan, error) {
+func (w *Worker) fetchPlan() (*fetchedPlan, error) {
 	info, err := w.Dispatcher.PlanInfo()
 	if err != nil {
 		return nil, err
@@ -242,7 +272,10 @@ func (w *Worker) fetchPlan() (*runner.Plan, error) {
 		return nil, fmt.Errorf("sweepd: local grid expansion has %d jobs, coordinator says %d — version skew",
 			len(plan.Specs), info.Jobs)
 	}
-	return plan, nil
+	return &fetchedPlan{
+		plan:     plan,
+		leaseTTL: time.Duration(info.LeaseTTLMillis) * time.Millisecond,
+	}, nil
 }
 
 // sleep waits without outliving ctx.
