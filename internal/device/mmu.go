@@ -324,23 +324,28 @@ func (m *MMU) tick(now units.Time) {
 // pkt may be nil for stats-only threshold computation. The returned
 // pointer is valid until the next ctx call.
 func (m *MMU) ctx(port, prio int, q *Queue, pkt *packet.Packet) *bm.Ctx {
+	// Field-wise assignment rather than a struct literal: this runs per
+	// admission decision, and rebuilding the whole Ctx through a
+	// temporary costs a measurable block copy on the hot path.
 	c := &m.bmCtx
-	*c = bm.Ctx{
-		Total:             m.cfg.BufferSize,
-		Occupied:          m.used,
-		QueueLen:          q.bytes,
-		Port:              port,
-		Prio:              prio,
-		Alpha:             m.alpha(prio),
-		AlphaUnscheduled:  m.cfg.AlphaUnscheduled,
-		NormDrain:         m.NormDrain(port, prio),
-		CongestedSamePrio: m.CongestedSamePrio(prio),
-		Now:               m.sw.sim.Now(),
-	}
+	c.Total = m.cfg.BufferSize
+	c.Occupied = m.used
+	c.QueueLen = q.bytes
+	c.Port = port
+	c.Prio = prio
+	c.Alpha = m.alpha(prio)
+	c.AlphaUnscheduled = m.cfg.AlphaUnscheduled
+	c.NormDrain = m.NormDrain(port, prio)
+	c.CongestedSamePrio = m.CongestedSamePrio(prio)
+	c.Now = m.sw.sim.Now()
 	if pkt != nil {
 		c.Unscheduled = pkt.Is(packet.FlagUnscheduled)
 		c.FlowID = pkt.FlowID
 		c.PacketSize = pkt.Size()
+	} else {
+		c.Unscheduled = false
+		c.FlowID = 0
+		c.PacketSize = 0
 	}
 	return c
 }

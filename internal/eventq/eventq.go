@@ -1,34 +1,53 @@
 // Package eventq implements the priority queue that drives the
-// discrete-event simulator: a hand-specialized 4-ary min-heap of events
-// ordered by firing time with insertion order as tie-break, so
-// simultaneous events execute deterministically in the order they were
-// scheduled.
+// discrete-event simulator: a two-level scheduler ordered by firing
+// time with insertion order as tie-break, so simultaneous events
+// execute deterministically in the order they were scheduled.
 //
 // # Design
 //
-// Events live in an index-based arena ([]node) and the heap orders
-// int32 arena slots, so a Push performs no per-event heap allocation
-// and no interface conversions (the container/heap + boxed `any`
-// implementation this replaced cost one node allocation plus two
-// interface conversions per event). Fired and discarded slots go onto
-// a LIFO free list and are reused by later Pushes; reuse is safe
-// because every slot carries a generation counter and every Event
-// handle captures the generation it was created under.
+// Events live in an index-based arena ([]node) addressed by int32
+// slots, so scheduling performs no per-event heap allocation and no
+// interface conversions. Two structures order the slots:
+//
+//   - Lanes: per-source FIFO ring buffers keyed by a small integer
+//     LaneID (one per switch egress port, per link, per host NIC, per
+//     transport timer stream — any producer whose events are born in
+//     nondecreasing time order). A push to a lane is O(1): it appends
+//     to the ring and touches no heap. A 4-ary min-heap orders only
+//     the lane *heads*, so its size is the number of nonempty lanes,
+//     not the event population.
+//   - The fallback 4-ary arena heap (the PR-2 design) holds events
+//     pushed with no lane, batch injections, and the rare out-of-order
+//     lane push (PushLaneArg diverts to the heap when the new time
+//     precedes the lane's tail).
+//
+// Pop compares the lane-head minimum against the heap minimum under
+// the same (time, seq) key, so the two-level split is invisible to
+// callers: the pop sequence is exactly the sequence a single flat heap
+// would produce. Within a lane, times are nondecreasing and the global
+// push counter seq is increasing, so ring order IS (time, seq) order;
+// the head of the lane-head heap is therefore the minimum over all
+// lane-resident events, and the overall minimum is the smaller of the
+// two structure heads. Determinism does not depend on how producers
+// are assigned to lanes.
+//
+// Fired and discarded slots go onto a LIFO free list and are reused by
+// later pushes; reuse is safe because every slot carries a generation
+// counter and every Event handle captures the generation it was
+// created under.
 //
 // # Cancel semantics
 //
-// Cancel is O(1): it only marks the node, and the heap discards
-// canceled nodes lazily when they reach the head (Pop and PeekTime
-// share that discard path). The generation check makes every handle
-// operation safe and precise:
+// Cancel is O(1): it only marks the node, and canceled nodes are
+// discarded lazily when they surface as the minimum of their structure
+// (heap head, or lane head at the lane-heap root). The generation
+// check makes every handle operation safe and precise:
 //
 //   - Cancel on a fired, discarded, or already-canceled event is a
 //     no-op, even if the arena slot has since been reused by a new
 //     event.
 //   - Scheduled reports false as soon as the event is popped, before
-//     its callback runs (the previous implementation left popped
-//     events looking scheduled until container/heap happened to
-//     overwrite their index).
+//     its callback runs.
 //   - Canceled reports true only while the canceled node still
 //     occupies the calendar; once it is lazily discarded the handle is
 //     stale and Canceled reports false. Use it directly after Cancel.
@@ -47,9 +66,15 @@ type node struct {
 	arg  any
 
 	gen      uint32 // bumped on release; validates handles
-	pos      int32  // heap position, -1 while free
+	pos      int32  // heap position; posLane while lane-resident, -1 while free
 	canceled bool
 }
+
+// pos sentinel values for nodes not resident in the fallback heap.
+const (
+	posFree = -1
+	posLane = -2
+)
 
 // Event is a cancelable handle to a scheduled event. It is a small
 // value (copy freely); the zero value is inert.
@@ -103,17 +128,84 @@ func (e Event) Time() units.Time {
 	return 0
 }
 
+// LaneID names one FIFO lane of a Queue. Lane IDs are dense small
+// integers handed out by NewLane; they are never reclaimed.
+type LaneID int32
+
+// lane is one per-source FIFO: a power-of-two ring of arena slots in
+// nondecreasing (time, seq) order. head is a free-running index
+// (masked on access); tail is the firing time of the most recently
+// appended event, the in-order admission bound.
+type lane struct {
+	ring []int32
+	head uint32
+	n    uint32
+	tail units.Time
+}
+
+// headSlot returns the arena slot at the lane head. The lane must be
+// nonempty.
+func (ln *lane) headSlot() int32 {
+	return ln.ring[ln.head&uint32(len(ln.ring)-1)]
+}
+
+// grow doubles the ring (minimum 8), unwrapping the occupied region to
+// the base so the mask math stays valid.
+func (ln *lane) grow() {
+	newCap := len(ln.ring) * 2
+	if newCap == 0 {
+		newCap = 8
+	}
+	next := make([]int32, newCap)
+	mask := uint32(len(ln.ring) - 1)
+	for i := uint32(0); i < ln.n; i++ {
+		next[i] = ln.ring[(ln.head+i)&mask]
+	}
+	ln.ring, ln.head = next, 0
+}
+
 // Queue is a time-ordered event queue. The zero value is ready to use.
 type Queue struct {
 	nodes []node  // arena; handles index into it
-	heap  []int32 // 4-ary min-heap of arena slots
+	heap  []int32 // fallback 4-ary min-heap of arena slots
 	free  []int32 // LIFO free slots (deterministic reuse order)
 	seq   uint64
+
+	lanes     []lane    // per-source FIFOs; LaneID indexes this
+	laneHeap  []laneRef // 4-ary min-heap of nonempty lanes, keyed by head
+	freeLanes []LaneID  // released lanes awaiting reuse (LIFO)
+	live      int       // events in lanes + heap, including undiscarded canceled
 }
 
 // Len returns the number of events in the queue, including canceled
 // ones that have not yet been discarded.
-func (q *Queue) Len() int { return len(q.heap) }
+func (q *Queue) Len() int { return q.live }
+
+// NewLane allocates a FIFO lane. Producers whose events fire in
+// nondecreasing time order (a link with fixed delay, a serializing
+// port, a pacing or periodic timer) should push through a private lane
+// so scheduling bypasses the heap. Released lanes are reused.
+func (q *Queue) NewLane() LaneID {
+	if n := len(q.freeLanes); n > 0 {
+		id := q.freeLanes[n-1]
+		q.freeLanes = q.freeLanes[:n-1]
+		return id
+	}
+	q.lanes = append(q.lanes, lane{})
+	return LaneID(len(q.lanes) - 1)
+}
+
+// ReleaseLane returns a lane for reuse by a later NewLane. Transient
+// producers (per-flow timer streams) release their lanes on completion
+// so lane state does not accumulate over long runs. The lane need not
+// be drained: admission is checked per push against the lane's current
+// tail, so a recycled lane stays correctly ordered and any residual
+// (typically canceled) events drain as simulated time reaches them.
+// Lane assignment affects scheduling cost only, never pop order. The
+// caller must not push through the released ID afterwards.
+func (q *Queue) ReleaseLane(id LaneID) {
+	q.freeLanes = append(q.freeLanes, id)
+}
 
 // callFunc adapts a no-argument callback to the node's fn/arg pair so
 // that Push needs no per-event closure: a func() value is
@@ -125,10 +217,15 @@ func (q *Queue) Push(t units.Time, fn func()) Event {
 	return q.PushArg(t, callFunc, fn)
 }
 
-// PushArg schedules fn(arg) at time t. Passing a long-lived fn and a
-// pointer-shaped arg makes scheduling allocation-free; this is the hot
-// path the simulator's packet pipeline uses.
-func (q *Queue) PushArg(t units.Time, fn func(any), arg any) Event {
+// PushLane schedules fn at time t through the given lane; see
+// PushLaneArg.
+func (q *Queue) PushLane(id LaneID, t units.Time, fn func()) Event {
+	return q.PushLaneArg(id, t, callFunc, fn)
+}
+
+// alloc takes a slot from the free list (or extends the arena) and
+// stamps the payload. The caller links the slot into a structure.
+func (q *Queue) alloc(t units.Time, fn func(any), arg any) int32 {
 	q.seq++
 	var slot int32
 	if n := len(q.free); n > 0 {
@@ -140,6 +237,17 @@ func (q *Queue) PushArg(t units.Time, fn func(any), arg any) Event {
 	}
 	nd := &q.nodes[slot]
 	nd.time, nd.seq, nd.fn, nd.arg, nd.canceled = t, q.seq, fn, arg, false
+	q.live++
+	return slot
+}
+
+// PushArg schedules fn(arg) at time t into the fallback heap. Passing
+// a long-lived fn and a pointer-shaped arg makes scheduling
+// allocation-free; this is the hot path the simulator's packet
+// pipeline uses.
+func (q *Queue) PushArg(t units.Time, fn func(any), arg any) Event {
+	slot := q.alloc(t, fn, arg)
+	nd := &q.nodes[slot]
 	i := len(q.heap)
 	q.heap = append(q.heap, slot)
 	nd.pos = int32(i)
@@ -147,16 +255,136 @@ func (q *Queue) PushArg(t units.Time, fn func(any), arg any) Event {
 	return Event{q: q, slot: slot, gen: nd.gen}
 }
 
+// PushLaneArg schedules fn(arg) at time t through the given lane. When
+// t is at or after the lane's most recent push (the overwhelmingly
+// common case for per-source streams) this is O(1) amortized: an
+// append to the lane's ring, plus one lane-heap insert only when the
+// lane was empty. An out-of-order push falls back to the heap, so lane
+// misuse costs performance, never correctness.
+func (q *Queue) PushLaneArg(id LaneID, t units.Time, fn func(any), arg any) Event {
+	ln := &q.lanes[id]
+	if ln.n > 0 && t < ln.tail {
+		return q.PushArg(t, fn, arg)
+	}
+	slot := q.alloc(t, fn, arg)
+	nd := &q.nodes[slot]
+	nd.pos = posLane
+	if ln.n == uint32(len(ln.ring)) {
+		ln.grow()
+	}
+	ln.ring[(ln.head+ln.n)&uint32(len(ln.ring)-1)] = slot
+	ln.n++
+	ln.tail = t
+	if ln.n == 1 {
+		q.lanePush(int32(id))
+	}
+	return Event{q: q, slot: slot, gen: nd.gen}
+}
+
+// laneRef is one lane-heap entry: the lane plus a copy of its head
+// event's sort key and slot. Caching the key keeps sift comparisons
+// inside the contiguous heap slice instead of chasing lane ring ->
+// arena node on every compare; the copy stays valid because a queued
+// node's (time, seq) never changes, and the head only changes through
+// laneTakeHead, which re-keys the entry.
+type laneRef struct {
+	time units.Time
+	seq  uint64
+	li   int32
+	slot int32
+}
+
+// refLess orders lane-heap entries by their cached (time, seq) key.
+func refLess(a, b laneRef) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+// minSrc identifies which structure holds the overall minimum.
+type minSrc uint8
+
+const (
+	srcNone minSrc = iota
+	srcHeap
+	srcLane
+)
+
+// minHead discards canceled events at both structure heads and returns
+// the location and slot of the earliest live event.
+func (q *Queue) minHead() (minSrc, int32) {
+	q.dropCanceledHead()
+	q.dropCanceledLaneHead()
+	if len(q.heap) == 0 {
+		if len(q.laneHeap) == 0 {
+			return srcNone, 0
+		}
+		return srcLane, q.laneHeap[0].slot
+	}
+	if len(q.laneHeap) == 0 {
+		return srcHeap, q.heap[0]
+	}
+	hs, lr := q.heap[0], &q.laneHeap[0]
+	hn := &q.nodes[hs]
+	if hn.time != lr.time {
+		if hn.time < lr.time {
+			return srcHeap, hs
+		}
+	} else if hn.seq < lr.seq {
+		return srcHeap, hs
+	}
+	return srcLane, lr.slot
+}
+
+// take detaches the minimum slot from the structure minHead reported.
+// The caller must release the slot after reading its payload.
+func (q *Queue) take(src minSrc) int32 {
+	if src == srcHeap {
+		return q.removeMin()
+	}
+	return q.laneTakeHead()
+}
+
 // Pop removes the earliest non-canceled event and returns its callback
 // pair and firing time. ok is false if the queue holds no live events.
 // The event's slot is released before returning, so handles to it stop
 // reporting Scheduled even before the callback is invoked.
 func (q *Queue) Pop() (fn func(any), arg any, t units.Time, ok bool) {
-	q.dropCanceledHead()
-	if len(q.heap) == 0 {
+	src, slot := q.minHead()
+	if src == srcNone {
 		return nil, nil, 0, false
 	}
-	slot := q.removeMin()
+	q.take(src)
+	nd := &q.nodes[slot]
+	fn, arg, t = nd.fn, nd.arg, nd.time
+	q.release(slot)
+	return fn, arg, t, true
+}
+
+// PopLE pops the earliest live event only if it fires at or before
+// limit; otherwise the event stays queued and ok is false. It fuses
+// the PeekTime+Pop pair of a bounded run loop into one head selection.
+func (q *Queue) PopLE(limit units.Time) (fn func(any), arg any, t units.Time, ok bool) {
+	src, slot := q.minHead()
+	if src == srcNone || q.nodes[slot].time > limit {
+		return nil, nil, 0, false
+	}
+	q.take(src)
+	nd := &q.nodes[slot]
+	fn, arg, t = nd.fn, nd.arg, nd.time
+	q.release(slot)
+	return fn, arg, t, true
+}
+
+// PopLT is PopLE with a strict bound: only events firing strictly
+// before limit are popped.
+func (q *Queue) PopLT(limit units.Time) (fn func(any), arg any, t units.Time, ok bool) {
+	src, slot := q.minHead()
+	if src == srcNone || q.nodes[slot].time >= limit {
+		return nil, nil, 0, false
+	}
+	q.take(src)
 	nd := &q.nodes[slot]
 	fn, arg, t = nd.fn, nd.arg, nd.time
 	q.release(slot)
@@ -177,6 +405,8 @@ type Item struct {
 // executes in exactly that order among simultaneous events. It is the
 // window-barrier injection path of the parallel engine: cross-shard
 // deliveries accumulated over a lookahead window land in one call.
+// Batches always target the fallback heap; lane order is a per-source
+// property batches cannot claim.
 //
 // For small batches relative to the calendar it performs the same
 // sift-up per item as Push; once a batch is large enough that
@@ -204,18 +434,8 @@ func (q *Queue) PushBatch(items []Item) {
 // one O(n+k) pass.
 func (q *Queue) pushBatchHeapify(items []Item) {
 	for i := range items {
-		q.seq++
-		var slot int32
-		if n := len(q.free); n > 0 {
-			slot = q.free[n-1]
-			q.free = q.free[:n-1]
-		} else {
-			q.nodes = append(q.nodes, node{})
-			slot = int32(len(q.nodes) - 1)
-		}
-		nd := &q.nodes[slot]
-		nd.time, nd.seq, nd.fn, nd.arg, nd.canceled = items[i].Time, q.seq, items[i].Fn, items[i].Arg, false
-		nd.pos = int32(len(q.heap))
+		slot := q.alloc(items[i].Time, items[i].Fn, items[i].Arg)
+		q.nodes[slot].pos = int32(len(q.heap))
 		q.heap = append(q.heap, slot)
 	}
 	for i := (len(q.heap) - 2) / 4; i >= 0; i-- {
@@ -224,33 +444,47 @@ func (q *Queue) pushBatchHeapify(items []Item) {
 }
 
 // PeekTime returns the firing time of the earliest non-canceled event
-// without removing it. Canceled events at the head are discarded.
+// without removing it. Canceled events at the structure heads are
+// discarded.
 func (q *Queue) PeekTime() (units.Time, bool) {
-	q.dropCanceledHead()
-	if len(q.heap) == 0 {
+	src, slot := q.minHead()
+	if src == srcNone {
 		return 0, false
 	}
-	return q.nodes[q.heap[0]].time, true
+	return q.nodes[slot].time, true
 }
 
-// dropCanceledHead is the shared lazy-discard helper: it removes and
-// releases canceled events sitting at the heap head so Pop and
-// PeekTime always observe a live minimum.
+// dropCanceledHead removes and releases canceled events sitting at the
+// fallback heap head.
 func (q *Queue) dropCanceledHead() {
 	for len(q.heap) > 0 && q.nodes[q.heap[0]].canceled {
 		q.release(q.removeMin())
 	}
 }
 
+// dropCanceledLaneHead removes and releases canceled events at the
+// head of the minimum lane. Canceled nodes deeper in a lane (or at the
+// head of a non-minimum lane) wait until ring order surfaces them
+// here, exactly as mid-heap canceled nodes wait to reach the heap
+// head.
+func (q *Queue) dropCanceledLaneHead() {
+	for len(q.laneHeap) > 0 && q.nodes[q.laneHeap[0].slot].canceled {
+		q.release(q.laneTakeHead())
+	}
+}
+
 // release returns a slot to the free list, invalidating all handles to
-// the event it held.
+// the event it held. fn/arg are deliberately left in place: clearing
+// them costs two write barriers per event, and the values they can
+// reference (prebound callbacks, pooled packets) are immortal in this
+// codebase, so a stale reference pins no memory the pools would not.
 func (q *Queue) release(slot int32) {
 	nd := &q.nodes[slot]
 	nd.gen++
-	nd.fn, nd.arg = nil, nil // drop references for the GC
-	nd.pos = -1
+	nd.pos = posFree
 	nd.canceled = false
 	q.free = append(q.free, slot)
+	q.live--
 }
 
 // less orders arena slots by (time, seq): earliest first, FIFO among
@@ -328,4 +562,84 @@ func (q *Queue) siftDown(i int) {
 	}
 	h[i] = slot
 	q.nodes[slot].pos = int32(i)
+}
+
+// laneTakeHead detaches the head event of the minimum lane (the
+// lane-heap root) and returns its slot. The caller must release the
+// slot after reading its payload.
+func (q *Queue) laneTakeHead() int32 {
+	r := q.laneHeap[0]
+	ln := &q.lanes[r.li]
+	ln.head++
+	ln.n--
+	last := len(q.laneHeap) - 1
+	if ln.n == 0 {
+		q.laneHeap[0] = q.laneHeap[last]
+		q.laneHeap = q.laneHeap[:last]
+		last--
+	} else {
+		// Re-key the root from the lane's new head, then restore.
+		hs := ln.headSlot()
+		nd := &q.nodes[hs]
+		q.laneHeap[0] = laneRef{time: nd.time, seq: nd.seq, li: r.li, slot: hs}
+	}
+	if last > 0 {
+		q.laneSiftDown(0)
+	}
+	return r.slot
+}
+
+// lanePush inserts a newly nonempty lane into the lane-head heap.
+func (q *Queue) lanePush(li int32) {
+	hs := q.lanes[li].headSlot()
+	nd := &q.nodes[hs]
+	q.laneHeap = append(q.laneHeap, laneRef{time: nd.time, seq: nd.seq, li: li, slot: hs})
+	q.laneSiftUp(len(q.laneHeap) - 1)
+}
+
+// laneSiftUp restores the lane-heap property from position i toward
+// the root. Lane positions are not tracked: the lane heap is only ever
+// modified at the root (take, canceled-head discard) or by insertion.
+func (q *Queue) laneSiftUp(i int) {
+	h := q.laneHeap
+	r := h[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !refLess(r, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = r
+}
+
+// laneSiftDown restores the lane-heap property from position i toward
+// the leaves.
+func (q *Queue) laneSiftDown(i int) {
+	h := q.laneHeap
+	n := len(h)
+	r := h[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if refLess(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !refLess(h[best], r) {
+			break
+		}
+		h[i] = h[best]
+		i = best
+	}
+	h[i] = r
 }

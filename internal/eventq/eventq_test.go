@@ -258,3 +258,161 @@ func BenchmarkEventQueue(b *testing.B) {
 		q.Pop()
 	}
 }
+
+// TestLanePopOrderAcrossStructures interleaves lane and heap events
+// with colliding times: pops must come back in global (time, push
+// order), no matter which structure holds each event.
+func TestLanePopOrderAcrossStructures(t *testing.T) {
+	var q Queue
+	ln := q.NewLane()
+	var got []int
+	rec := func(id int) func() { return func() { got = append(got, id) } }
+	q.PushLane(ln, 10, rec(0)) // lane
+	q.Push(10, rec(1))         // heap, same time: later push pops second
+	q.PushLane(ln, 10, rec(2)) // lane, same time again
+	q.Push(5, rec(3))          // heap, earlier
+	q.PushLane(ln, 20, rec(4))
+	for {
+		fn, arg, _, ok := q.Pop()
+		if !ok {
+			break
+		}
+		fn(arg)
+	}
+	want := []int{3, 0, 1, 2, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestLaneOutOfOrderFallback pushes a time below the lane tail; it must
+// divert to the heap and still pop in correct global order.
+func TestLaneOutOfOrderFallback(t *testing.T) {
+	var q Queue
+	ln := q.NewLane()
+	var got []units.Time
+	q.PushLane(ln, 50, func() { got = append(got, 50) })
+	ev := q.PushLane(ln, 30, func() { got = append(got, 30) }) // below tail -> heap
+	if !ev.Scheduled() {
+		t.Fatal("fallback event lost")
+	}
+	q.PushLane(ln, 50, func() { got = append(got, 51) })
+	for {
+		fn, arg, _, ok := q.Pop()
+		if !ok {
+			break
+		}
+		fn(arg)
+	}
+	if len(got) != 3 || got[0] != 30 || got[1] != 50 || got[2] != 51 {
+		t.Fatalf("pop order %v, want [30 50 51]", got)
+	}
+}
+
+// TestLaneCancelHead cancels a lane's head; the lane's later events
+// must still pop, and Len must account for the lazy discard.
+func TestLaneCancelHead(t *testing.T) {
+	var q Queue
+	ln := q.NewLane()
+	fired := false
+	ev := q.PushLane(ln, 1, func() { t.Fatal("canceled event fired") })
+	q.PushLane(ln, 2, func() { fired = true })
+	ev.Cancel()
+	if q.Len() != 2 {
+		t.Fatalf("Len()=%d before discard, want 2", q.Len())
+	}
+	if tm, ok := q.PeekTime(); !ok || tm != 2 {
+		t.Fatalf("PeekTime=(%v,%v), want (2,true)", tm, ok)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len()=%d after peek-discard, want 1", q.Len())
+	}
+	fn, arg, _, ok := q.Pop()
+	if !ok {
+		t.Fatal("pop failed")
+	}
+	fn(arg)
+	if !fired {
+		t.Fatal("surviving lane event did not fire")
+	}
+}
+
+// TestPopLEBounds checks the fused bounded pops against both
+// structures: events at the bound pop under PopLE but not PopLT.
+func TestPopLEBounds(t *testing.T) {
+	var q Queue
+	ln := q.NewLane()
+	q.PushLane(ln, 10, func() {})
+	q.Push(20, func() {})
+	if _, _, _, ok := q.PopLT(10); ok {
+		t.Fatal("PopLT(10) popped an event at the bound")
+	}
+	if _, _, tm, ok := q.PopLE(10); !ok || tm != 10 {
+		t.Fatalf("PopLE(10) = (%v,%v), want (10,true)", tm, ok)
+	}
+	if _, _, _, ok := q.PopLE(19); ok {
+		t.Fatal("PopLE(19) popped the t=20 event")
+	}
+	if _, _, tm, ok := q.PopLT(21); !ok || tm != 20 {
+		t.Fatalf("PopLT(21) = (%v,%v), want (20,true)", tm, ok)
+	}
+}
+
+// TestLaneRecycle releases a lane with residual events and reuses the
+// ID: residual events drain in order and new pushes stay correct.
+func TestLaneRecycle(t *testing.T) {
+	var q Queue
+	ln := q.NewLane()
+	var got []units.Time
+	q.PushLane(ln, 5, func() { got = append(got, 5) })
+	q.PushLane(ln, 9, func() { got = append(got, 9) })
+	q.ReleaseLane(ln)
+	ln2 := q.NewLane()
+	if ln2 != ln {
+		t.Fatalf("recycled lane ID %d, want %d", ln2, ln)
+	}
+	// Reuse while residual events are queued: below-tail goes to the
+	// heap, at-or-above-tail extends the ring; order must hold.
+	q.PushLane(ln2, 7, func() { got = append(got, 7) })
+	q.PushLane(ln2, 9, func() { got = append(got, 91) })
+	for {
+		fn, arg, _, ok := q.Pop()
+		if !ok {
+			break
+		}
+		fn(arg)
+	}
+	want := []units.Time{5, 7, 9, 91}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+}
+
+// BenchmarkLanePushPop measures the steady-state lane path: one push
+// and one pop per iteration against a populated queue spread over many
+// lanes, the shape the packet pipeline produces.
+func BenchmarkLanePushPop(b *testing.B) {
+	var q Queue
+	const lanes = 64
+	ids := make([]LaneID, lanes)
+	for i := range ids {
+		ids[i] = q.NewLane()
+	}
+	fn := func(any) {}
+	var tm units.Time
+	for i := 0; i < 2048; i++ {
+		tm += 3
+		q.PushLaneArg(ids[i%lanes], tm, fn, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm += 3
+		q.PushLaneArg(ids[i%lanes], tm, fn, nil)
+		q.Pop()
+	}
+}

@@ -15,9 +15,12 @@ type modelEvent struct {
 	canceled bool
 }
 
-// refModel is the sorted-slice reference implementation the arena heap
-// is checked against: a plain slice ordered by (time, seq) with eager
-// removal. Its pop order is the determinism contract.
+// refModel is the sorted-slice reference implementation the two-level
+// queue is checked against: a plain slice ordered by (time, seq) with
+// eager removal. It has no notion of lanes — which is the point: lane
+// placement must be invisible in the pop order, so the same flat model
+// checks heap pushes, lane pushes, and the fallback path alike. Its
+// pop order is the determinism contract.
 type refModel struct {
 	events []*modelEvent
 }
@@ -49,9 +52,11 @@ func (m *refModel) pop() (*modelEvent, bool) {
 }
 
 // applyOps drives the real queue and the reference model through one
-// Push/Pop/Cancel interleaving and fails if their pop results ever
-// diverge. ops supplies one byte per step; times one byte of firing
-// time per push.
+// random interleaving of heap pushes, in-order lane pushes,
+// out-of-order lane pushes (the heap-fallback path), pops, cancels on
+// live handles (heap- or lane-resident), and mid-stream lane recycling
+// — failing if the pop sequences ever diverge. ops supplies one byte
+// per step; times one byte of firing time per push.
 func applyOps(t *testing.T, ops, times []byte) {
 	t.Helper()
 	var q Queue
@@ -71,9 +76,29 @@ func applyOps(t *testing.T, ops, times []byte) {
 		ti++
 		return units.Time(b % 97) // small range forces time collisions
 	}
+
+	// A small fixed set of lanes, recycled mid-stream by one of the
+	// ops. laneTails tracks, per lane ID, an upper bound on the lane's
+	// internal tail (exact whenever the last push took the lane path),
+	// so the in-order op can construct pushes guaranteed to take the
+	// O(1) ring path while the arbitrary-time op probabilistically
+	// exercises the fallback.
+	const numLanes = 4
+	laneIDs := make([]LaneID, numLanes)
+	for i := range laneIDs {
+		laneIDs[i] = q.NewLane()
+	}
+	var laneTails []units.Time
+	tailOf := func(id LaneID) *units.Time {
+		for int(id) >= len(laneTails) {
+			laneTails = append(laneTails, 0)
+		}
+		return &laneTails[id]
+	}
+
 	// Each pushed callback records its identity, so the check compares
 	// exact pop order (identity), not just firing times — simultaneous
-	// events must pop FIFO.
+	// events must pop FIFO regardless of which structure holds them.
 	var firedID uint64
 	popBoth := func(where string, step int) bool {
 		fn, arg, tm, ok := q.Pop()
@@ -92,8 +117,8 @@ func applyOps(t *testing.T, ops, times []byte) {
 		return true
 	}
 	for step, op := range ops {
-		switch op % 4 {
-		case 0, 1: // push (weighted: keeps the queue populated)
+		switch op % 8 {
+		case 0, 1: // heap push (weighted: keeps the queue populated)
 			seq++
 			id := seq
 			tm := nextTime()
@@ -101,9 +126,36 @@ func applyOps(t *testing.T, ops, times []byte) {
 				q.Push(tm, func() { firedID = id }),
 				model.push(tm, seq),
 			})
-		case 2: // pop
+		case 4: // in-order lane push: guaranteed ring path
+			k := laneIDs[(step*13+int(op))%numLanes]
+			pt := tailOf(k)
+			tm := *pt + units.Time(int(op/8)%5)
+			*pt = tm
+			seq++
+			id := seq
+			live = append(live, pair{
+				q.PushLane(k, tm, func() { firedID = id }),
+				model.push(tm, seq),
+			})
+		case 5: // arbitrary-time lane push: often out of order -> fallback
+			k := laneIDs[(step*29+int(op))%numLanes]
+			tm := nextTime()
+			if pt := tailOf(k); tm > *pt {
+				*pt = tm
+			}
+			seq++
+			id := seq
+			live = append(live, pair{
+				q.PushLane(k, tm, func() { firedID = id }),
+				model.push(tm, seq),
+			})
+		case 6: // recycle a lane; residual events must keep draining in order
+			k := (step*17 + int(op)) % numLanes
+			q.ReleaseLane(laneIDs[k])
+			laneIDs[k] = q.NewLane()
+		case 2, 7: // pop
 			popBoth("step", step)
-		case 3: // cancel a pseudo-random live handle
+		case 3: // cancel a pseudo-random live handle (heap- or lane-resident)
 			if len(live) == 0 {
 				continue
 			}
@@ -118,6 +170,9 @@ func applyOps(t *testing.T, ops, times []byte) {
 	step := 0
 	for popBoth("drain", step) {
 		step++
+	}
+	if q.Len() != 0 {
+		t.Fatalf("drained queue reports Len()=%d", q.Len())
 	}
 }
 
@@ -136,12 +191,16 @@ func TestModelRandomInterleavings(t *testing.T) {
 }
 
 // FuzzEventQueue is the fuzz face of the same model check: the fuzzer
-// explores Push/Pop/Cancel interleavings beyond the seeded corpus.
-// Run with `go test -fuzz=FuzzEventQueue ./internal/eventq`.
+// explores interleavings of heap pushes, lane pushes (in- and
+// out-of-order), pops, cancels, and lane recycling beyond the seeded
+// corpus. Run with `go test -fuzz=FuzzEventQueue ./internal/eventq`.
 func FuzzEventQueue(f *testing.F) {
 	f.Add([]byte{0, 0, 2, 3, 2}, []byte{5, 5, 1})
 	f.Add([]byte{0, 1, 0, 1, 3, 3, 2, 2, 2}, []byte{9, 9, 9, 9})
 	f.Add([]byte{2, 3, 0, 2, 0, 0, 3, 2, 2, 2}, []byte{0, 255, 128})
+	f.Add([]byte{4, 4, 4, 2, 5, 5, 2, 2, 2}, []byte{40, 3, 80})        // lanes vs heap
+	f.Add([]byte{4, 5, 3, 6, 4, 2, 3, 2, 2, 2}, []byte{96, 1, 50, 2})  // cancel + recycle
+	f.Add([]byte{4, 0, 4, 0, 2, 2, 6, 5, 2, 2, 2}, []byte{7, 7, 7, 7}) // ties across structures
 	f.Fuzz(func(t *testing.T, ops, times []byte) {
 		if len(ops) > 4096 {
 			ops = ops[:4096]

@@ -89,6 +89,13 @@ type Parallel struct {
 	started bool
 	closed  bool
 
+	// Adaptive lookahead widening: after a window ends with every
+	// mailbox empty, the coordinator skips the (no-op) barrier and runs
+	// the next lookahead-sized window immediately, up to maxWiden
+	// windows per barrier cycle. widened counts the extension windows.
+	maxWiden int
+	widened  uint64
+
 	// Telemetry (nil when disabled). Each shard's worker writes window
 	// spans into its own shard sink (single-writer); the coordinator
 	// alone touches the engine sink and counters, between windows.
@@ -108,7 +115,7 @@ func NewParallel(seed int64, n int) *Parallel {
 	if n < 1 {
 		panic(fmt.Sprintf("sim: parallel engine needs at least one shard, got %d", n))
 	}
-	p := &Parallel{seed: seed}
+	p := &Parallel{seed: seed, maxWiden: defaultMaxWiden}
 	p.shards = make([]*Simulator, n)
 	for i := range p.shards {
 		p.shards[i] = New(randutil.DeriveSeed(seed, i))
@@ -118,6 +125,40 @@ func NewParallel(seed int64, n int) *Parallel {
 
 // Seed returns the engine's base seed (not a shard's derived seed).
 func (p *Parallel) Seed() int64 { return p.seed }
+
+// defaultMaxWiden bounds how many consecutive lookahead windows may run
+// between barriers when no mailbox receives a post. K=8 captures most
+// of the barrier savings on sparse phases while keeping the coordinator
+// responsive to new crossings.
+const defaultMaxWiden = 8
+
+// SetMaxWiden bounds adaptive window widening to k lookahead windows
+// per barrier cycle; k=1 disables widening (every window is followed by
+// a barrier, the pre-widening behavior). Widening never changes
+// simulation output — the skipped barriers are exactly the ones that
+// would have drained zero events and fired zero tickers — so this knob
+// exists for benchmarking and for tests that pin the window schedule.
+func (p *Parallel) SetMaxWiden(k int) {
+	if k < 1 {
+		k = 1
+	}
+	p.maxWiden = k
+}
+
+// Widened returns the number of extension windows run so far: windows
+// that followed a mailbox-silent window without an intervening barrier.
+func (p *Parallel) Widened() uint64 { return p.widened }
+
+// anyPosted reports whether any mailbox holds a pending crossing.
+// Coordinator-only (between windows).
+func (p *Parallel) anyPosted() bool {
+	for _, m := range p.boxes {
+		if len(m.buf) > 0 {
+			return true
+		}
+	}
+	return false
+}
 
 // SetObs attaches a telemetry session, which must have been created with
 // this engine's shard count. Call before the first window: the engine
@@ -185,7 +226,10 @@ func (p *Parallel) NewMailbox(dst int, latency units.Time) *Mailbox {
 	if p.look == 0 || latency < p.look {
 		p.look = latency
 	}
-	m := &Mailbox{dst: dst}
+	// Preallocate the batch buffer: it is reused across barriers
+	// (drained with buf[:0]), so seeding a useful capacity up front
+	// removes the early append-growth reallocations every run pays.
+	m := &Mailbox{dst: dst, buf: make([]eventq.Item, 0, 128)}
 	p.boxes = append(p.boxes, m)
 	return m
 }
@@ -409,12 +453,32 @@ func (p *Parallel) RunUntil(deadline units.Time) {
 		if p.now >= deadline {
 			break
 		}
-		next := p.windowEnd(deadline)
-		if next <= p.now {
-			panic(fmt.Sprintf("sim: window did not advance past %v", p.now))
+		// Adaptive widening: each barrier cycle runs up to maxWiden
+		// lookahead windows back to back, stopping early the moment a
+		// window posts a crossing (it must be injected before any shard
+		// may enter the window it lands in) or a barrier ticker comes
+		// due. A skipped barrier would have drained nothing and fired
+		// nothing, so widening cannot change simulation output — it
+		// only skips coordinator turnover between windows. Every
+		// decision below reads partition-invariant state (the global
+		// event minimum, the mailbox set, the ticker schedule), so the
+		// window schedule — and with it the injection order — is itself
+		// identical at every shard count.
+		for phase := 0; ; phase++ {
+			next := p.windowEnd(deadline)
+			if next <= p.now {
+				panic(fmt.Sprintf("sim: window did not advance past %v", p.now))
+			}
+			p.runWindow(next, false)
+			p.now = next
+			if p.now >= deadline || phase+1 >= p.maxWiden || p.anyPosted() {
+				break
+			}
+			if t, ok := p.nextTicker(); ok && t <= p.now {
+				break
+			}
+			p.widened++
 		}
-		p.runWindow(next, false)
-		p.now = next
 	}
 	// Events at exactly the deadline: every event before it has run and
 	// crossings due at it were injected by the flush above; anything
@@ -435,7 +499,6 @@ func (p *Parallel) Drain() {
 		if !ok {
 			return
 		}
-		limit := t + p.look
 		if p.look == 0 {
 			// No mailboxes: a single shard draining serially.
 			p.runWindow(t, true)
@@ -444,9 +507,21 @@ func (p *Parallel) Drain() {
 			}
 			continue
 		}
-		p.runWindow(limit, false)
-		if p.now < limit {
-			p.now = limit
+		// Same widening rule as RunUntil: keep running windows while no
+		// crossing is posted (tickers are stopped by contract here).
+		for phase := 0; ; phase++ {
+			limit := t + p.look
+			p.runWindow(limit, false)
+			if p.now < limit {
+				p.now = limit
+			}
+			if phase+1 >= p.maxWiden || p.anyPosted() {
+				break
+			}
+			if t, ok = p.peekMin(); !ok {
+				break
+			}
+			p.widened++
 		}
 	}
 }

@@ -241,3 +241,61 @@ func TestShardSeedsDiffer(t *testing.T) {
 		seen[s] = true
 	}
 }
+
+// TestAdaptiveWideningMatchesUnwidened runs a model with long
+// mailbox-silent stretches (a local event chain beside a finite bounce
+// chain) at maxWiden=1 (widening off) and the default K. Widening must
+// actually engage, and the receipt traces and executed-event counts
+// must be identical: extension windows only skip no-op barriers.
+func TestAdaptiveWideningMatchesUnwidened(t *testing.T) {
+	run := func(maxWiden int) (trace []string, widened, execs uint64) {
+		p := NewParallel(7, 2)
+		defer p.Close()
+		p.SetMaxWiden(maxWiden)
+		a, b := buildPingPong(p, 6)
+
+		// A shard-local chain far longer than the bounce exchange: 600
+		// events half a lookahead apart, no crossings. While bounces
+		// are live every window posts (widening must snap back); after
+		// they finish the chain runs through mailbox-silent windows
+		// (widening must engage), continuing past the deadline so the
+		// Drain loop widens too.
+		s0 := p.Shard(0)
+		count := 0
+		var local func()
+		local = func() {
+			count++
+			if count < 600 {
+				s0.After(hopDelay/2, local)
+			}
+		}
+		s0.After(0, local)
+
+		a.sim.AtArg(0, a.recv, 0)
+		p.RunUntil(units.Time(2_000_000))
+		p.Drain()
+		if count != 600 {
+			t.Fatalf("local chain ran %d of 600 events", count)
+		}
+		return append(append([]string{}, a.trace...), b.trace...), p.Widened(), p.Executed()
+	}
+
+	trace1, widened1, execs1 := run(1)
+	traceK, widenedK, execsK := run(0) // SetMaxWiden clamps 0 to 1...
+	if widened1 != 0 {
+		t.Errorf("maxWiden=1 recorded %d extension windows, want 0", widened1)
+	}
+	trace8, widened8, execs8 := run(defaultMaxWiden)
+	if widened8 == 0 {
+		t.Error("widening never engaged on a mailbox-silent workload")
+	}
+	if !reflect.DeepEqual(trace1, trace8) {
+		t.Errorf("traces differ between maxWiden=1 and %d:\n%v\nvs\n%v", defaultMaxWiden, trace1, trace8)
+	}
+	if execs1 != execs8 {
+		t.Errorf("executed %d events at maxWiden=1 vs %d at %d", execs1, execs8, defaultMaxWiden)
+	}
+	if !reflect.DeepEqual(traceK, trace1) || execsK != execs1 || widenedK != 0 {
+		t.Errorf("SetMaxWiden(0) should clamp to 1: widened=%d", widenedK)
+	}
+}

@@ -26,6 +26,10 @@ import (
 // false), so components can hold one without a nil check.
 type Event = eventq.Event
 
+// LaneID names a per-source FIFO lane of the simulator's calendar; see
+// NewLane.
+type LaneID = eventq.LaneID
+
 // Simulator owns the virtual clock, the event calendar, and the packet
 // free list.
 type Simulator struct {
@@ -103,6 +107,56 @@ func (s *Simulator) AfterArg(d units.Time, fn func(any), arg any) Event {
 	return s.q.PushArg(s.now+d, fn, arg)
 }
 
+// NewLane allocates a FIFO lane in the calendar. A component whose
+// events are born in nondecreasing time order — a link with fixed
+// delay, a serializing transmitter, a pacing or retransmission timer —
+// should allocate one lane per such stream at construction time and
+// schedule through the AtLane/AfterLane variants: in-order pushes then
+// bypass the calendar heap entirely (see internal/eventq). Lanes are
+// never reclaimed; allocate them per component, not per packet.
+func (s *Simulator) NewLane() LaneID { return s.q.NewLane() }
+
+// ReleaseLane recycles a lane for a future NewLane; transient
+// components (per-flow timers) call it on completion so lane state
+// stays bounded by the number of live components, not the number ever
+// created. The releasing component must not schedule through the ID
+// again.
+func (s *Simulator) ReleaseLane(id LaneID) { s.q.ReleaseLane(id) }
+
+// AtLane schedules fn at absolute time t through the given lane.
+func (s *Simulator) AtLane(id LaneID, t units.Time, fn func()) Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
+	}
+	return s.q.PushLane(id, t, fn)
+}
+
+// AfterLane schedules fn to run d from now through the given lane.
+func (s *Simulator) AfterLane(id LaneID, d units.Time, fn func()) Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return s.q.PushLane(id, s.now+d, fn)
+}
+
+// AtLaneArg schedules fn(arg) at absolute time t through the given
+// lane; the lane counterpart of AtArg.
+func (s *Simulator) AtLaneArg(id LaneID, t units.Time, fn func(any), arg any) Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
+	}
+	return s.q.PushLaneArg(id, t, fn, arg)
+}
+
+// AfterLaneArg schedules fn(arg) to run d from now through the given
+// lane; the lane counterpart of AfterArg.
+func (s *Simulator) AfterLaneArg(id LaneID, d units.Time, fn func(any), arg any) Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return s.q.PushLaneArg(id, s.now+d, fn, arg)
+}
+
 // Halt stops the run loop after the currently executing event returns.
 func (s *Simulator) Halt() { s.halted = true }
 
@@ -126,11 +180,10 @@ func (s *Simulator) Run() {
 func (s *Simulator) RunUntil(deadline units.Time) {
 	s.halted = false
 	for !s.halted {
-		t, ok := s.q.PeekTime()
-		if !ok || t > deadline {
+		fn, arg, t, ok := s.q.PopLE(deadline)
+		if !ok {
 			break
 		}
-		fn, arg, t, _ := s.q.Pop()
 		s.now = t
 		s.nexec++
 		fn(arg)
@@ -149,11 +202,10 @@ func (s *Simulator) RunUntil(deadline units.Time) {
 func (s *Simulator) RunBefore(limit units.Time) {
 	s.halted = false
 	for !s.halted {
-		t, ok := s.q.PeekTime()
-		if !ok || t >= limit {
+		fn, arg, t, ok := s.q.PopLT(limit)
+		if !ok {
 			return
 		}
-		fn, arg, t, _ := s.q.Pop()
 		s.now = t
 		s.nexec++
 		fn(arg)
@@ -168,7 +220,15 @@ func (s *Simulator) NextEventTime() (units.Time, bool) { return s.q.PeekTime() }
 // InjectBatch schedules a pre-ordered batch of events in one pass; see
 // eventq.PushBatch. The batch must already be sorted by the caller's
 // merge order — items keep that order among simultaneous events.
-func (s *Simulator) InjectBatch(items []eventq.Item) { s.q.PushBatch(items) }
+// Injecting before the shard clock would silently reorder causality,
+// so that panics (checking the first item suffices: the batch is
+// sorted by time).
+func (s *Simulator) InjectBatch(items []eventq.Item) {
+	if len(items) > 0 && items[0].Time < s.now {
+		panic(fmt.Sprintf("sim: injecting at %v before now %v", items[0].Time, s.now))
+	}
+	s.q.PushBatch(items)
+}
 
 // Pending returns the number of events still in the calendar (including
 // canceled events not yet discarded).
@@ -181,6 +241,7 @@ type Ticker struct {
 	fn       func()
 	fire     func() // prebound so re-arming never allocates
 	ev       Event
+	lane     LaneID // firing times are strictly increasing: a perfect lane
 	stopped  bool
 }
 
@@ -190,7 +251,7 @@ func (s *Simulator) NewTicker(interval units.Time, fn func()) *Ticker {
 	if interval <= 0 {
 		panic("sim: ticker interval must be positive")
 	}
-	t := &Ticker{sim: s, interval: interval, fn: fn}
+	t := &Ticker{sim: s, interval: interval, fn: fn, lane: s.NewLane()}
 	t.fire = func() {
 		if t.stopped {
 			return
@@ -203,7 +264,7 @@ func (s *Simulator) NewTicker(interval units.Time, fn func()) *Ticker {
 }
 
 func (t *Ticker) arm() {
-	t.ev = t.sim.After(t.interval, t.fire)
+	t.ev = t.sim.AfterLane(t.lane, t.interval, t.fire)
 }
 
 // Stop cancels future firings.

@@ -85,6 +85,12 @@ type Sender struct {
 	// pacing timer never allocates a closure.
 	rtoFn    func()
 	pacingFn func()
+	// Timer lanes. RTO deadlines are nondecreasing except across a
+	// backoff reset, pacing times except after an RTO rewinds
+	// pacingNext; the lane push falls back to the calendar heap in
+	// those rare cases, so each timer stream stays O(1) to (re)arm.
+	rtoLane    sim.LaneID
+	pacingLane sim.LaneID
 
 	// Counters.
 	PktsSent    int64
@@ -115,6 +121,8 @@ func NewSender(s *sim.Simulator, cfg Config, alg cc.Algorithm,
 		FlowID: flowID, Src: src, Dst: dst, Size: size,
 		onComplete: onComplete,
 		rto:        cfg.MinRTO,
+		rtoLane:    s.NewLane(),
+		pacingLane: s.NewLane(),
 	}
 	sn.rtoFn = sn.onRTO
 	sn.pacingFn = func() { sn.trySend() }
@@ -178,7 +186,7 @@ func (sn *Sender) armPacing(at units.Time) {
 	if sn.pacingTimer.Scheduled() {
 		return
 	}
-	sn.pacingTimer = sn.sim.At(at, sn.pacingFn)
+	sn.pacingTimer = sn.sim.AtLane(sn.pacingLane, at, sn.pacingFn)
 }
 
 // emit builds and sends one segment. The packet comes from the
@@ -291,7 +299,7 @@ func (sn *Sender) armRTO() {
 	if d > sn.cfg.MaxRTO {
 		d = sn.cfg.MaxRTO
 	}
-	sn.rtoTimer = sn.sim.After(d, sn.rtoFn)
+	sn.rtoTimer = sn.sim.AfterLane(sn.rtoLane, d, sn.rtoFn)
 }
 
 func (sn *Sender) onRTO() {
@@ -364,6 +372,10 @@ func (sn *Sender) complete(now units.Time) {
 	sn.FinishedAt = now
 	sn.rtoTimer.Cancel()
 	sn.pacingTimer.Cancel()
+	// Every entry point checks finished, so nothing schedules through
+	// these lanes again: recycle them for the next flow.
+	sn.sim.ReleaseLane(sn.rtoLane)
+	sn.sim.ReleaseLane(sn.pacingLane)
 	if sn.onComplete != nil {
 		sn.onComplete(now)
 	}
