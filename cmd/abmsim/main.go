@@ -57,6 +57,7 @@ func run(args []string, stdout io.Writer) error {
 		scnIn   = fs.String("scenario", "", "load the run from this scenario JSON file; explicitly-set flags override its fields")
 		scnOut  = fs.String("save-scenario", "", "write the fully-resolved scenario as JSON and exit")
 		dur     = fs.Duration("duration", 0, "traffic duration override (e.g. 2ms; 0 = the scale's default)")
+		hybrid  = fs.Bool("hybrid", false, "enable the hybrid fluid/packet engine (serial engine only)")
 		of      obs.Flags
 	)
 	of.AddFlagsTo(fs, false)
@@ -129,6 +130,13 @@ func run(args []string, stdout io.Writer) error {
 		if obsOpts.Active() {
 			sc.Obs = obsOpts
 		}
+	}
+	// -hybrid composes with -scenario in both directions: explicitly
+	// setting it (true or false) overrides the file's hybrid block.
+	hybridSet := false
+	fs.Visit(func(f *flag.Flag) { hybridSet = hybridSet || f.Name == "hybrid" })
+	if hybridSet {
+		sc.Hybrid.Enabled = *hybrid
 	}
 	if *scnOut != "" {
 		resolved, err := sc.Resolve()
@@ -224,6 +232,10 @@ func printResult(w io.Writer, res abm.ScenarioResult, wall time.Duration) {
 	fmt.Fprintf(w, "flows %d (unfinished %d), drops %d (unscheduled %d)\n",
 		s.Flows, s.Unfinished, res.Drops, res.UnscheduledDrops)
 	fmt.Fprintf(w, "%d events in %.1fs wall time\n", res.Events, wall.Seconds())
+	if h := res.Hybrid; h != nil {
+		fmt.Fprintf(w, "hybrid: %d demotions, %d promotions, %d epochs, %d fluid bytes (max %d concurrent)\n",
+			h.Demotions, h.Promotions, h.Epochs, h.FluidBytes, h.MaxFluid)
+	}
 	if len(res.Counters) > 0 {
 		fmt.Fprintln(w, strings.Repeat("-", 44))
 		keys := make([]string, 0, len(res.Counters))

@@ -1,8 +1,10 @@
 // Command benchreport runs the repository's benchmarks and records a
 // machine-readable snapshot. It shells out to `go test -bench`, parses
 // the standard benchmark output (including custom metrics such as
-// events/s and the -benchmem columns), and writes one JSON document —
-// by default BENCH_<yyyy-mm-dd>.json in the current directory.
+// events/s, the -benchmem columns, and the hybrid-engine activity
+// metrics BenchmarkHybridSteady reports — flows/op, demotions/op,
+// promotions/op, epochs/op), and writes one JSON document — by default
+// BENCH_<yyyy-mm-dd>.json in the current directory.
 //
 // Snapshots committed at the repo root are the performance baseline.
 // Compare a working tree against the last one with

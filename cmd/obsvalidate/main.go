@@ -28,13 +28,15 @@ import (
 var fieldsByKind = map[string][]string{
 	"admit": {"node", "port", "prio", "flow", "seq", "size", "qlen",
 		"free", "thresh", "alpha", "mu_b", "ncong", "unsched", "verdict"},
-	"enqueue": {"node", "port", "prio", "flow", "seq", "size", "qlen"},
-	"dequeue": {"node", "port", "prio", "flow", "seq", "size", "qlen", "sojourn_ps", "verdict"},
-	"mark":    {"node", "port", "prio", "flow", "seq", "size", "qlen"},
-	"timeout": {"node", "flow", "seq", "rto_ps", "cwnd"},
-	"cwndcut": {"node", "flow", "cwnd"},
-	"window":  {"shard", "dur_ps", "events", "wall_ns"},
-	"barrier": {"shards", "wall_ns"},
+	"enqueue":        {"node", "port", "prio", "flow", "seq", "size", "qlen"},
+	"dequeue":        {"node", "port", "prio", "flow", "seq", "size", "qlen", "sojourn_ps", "verdict"},
+	"mark":           {"node", "port", "prio", "flow", "seq", "size", "qlen"},
+	"timeout":        {"node", "flow", "seq", "rto_ps", "cwnd"},
+	"cwndcut":        {"node", "flow", "cwnd"},
+	"hybrid-demote":  {"node", "flow", "seq", "cwnd", "rate"},
+	"hybrid-promote": {"node", "flow", "seq", "cwnd", "fluid_bytes"},
+	"window":         {"shard", "dur_ps", "events", "wall_ns"},
+	"barrier":        {"shards", "wall_ns"},
 }
 
 var verdictsByKind = map[string]map[string]bool{

@@ -141,6 +141,67 @@ func TestFluidConservationProperty(t *testing.T) {
 	}
 }
 
+// Property: the adaptive Heun integrator converges to the Eq. 6 fixed
+// point regardless of the caller's stride — epoch-sized steps (the
+// hybrid engine's regime, 100x the old Euler step) included. This pins
+// that any figure or consumer of the fluid model sees the same steady
+// state as before the fixed-step Euler upgrade, within tolerance.
+func TestFluidAdaptiveStepConvergence(t *testing.T) {
+	const n = 4
+	want := float64(n) * float64(DTSteadyThreshold(mb, 0.5, []PriorityLoad{{Alpha: 0.5, Congested: n}}))
+	for _, step := range []units.Time{
+		units.Microsecond, 10 * units.Microsecond,
+		100 * units.Microsecond, units.Millisecond,
+	} {
+		queues := make([]*FluidQueue, n)
+		for i := range queues {
+			queues[i] = saturatedDTQueue(0.5)
+		}
+		m := NewFluidModel(mb, queues...)
+		m.Run(50*units.Millisecond, step)
+		if got := m.Occupancy(); math.Abs(got-want)/want > 0.02 {
+			t.Errorf("step %v: occupancy %.0f, Eq. 6 predicts %.0f", step, got, want)
+		}
+	}
+}
+
+// Property: coarse and fine strides agree on occupancy and drops for
+// random queue mixes — the error controller, not the caller's step
+// size, sets the integration accuracy.
+func TestFluidStepSizeInvarianceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		mk := func() *FluidModel {
+			s := uint64(seed)
+			queues := make([]*FluidQueue, int(s%4)+1)
+			for i := range queues {
+				s = s*6364136223846793005 + 1442695040888963407
+				queues[i] = &FluidQueue{
+					Omega:   float64(s%7+1) / 4,
+					Arrival: units.Rate(s%3+1) * tenG,
+					Drain:   tenG,
+				}
+			}
+			return NewFluidModel(mb, queues...)
+		}
+		fine, coarse := mk(), mk()
+		fine.Run(5*units.Millisecond, units.Microsecond)
+		coarse.Run(5*units.Millisecond, 250*units.Microsecond)
+		if math.Abs(fine.Occupancy()-coarse.Occupancy()) > 0.02*float64(mb) {
+			return false
+		}
+		for i := range fine.Queues {
+			df, dc := fine.Queues[i].DroppedBytes, coarse.Queues[i].DroppedBytes
+			if math.Abs(df-dc) > 0.02*float64(mb)+0.05*df {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestFluidValidation(t *testing.T) {
 	defer func() {
 		if recover() == nil {

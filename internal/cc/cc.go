@@ -72,6 +72,19 @@ type Algorithm interface {
 	NeedsINT() bool
 }
 
+// WindowRescaler is an optional interface: algorithms whose state can be
+// consistently re-centered on an externally supplied congestion window
+// implement it. The hybrid engine uses it when promoting a flow out of
+// fluid mode — the window reconstructed from the fluid trajectory
+// (fair-share rate x srtt) replaces the pre-demotion window and the
+// algorithm re-enters congestion avoidance around it. Algorithms with
+// internal state that cannot be re-centered (telemetry histories,
+// rate-based pipelines) simply don't implement it and keep their frozen
+// window.
+type WindowRescaler interface {
+	SetWindow(w units.ByteCount)
+}
+
 // Factory builds a fresh algorithm instance per flow.
 type Factory func() Algorithm
 

@@ -120,6 +120,15 @@ func (cu *Cubic) OnTimeout(units.Time) {
 // Window implements Algorithm.
 func (cu *Cubic) Window() units.ByteCount { return cu.cwnd }
 
+// SetWindow implements WindowRescaler: the new window becomes the cubic
+// plateau (wMax) and a fresh growth epoch starts from it.
+func (cu *Cubic) SetWindow(w units.ByteCount) {
+	cu.cwnd = clampWindow(w, cu.cfg.MSS, cu.cfg.MaxCwnd)
+	cu.ssthresh = cu.cwnd
+	cu.wMax = float64(cu.cwnd) / float64(cu.cfg.MSS)
+	cu.epochStart = 0
+}
+
 // PacingRate implements Algorithm.
 func (cu *Cubic) PacingRate() units.Rate { return 0 }
 

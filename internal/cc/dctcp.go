@@ -100,6 +100,14 @@ func (d *DCTCP) OnTimeout(units.Time) {
 // Window implements Algorithm.
 func (d *DCTCP) Window() units.ByteCount { return d.cwnd }
 
+// SetWindow implements WindowRescaler: re-centers congestion avoidance
+// on the new window; the alpha EWMA carries over unchanged.
+func (d *DCTCP) SetWindow(w units.ByteCount) {
+	d.cwnd = clampWindow(w, d.cfg.MSS, d.cfg.MaxCwnd)
+	d.ssthresh = d.cwnd
+	d.windowTarget = d.cwnd
+}
+
 // PacingRate implements Algorithm.
 func (d *DCTCP) PacingRate() units.Rate { return 0 }
 

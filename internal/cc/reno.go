@@ -59,6 +59,13 @@ func (r *Reno) OnTimeout(units.Time) {
 	r.cwnd = r.cfg.MSS
 }
 
+// SetWindow implements WindowRescaler: the new window becomes the
+// congestion-avoidance operating point (ssthresh = cwnd).
+func (r *Reno) SetWindow(w units.ByteCount) {
+	r.cwnd = clampWindow(w, r.cfg.MSS, r.cfg.MaxCwnd)
+	r.ssthresh = r.cwnd
+}
+
 // Window implements Algorithm.
 func (r *Reno) Window() units.ByteCount { return r.cwnd }
 

@@ -94,6 +94,11 @@ func (sw *Swift) OnTimeout(units.Time) {
 // Window implements Algorithm.
 func (sw *Swift) Window() units.ByteCount { return sw.cwnd }
 
+// SetWindow implements WindowRescaler.
+func (sw *Swift) SetWindow(w units.ByteCount) {
+	sw.cwnd = clampWindow(w, sw.cfg.MSS, sw.maxCwnd())
+}
+
 // PacingRate implements Algorithm.
 func (sw *Swift) PacingRate() units.Rate { return 0 }
 

@@ -84,6 +84,13 @@ type MMU struct {
 	used         units.ByteCount // shared-pool occupancy
 	headroomUsed units.ByteCount
 
+	// fluid is the occupancy the hybrid engine's per-switch integrator
+	// attributes to fluid-mode flows. It participates in every admission
+	// decision (thresholds see it as used buffer, as do the fits checks)
+	// but holds no packets, so the queue-sum invariant excludes it. Zero
+	// whenever the hybrid engine is off.
+	fluid units.ByteCount
+
 	aqms [][]aqm.Policy // [port][prio]
 
 	// Cached statistics (periodic mode).
@@ -186,8 +193,20 @@ func (m *MMU) alpha(prio int) float64 {
 // Used returns the shared-pool occupancy (excluding headroom).
 func (m *MMU) Used() units.ByteCount { return m.used }
 
-// TotalUsed returns shared-pool plus headroom occupancy.
-func (m *MMU) TotalUsed() units.ByteCount { return m.used + m.headroomUsed }
+// TotalUsed returns shared-pool plus headroom plus fluid occupancy.
+func (m *MMU) TotalUsed() units.ByteCount { return m.used + m.headroomUsed + m.fluid }
+
+// SetFluidBytes sets the fluid-mode occupancy the admission machinery
+// charges against the shared buffer (hybrid engine integration epochs).
+func (m *MMU) SetFluidBytes(b units.ByteCount) {
+	if b < 0 {
+		b = 0
+	}
+	m.fluid = b
+}
+
+// FluidBytes returns the current fluid-mode occupancy.
+func (m *MMU) FluidBytes() units.ByteCount { return m.fluid }
 
 // HeadroomUsed returns the headroom-pool occupancy.
 func (m *MMU) HeadroomUsed() units.ByteCount { return m.headroomUsed }
@@ -198,7 +217,7 @@ func (m *MMU) HeadroomUsed() units.ByteCount { return m.headroomUsed }
 func (m *MMU) BufferSize() units.ByteCount { return m.cfg.BufferSize }
 
 // BufferUsed implements bm.Stats.
-func (m *MMU) BufferUsed() units.ByteCount { return m.used }
+func (m *MMU) BufferUsed() units.ByteCount { return m.used + m.fluid }
 
 // Ports implements bm.Stats.
 func (m *MMU) Ports() int { return len(m.sw.ports) }
@@ -329,7 +348,7 @@ func (m *MMU) ctx(port, prio int, q *Queue, pkt *packet.Packet) *bm.Ctx {
 	// temporary costs a measurable block copy on the hot path.
 	c := &m.bmCtx
 	c.Total = m.cfg.BufferSize
-	c.Occupied = m.used
+	c.Occupied = m.used + m.fluid
 	c.QueueLen = q.bytes
 	c.Port = port
 	c.Prio = prio
@@ -390,7 +409,7 @@ func (m *MMU) Admit(port, prio int, pkt *packet.Packet) AdmitResult {
 	if pkt.Payload == 0 && !m.cfg.DropControl {
 		fitsThreshold = true
 	}
-	fitsBuffer := m.used+size <= m.cfg.BufferSize
+	fitsBuffer := m.used+m.fluid+size <= m.cfg.BufferSize
 
 	useHeadroom := false
 	if !fitsThreshold || !fitsBuffer {

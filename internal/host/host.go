@@ -97,6 +97,9 @@ func New(s *sim.Simulator, cfg Config) *Host {
 // ID implements device.Endpoint.
 func (h *Host) ID() packet.NodeID { return h.cfg.ID }
 
+// Rate returns the NIC line rate.
+func (h *Host) Rate() units.Rate { return h.cfg.Rate }
+
 // Connect attaches the host's egress link (toward its leaf switch).
 func (h *Host) Connect(l *device.Link) { h.link = l }
 
@@ -195,6 +198,26 @@ func (h *Host) StartFlow(flowID uint64, dst packet.NodeID, size units.ByteCount,
 
 // Backlog returns the NIC queue depth in packets.
 func (h *Host) Backlog() int { return len(h.queue) - h.qhead }
+
+// Sender returns the sender for flowID, or nil.
+func (h *Host) Sender(flowID uint64) *transport.Sender { return h.senders[flowID] }
+
+// AdvanceReceiver moves flowID's receive point to stream offset to,
+// creating the receiver if no packet has arrived yet (a flow can be
+// demoted to fluid mode within its first RTT). The hybrid engine calls
+// it at promotion so receiver-side accounting matches the fluid
+// trajectory; peer is the data sender. The credited payload also counts
+// toward the host's goodput.
+func (h *Host) AdvanceReceiver(flowID uint64, peer packet.NodeID, to int64) {
+	rc, ok := h.receivers[flowID]
+	if !ok {
+		rc = transport.NewReceiver(h.sim, flowID, h.cfg.ID, peer, h.Output)
+		h.receivers[flowID] = rc
+	}
+	before := rc.BytesReceived
+	rc.AdvanceTo(to)
+	h.RxBytes += rc.BytesReceived - before
+}
 
 // EachSender visits every sender created on this host.
 func (h *Host) EachSender(f func(*transport.Sender)) {

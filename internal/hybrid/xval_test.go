@@ -1,0 +1,109 @@
+package hybrid_test
+
+// Cross-validation: the hybrid engine against the pure packet engine on
+// a steady long-flow permutation. This is the committed form of the
+// acceptance experiment EXPERIMENTS.md reports at full scale — the
+// fabric here is shrunk so the packet-mode reference stays CI-cheap,
+// but the assertions are the same: per-class FCT statistics within
+// tolerance, and an event-count reduction that makes the fluid phase
+// worth having.
+
+import (
+	"math"
+	"testing"
+
+	"abm/internal/metrics"
+	"abm/internal/scenario"
+	"abm/internal/units"
+)
+
+func xvalSpec(hybrid bool) scenario.Scenario {
+	return scenario.Scenario{
+		Seed:     42,
+		Duration: scenario.Duration(25 * units.Millisecond),
+		Fabric: scenario.Fabric{
+			Spines: 2, Leaves: 2, HostsPerLeaf: 4,
+			LinkGbps: 10, LinkDelay: scenario.Duration(10 * units.Microsecond),
+		},
+		Buffer: scenario.Buffer{KBPerPortPerGbps: 9.6, QueuesPerPort: 1},
+		Switch: scenario.Switch{BM: "ABM"},
+		Workload: scenario.Workload{
+			CC: "swift",
+			LongFlows: scenario.LongFlows{
+				FlowKB: 50000, Stride: 4, Count: 4,
+				Stagger: scenario.Duration(units.Microsecond),
+			},
+		},
+		Hybrid: scenario.Hybrid{Enabled: hybrid},
+	}
+}
+
+func longFCTs(t *testing.T, col *metrics.Collector) []float64 {
+	t.Helper()
+	var fcts []float64
+	for _, fr := range col.Flows {
+		if fr.Class != metrics.ClassLong {
+			continue
+		}
+		if !fr.Finished {
+			t.Fatalf("long flow %d did not finish", fr.ID)
+		}
+		fcts = append(fcts, float64(fr.FCT()))
+	}
+	return fcts
+}
+
+func TestCrossValidation(t *testing.T) {
+	pr, pcol, err := scenario.Run(xvalSpec(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, hcol, err := scenario.Run(xvalSpec(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pf, hf := longFCTs(t, pcol), longFCTs(t, hcol)
+	if len(pf) != 4 || len(hf) != 4 {
+		t.Fatalf("finished long flows: packet %d, hybrid %d, want 4", len(pf), len(hf))
+	}
+
+	mean := func(v []float64) float64 {
+		s := 0.0
+		for _, x := range v {
+			s += x
+		}
+		return s / float64(len(v))
+	}
+	const tol = 0.05
+	if d := (mean(hf) - mean(pf)) / mean(pf); math.Abs(d) > tol {
+		t.Errorf("mean FCT delta %+.2f%% exceeds %.0f%%", 100*d, 100*tol)
+	}
+	pp, hp := metrics.Percentile(pf, 99), metrics.Percentile(hf, 99)
+	if d := (hp - pp) / pp; math.Abs(d) > tol {
+		t.Errorf("p99 FCT delta %+.2f%% exceeds %.0f%%", 100*d, 100*tol)
+	}
+
+	// The fluid phase must actually carry the run: every flow demoted,
+	// most bytes delivered fluid, and the event count collapsed.
+	if hr.Hybrid == nil {
+		t.Fatal("hybrid run carries no hybrid stats")
+	}
+	if hr.Hybrid.Demotions != 4 {
+		t.Errorf("demotions = %d, want 4", hr.Hybrid.Demotions)
+	}
+	if hr.Hybrid.Promotions < hr.Hybrid.Demotions {
+		t.Errorf("promotions %d < demotions %d", hr.Hybrid.Promotions, hr.Hybrid.Demotions)
+	}
+	total := int64(4 * 50000 * 1000)
+	if hr.Hybrid.FluidBytes < total/2 || hr.Hybrid.FluidBytes >= total {
+		t.Errorf("fluid bytes %d outside [%d, %d): fluid phase should dominate, tails stay packet",
+			hr.Hybrid.FluidBytes, total/2, total)
+	}
+	if ratio := float64(pr.Events) / float64(hr.Events); ratio < 5 {
+		t.Errorf("event reduction %.1fx < 5x (packet %d, hybrid %d)", ratio, pr.Events, hr.Events)
+	}
+	if pr.Hybrid != nil {
+		t.Error("packet run unexpectedly carries hybrid stats")
+	}
+}

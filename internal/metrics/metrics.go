@@ -19,6 +19,7 @@ const (
 	ClassWebSearch FlowClass = iota
 	ClassIncast
 	ClassOther
+	ClassLong // steady long-flow permutation workload
 )
 
 // String renders the class.
@@ -28,6 +29,8 @@ func (c FlowClass) String() string {
 		return "websearch"
 	case ClassIncast:
 		return "incast"
+	case ClassLong:
+		return "long"
 	default:
 		return "other"
 	}

@@ -149,7 +149,7 @@ func WriteChrome(w io.Writer, events []Event, nodeName func(int32) string) error
 					"qlen": int64(ev.QLen)}}); err != nil {
 				return err
 			}
-		case KindTimeout, KindCwndCut:
+		case KindTimeout, KindCwndCut, KindHybridDemote, KindHybridPromote:
 			if !seenHost[ev.Node] {
 				seenHost[ev.Node] = true
 				if err := meta(chromePidHosts, int(ev.Node), "thread_name", nodeName(ev.Node)); err != nil {
@@ -158,11 +158,20 @@ func WriteChrome(w io.Writer, events []Event, nodeName func(int32) string) error
 			}
 			name := "rto"
 			args := map[string]any{"flow": ev.Flow, "cwnd": int64(ev.QLen)}
-			if ev.Kind == KindTimeout {
+			switch ev.Kind {
+			case KindTimeout:
 				args["seq"] = ev.Seq
 				args["rto_us"] = us(ev.Aux)
-			} else {
+			case KindCwndCut:
 				name = "cwnd-cut"
+			case KindHybridDemote:
+				name = "hybrid-demote"
+				args["seq"] = ev.Seq
+				args["rate_bytes_s"] = ev.Aux
+			case KindHybridPromote:
+				name = "hybrid-promote"
+				args["seq"] = ev.Seq
+				args["fluid_bytes"] = ev.Aux
 			}
 			if err := emit(chromeEvent{Name: name, Ph: "i", S: "t",
 				Pid: chromePidHosts, Tid: int(ev.Node), Ts: us(int64(ev.At)),

@@ -22,6 +22,8 @@ import (
 //	mark     node port prio flow seq size qlen
 //	timeout  node flow seq rto_ps cwnd
 //	cwndcut  node flow cwnd
+//	hybrid-demote   node flow seq cwnd rate (bytes/s)
+//	hybrid-promote  node flow seq cwnd fluid_bytes
 //	window   shard dur_ps events wall_ns
 //	barrier  shards wall_ns
 func WriteNDJSON(w io.Writer, events []Event) error {
@@ -63,6 +65,18 @@ func appendEventJSON(b []byte, ev *Event) []byte {
 		b = appendIntField(b, "node", int64(ev.Node))
 		b = appendUintField(b, "flow", ev.Flow)
 		b = appendIntField(b, "cwnd", int64(ev.QLen))
+	case KindHybridDemote:
+		b = appendIntField(b, "node", int64(ev.Node))
+		b = appendUintField(b, "flow", ev.Flow)
+		b = appendIntField(b, "seq", ev.Seq)
+		b = appendIntField(b, "cwnd", int64(ev.QLen))
+		b = appendIntField(b, "rate", ev.Aux)
+	case KindHybridPromote:
+		b = appendIntField(b, "node", int64(ev.Node))
+		b = appendUintField(b, "flow", ev.Flow)
+		b = appendIntField(b, "seq", ev.Seq)
+		b = appendIntField(b, "cwnd", int64(ev.QLen))
+		b = appendIntField(b, "fluid_bytes", ev.Aux)
 	default: // admit, enqueue, dequeue, mark
 		b = appendIntField(b, "node", int64(ev.Node))
 		b = appendIntField(b, "port", int64(ev.Port))

@@ -58,6 +58,12 @@ const (
 	KindTimeout
 	// KindCwndCut is a fast-retransmit window reduction at a sender.
 	KindCwndCut
+	// KindHybridDemote is a flow leaving the packet engine for fluid
+	// mode (hybrid engine).
+	KindHybridDemote
+	// KindHybridPromote is a flow reconstructed back into the packet
+	// engine from its fluid trajectory.
+	KindHybridPromote
 	// KindWindow is one lookahead window executed by one shard.
 	KindWindow
 	// KindBarrier is one coordinator barrier (mailbox merge + wait).
@@ -67,7 +73,8 @@ const (
 )
 
 var kindNames = [numKinds]string{
-	"admit", "enqueue", "dequeue", "mark", "timeout", "cwndcut", "window", "barrier",
+	"admit", "enqueue", "dequeue", "mark", "timeout", "cwndcut",
+	"hybrid-demote", "hybrid-promote", "window", "barrier",
 }
 
 // String names the kind as it appears in the NDJSON "kind" field.
@@ -82,7 +89,8 @@ func (k Kind) String() string {
 const (
 	// MaskModel enables the deterministic model kinds.
 	MaskModel uint32 = 1<<KindAdmit | 1<<KindEnqueue | 1<<KindDequeue |
-		1<<KindMark | 1<<KindTimeout | 1<<KindCwndCut
+		1<<KindMark | 1<<KindTimeout | 1<<KindCwndCut |
+		1<<KindHybridDemote | 1<<KindHybridPromote
 	// MaskEngine enables the parallel-engine kinds.
 	MaskEngine uint32 = 1<<KindWindow | 1<<KindBarrier
 	// MaskAll enables everything.
@@ -180,6 +188,12 @@ func VerdictDropped(v uint8) bool {
 //	timeout  Node the sender host, Aux the current RTO in ps, QLen the
 //	         post-backoff congestion window in bytes.
 //	cwndcut  Node the sender host, QLen the post-cut window in bytes.
+//	hybrid-demote   Node the sender host, Flow the flow, Seq the next
+//	         unsent byte at demotion, QLen the congestion window in
+//	         bytes, Aux the fluid rate in bytes/s.
+//	hybrid-promote  Node the sender host, Flow the flow, Seq the
+//	         reconstructed next byte, QLen the reconstructed window in
+//	         bytes, Aux the bytes delivered while fluid.
 //	window   Node the shard, At/Dur the window bounds in sim time, Aux
 //	         the events executed, Wall the wall-clock ns spent.
 //	barrier  At the frontier, Aux the shards dispatched, Wall the

@@ -199,6 +199,8 @@ func TestWriteNDJSONGolden(t *testing.T) {
 		{At: 1800, Kind: KindMark, Node: 20000, Port: 0, Prio: 0, Flow: 9, Seq: 1, Size: 64, QLen: 128},
 		{At: 2000, Kind: KindTimeout, Node: 5, Flow: 9, Seq: 11, Aux: 9000000, QLen: 3000},
 		{At: 2100, Kind: KindCwndCut, Node: 5, Flow: 9, QLen: 1500},
+		{At: 2150, Kind: KindHybridDemote, Node: 5, Flow: 9, Seq: 20000, QLen: 45000, Aux: 1250000000},
+		{At: 2160, Kind: KindHybridPromote, Node: 5, Flow: 9, Seq: 80000, QLen: 60000, Aux: 60000},
 		{At: 2200, Kind: KindWindow, Node: 1, Dur: 500, Aux: 42, Wall: 777},
 		{At: 2300, Kind: KindBarrier, Aux: 2, Wall: 888},
 	}
@@ -209,6 +211,8 @@ func TestWriteNDJSONGolden(t *testing.T) {
 		`{"t":1800,"kind":"mark","node":20000,"port":0,"prio":0,"flow":9,"seq":1,"size":64,"qlen":128}`,
 		`{"t":2000,"kind":"timeout","node":5,"flow":9,"seq":11,"rto_ps":9000000,"cwnd":3000}`,
 		`{"t":2100,"kind":"cwndcut","node":5,"flow":9,"cwnd":1500}`,
+		`{"t":2150,"kind":"hybrid-demote","node":5,"flow":9,"seq":20000,"cwnd":45000,"rate":1250000000}`,
+		`{"t":2160,"kind":"hybrid-promote","node":5,"flow":9,"seq":80000,"cwnd":60000,"fluid_bytes":60000}`,
 		`{"t":2200,"kind":"window","shard":1,"dur_ps":500,"events":42,"wall_ns":777}`,
 		`{"t":2300,"kind":"barrier","shards":2,"wall_ns":888}`,
 	}, "\n") + "\n"

@@ -35,6 +35,12 @@ const (
 	CtrCwndCuts
 	CtrFastRetrans
 
+	// model/: hybrid fluid/packet engine.
+	CtrHybridDemotions  // flow transitions packet -> fluid
+	CtrHybridPromotions // flow transitions fluid -> packet
+	CtrHybridEpochs     // integration epochs executed
+	CtrHybridFluidBytes // bytes delivered in fluid mode
+
 	// engine/: parallel run. Wall-clock-dependent; excluded from the
 	// shard-invariance guarantee.
 	CtrWindows        // lookahead windows executed
@@ -66,6 +72,10 @@ var ctrNames = [NumCtrs]string{
 	"model/rto_fired",
 	"model/cwnd_cuts",
 	"model/fast_retrans",
+	"model/hybrid_demotions",
+	"model/hybrid_promotions",
+	"model/hybrid_epochs",
+	"model/hybrid_fluid_bytes",
 	"engine/windows",
 	"engine/barriers",
 	"engine/barrier_wait_ns",

@@ -163,6 +163,52 @@ func (s Scenario) Resolve() (Scenario, error) {
 			return Scenario{}, err
 		}
 	}
+	lf := &w.LongFlows
+	if lf.FlowKB < 0 {
+		lf.FlowKB = 0
+	}
+	if lf.FlowKB > 0 {
+		if lf.CC == "" {
+			lf.CC = w.CC
+		}
+		if err := validCC(lf.CC); err != nil {
+			return Scenario{}, err
+		}
+		if lf.Stride <= 0 {
+			lf.Stride = f.HostsPerLeaf
+		}
+		if n := f.Leaves * f.HostsPerLeaf; lf.Stride%n == 0 {
+			return Scenario{}, fmt.Errorf("scenario: long-flow stride %d maps every host onto itself on %d hosts", lf.Stride, n)
+		}
+		if lf.Stagger <= 0 {
+			lf.Stagger = Duration(units.Microsecond)
+		}
+		n := f.Leaves * f.HostsPerLeaf
+		if lf.Count < 0 || lf.Count > n {
+			return Scenario{}, fmt.Errorf("scenario: long-flow count %d outside [0, %d hosts]", lf.Count, n)
+		}
+	}
+
+	// Hybrid engine: defaults only when enabled, so a disabled block
+	// stays all-zero and is omitted from resolved specs.
+	hy := &r.Hybrid
+	if hy.Enabled {
+		if r.Shards >= 1 {
+			return Scenario{}, fmt.Errorf("scenario: the hybrid fluid/packet engine requires the serial engine (shards 0), got shards %d", r.Shards)
+		}
+		if hy.GuardBandFrac > 1 {
+			return Scenario{}, fmt.Errorf("scenario: hybrid guard_band_frac %g exceeds 1", hy.GuardBandFrac)
+		}
+		if hy.GuardBandFrac <= 0 {
+			hy.GuardBandFrac = 0.5
+		}
+		if hy.SteadyRTTs <= 0 {
+			hy.SteadyRTTs = 8
+		}
+		if hy.EpochDt <= 0 {
+			hy.EpochDt = 8 * f.LinkDelay // one base RTT on the two-tier fabric
+		}
+	}
 
 	if sw.Trimming && r.usesECN() {
 		return Scenario{}, fmt.Errorf("scenario: trimming and ECN-based CC (dctcp/dcqcn) AQMs are mutually exclusive")
@@ -219,6 +265,9 @@ func validCC(name string) error {
 // not, mirroring how the evaluation cells derived INT and AQM needs.
 func (s Scenario) ccNames() []string {
 	names := []string{s.Workload.CC, s.Workload.Incast.CC}
+	if s.Workload.LongFlows.CC != "" {
+		names = append(names, s.Workload.LongFlows.CC)
+	}
 	for _, a := range s.Workload.MixedCC {
 		names = append(names, a.CC)
 	}

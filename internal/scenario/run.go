@@ -8,6 +8,7 @@ import (
 	"abm/internal/bm"
 	"abm/internal/cc"
 	"abm/internal/device"
+	"abm/internal/hybrid"
 	"abm/internal/metrics"
 	"abm/internal/obs"
 	"abm/internal/packet"
@@ -36,6 +37,10 @@ type Result struct {
 	// scenario enabled telemetry; nil otherwise. The keys and values are
 	// shard-count-invariant.
 	Counters map[string]int64
+
+	// Hybrid holds the hybrid engine's activity summary when the
+	// scenario enabled it; nil otherwise.
+	Hybrid *hybrid.Stats
 }
 
 // samplerInterval is the buffer-occupancy sampling period in both run
@@ -153,9 +158,25 @@ func Run(s Scenario) (Result, *metrics.Collector, error) {
 	n := topo.NewNetwork(eng, cfg)
 	col := &metrics.Collector{}
 
-	ws, ic, sampler, err := buildWorkloads(n, r, col, totalBuffer)
+	ws, ic, lf, sampler, err := buildWorkloads(n, r, col, totalBuffer)
 	if err != nil {
 		return Result{}, nil, err
+	}
+	// The hybrid controller installs the flow-start hook and its epoch
+	// ticker before any flow launches; LongFlows schedules first so its
+	// flow IDs stay in host order on every engine.
+	var ctl *hybrid.Controller
+	if r.Hybrid.Enabled {
+		ctl = hybrid.New(eng, n, hybrid.Config{
+			GuardBandFrac: r.Hybrid.GuardBandFrac,
+			SteadyRTTs:    r.Hybrid.SteadyRTTs,
+			EpochDt:       r.Hybrid.EpochDt.Time(),
+			Obs:           sess.ShardSink(0),
+		})
+		ctl.Start()
+	}
+	if lf != nil {
+		lf.Schedule()
 	}
 	if ws != nil {
 		ws.Start()
@@ -176,11 +197,20 @@ func Run(s Scenario) (Result, *metrics.Collector, error) {
 	// still terminate).
 	eng.RunUntil(duration + 500*units.Millisecond)
 	sampler.Stop()
+	if ctl != nil {
+		// Promote every remaining fluid flow so the final flush below
+		// completes flows in packet mode, like a pure-packet run.
+		ctl.Stop()
+	}
 	n.Stop()
 	eng.Run() // flush canceled tickers
 
 	res := collectResult(r, n, col, rate, eng.Executed())
 	res.Counters = sess.Totals()
+	if ctl != nil {
+		st := ctl.Stats()
+		res.Hybrid = &st
+	}
 	if err := writeObsOutputs(r.Obs, sess, n); err != nil {
 		return Result{}, nil, err
 	}
@@ -207,9 +237,12 @@ func runSharded(r Scenario, cfg topo.Config, totalBuffer units.ByteCount,
 	n := topo.NewShardedNetwork(p, cfg, part)
 	col := &metrics.Collector{}
 
-	ws, ic, sampler, err := buildWorkloads(n, r, col, totalBuffer)
+	ws, ic, lf, sampler, err := buildWorkloads(n, r, col, totalBuffer)
 	if err != nil {
 		return Result{}, nil, err
+	}
+	if lf != nil {
+		lf.Schedule()
 	}
 	workload.SchedulePregen(ws, ic, duration)
 	sampler.StartBarrier(samplerInterval)
@@ -232,7 +265,7 @@ func runSharded(r Scenario, cfg topo.Config, totalBuffer units.ByteCount,
 // without starting any of them: the serial path Starts the generators
 // live, the sharded path pre-generates their schedules instead.
 func buildWorkloads(n *topo.Network, r Scenario, col *metrics.Collector,
-	chip units.ByteCount) (*workload.WebSearch, *workload.Incast, *workload.BufferSampler, error) {
+	chip units.ByteCount) (*workload.WebSearch, *workload.Incast, *workload.LongFlows, *workload.BufferSampler, error) {
 
 	// Workload randomness is isolated from simulation randomness so every
 	// scheme at the same seed sees identical arrivals.
@@ -252,7 +285,7 @@ func buildWorkloads(n *topo.Network, r Scenario, col *metrics.Collector,
 			for i, a := range w.MixedCC {
 				f, err := cc.NewFactory(a.CC)
 				if err != nil {
-					return nil, nil, nil, err
+					return nil, nil, nil, nil, err
 				}
 				factories[i] = f
 			}
@@ -264,7 +297,7 @@ func buildWorkloads(n *topo.Network, r Scenario, col *metrics.Collector,
 		case w.RandomPrio:
 			f, err := cc.NewFactory(w.CC)
 			if err != nil {
-				return nil, nil, nil, err
+				return nil, nil, nil, nil, err
 			}
 			ws.PickCC = func(int) (cc.Factory, uint8) {
 				return f, uint8(rng.Intn(qpp))
@@ -272,7 +305,7 @@ func buildWorkloads(n *topo.Network, r Scenario, col *metrics.Collector,
 		default:
 			f, err := cc.NewFactory(w.CC)
 			if err != nil {
-				return nil, nil, nil, err
+				return nil, nil, nil, nil, err
 			}
 			ws.CC = f
 			ws.Prio = w.Prio
@@ -283,7 +316,7 @@ func buildWorkloads(n *topo.Network, r Scenario, col *metrics.Collector,
 	if w.Incast.RequestFrac > 0 {
 		f, err := cc.NewFactory(w.Incast.CC)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 		reqSize := units.ByteCount(w.Incast.RequestFrac * float64(chip))
 		bisection := float64(n.Cfg.Uplink()) * float64(n.Cfg.NumLeaves*n.Cfg.NumSpines)
@@ -303,8 +336,26 @@ func buildWorkloads(n *topo.Network, r Scenario, col *metrics.Collector,
 		}
 	}
 
+	var lf *workload.LongFlows
+	if w.LongFlows.FlowKB > 0 {
+		f, err := cc.NewFactory(w.LongFlows.CC)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		lf = &workload.LongFlows{
+			Net:     n,
+			Size:    units.ByteCount(w.LongFlows.FlowKB * float64(units.Kilobyte)),
+			Stride:  w.LongFlows.Stride,
+			Count:   w.LongFlows.Count,
+			Stagger: w.LongFlows.Stagger.Time(),
+			Prio:    w.LongFlows.Prio,
+			CC:      f,
+			Collect: col,
+		}
+	}
+
 	sampler := &workload.BufferSampler{Net: n, Collect: col}
-	return ws, ic, sampler, nil
+	return ws, ic, lf, sampler, nil
 }
 
 // collectResult assembles the result from a finished network.

@@ -84,6 +84,10 @@ type Scenario struct {
 	Switch   Switch   `json:"switch"`
 	Workload Workload `json:"workload"`
 
+	// Hybrid configures the fluid/packet hybrid engine (internal/hybrid);
+	// the zero value keeps the pure packet engine, bit-for-bit.
+	Hybrid Hybrid `json:"hybrid,omitzero"`
+
 	// Obs configures the run's telemetry (see internal/obs); the zero
 	// value disables it.
 	Obs obs.Options `json:"obs,omitempty"`
@@ -178,12 +182,57 @@ type Workload struct {
 	MixedCC []CCAssignment `json:"mixed_cc,omitempty"`
 
 	Incast Incast `json:"incast"`
+
+	// LongFlows adds the steady long-flow permutation workload; the zero
+	// value disables it.
+	LongFlows LongFlows `json:"long_flows,omitzero"`
 }
 
 // CCAssignment binds a congestion-control algorithm to a priority.
 type CCAssignment struct {
 	CC   string `json:"cc"`
 	Prio uint8  `json:"prio"`
+}
+
+// LongFlows is the steady long-flow workload: host i opens one flow to
+// host (i+Stride) mod N at time i*Stagger — a full permutation whose
+// flows all converge to steady state, the hybrid engine's showcase.
+// FlowKB 0 disables.
+type LongFlows struct {
+	// FlowKB is each flow's size in kilobytes.
+	FlowKB float64 `json:"flow_kb,omitempty"`
+	// CC defaults to the background workload's algorithm.
+	CC string `json:"cc,omitempty"`
+	// Prio is the priority long flows use.
+	Prio uint8 `json:"prio,omitempty"`
+	// Stride is the source-to-destination offset of the permutation;
+	// zero resolves to HostsPerLeaf, so every flow crosses the fabric.
+	Stride int `json:"stride,omitempty"`
+	// Count caps how many source hosts open a flow (hosts 0..Count-1);
+	// zero means every host. Count <= N/2 with Stride >= Count gives a
+	// half-permutation with dedicated senders and receivers, so no NIC
+	// carries both a flow's data and another flow's ACKs.
+	Count int `json:"count,omitempty"`
+	// Stagger is the launch gap between successive source hosts; zero
+	// resolves to 1us.
+	Stagger Duration `json:"stagger,omitempty"`
+}
+
+// Hybrid configures the fluid/packet hybrid engine; see internal/hybrid
+// for the mode-transition rules these knobs parameterize.
+type Hybrid struct {
+	// Enabled turns the hybrid engine on. Serial engine only: Resolve
+	// rejects Enabled together with Shards >= 1.
+	Enabled bool `json:"enabled,omitempty"`
+	// GuardBandFrac is the fraction of a queue's admission threshold at
+	// which fluid flows return to packet mode; zero resolves to 0.5.
+	GuardBandFrac float64 `json:"guard_band_frac,omitempty"`
+	// SteadyRTTs is how many smoothed RTTs a flow must go without a
+	// congestion signal before demotion; zero resolves to 8.
+	SteadyRTTs int `json:"steady_rtts,omitempty"`
+	// EpochDt is the fluid integration epoch; zero resolves to one base
+	// RTT (8 link delays).
+	EpochDt Duration `json:"epoch_dt,omitempty"`
 }
 
 // Incast is the query/response burst workload; RequestFrac 0 disables.

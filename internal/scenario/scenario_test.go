@@ -230,6 +230,12 @@ func TestResolveRejects(t *testing.T) {
 			Scenario{Obs: obs.Options{Sample: 2}}, "sample"},
 		"obs filter": {
 			Scenario{Obs: obs.Options{Filter: "bogus-kind"}}, "bogus-kind"},
+		"hybrid with shards": {
+			Scenario{Shards: 2, Hybrid: Hybrid{Enabled: true}}, "serial"},
+		"hybrid guard band over 1": {
+			Scenario{Hybrid: Hybrid{Enabled: true, GuardBandFrac: 1.5}}, "guard_band_frac"},
+		"long-flow count range": {
+			Scenario{Workload: Workload{LongFlows: LongFlows{FlowKB: 100, Count: 9999}}}, "count"},
 	} {
 		t.Run(name, func(t *testing.T) {
 			_, err := tc.spec.Resolve()
@@ -240,6 +246,20 @@ func TestResolveRejects(t *testing.T) {
 				t.Fatalf("error %q does not mention %q", err, tc.want)
 			}
 		})
+	}
+}
+
+// A disabled hybrid block must stay all-zero through Resolve (so it is
+// omitted from resolved specs), while an enabled one gets the defaults.
+func TestResolveHybrid(t *testing.T) {
+	d := Scenario{}.MustResolve()
+	if d.Hybrid != (Hybrid{}) {
+		t.Errorf("disabled hybrid resolved to %+v, want zero", d.Hybrid)
+	}
+	r := Scenario{Hybrid: Hybrid{Enabled: true}}.MustResolve()
+	want := Hybrid{Enabled: true, GuardBandFrac: 0.5, SteadyRTTs: 8, EpochDt: 8 * defaultLinkDelay}
+	if r.Hybrid != want {
+		t.Errorf("enabled hybrid resolved to %+v, want %+v", r.Hybrid, want)
 	}
 }
 

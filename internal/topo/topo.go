@@ -170,6 +170,13 @@ type Network struct {
 	intraHops, interHops int
 
 	nextFlow uint64
+
+	// OnFlowStart, when set, observes every flow launch just before its
+	// first packet is emitted (hybrid engine: a new burst at a shared
+	// queue promotes fluid flows back to packet mode before the burst's
+	// packets can race them). It runs on the source host's shard, so a
+	// sharded run must only install it when the engine is serial.
+	OnFlowStart func(id uint64, src, dst int, size units.ByteCount, prio uint8)
 }
 
 // NodeID layout: hosts are 0..N-1, leaves 10000+l, spines 20000+s.
@@ -493,7 +500,44 @@ func (n *Network) StartFlowWithID(id uint64, src, dst int, size units.ByteCount,
 	if src == dst {
 		panic(fmt.Sprintf("topo: flow to self (host %d)", src))
 	}
+	if n.OnFlowStart != nil {
+		n.OnFlowStart(id, src, dst, size, prio)
+	}
 	n.Hosts[src].StartFlow(id, packet.NodeID(dst), size, prio, algo, onComplete)
+}
+
+// PathHop identifies one egress port on a flow's routed path.
+type PathHop struct {
+	Sw   *device.Switch
+	Port int
+}
+
+// PathQueues appends to buf the egress (switch, port) pairs a flow's
+// packets traverse from src to dst, in path order, by walking the
+// installed routers with the flow's real ID — so the ECMP spine choice
+// matches what the packet engine will do. The hybrid engine uses it to
+// map a fluid flow's rate onto the queues it loads.
+func (n *Network) PathQueues(flowID uint64, src, dst int, buf []PathHop) []PathHop {
+	if src == dst {
+		return buf
+	}
+	var probe packet.Packet
+	probe.Dst = packet.NodeID(dst)
+	probe.FlowID = flowID
+	cur := n.Leaves[n.LeafOf(src)]
+	for step := 0; step < 16; step++ {
+		port := cur.RoutePort(&probe)
+		buf = append(buf, PathHop{Sw: cur, Port: port})
+		if int(cur.ID()) < spineIDBase && port < n.Cfg.HostsPerLeaf {
+			return buf // leaf egress toward the destination host
+		}
+		next, ok := cur.Port(port).Link().Dst().(*device.Switch)
+		if !ok {
+			panic(fmt.Sprintf("topo: routed path from %d to %d left the switch fabric", src, dst))
+		}
+		cur = next
+	}
+	panic(fmt.Sprintf("topo: routed path from %d to %d did not terminate", src, dst))
 }
 
 // WorstBufferFrac returns the worst shared-buffer occupancy fraction

@@ -125,3 +125,43 @@ func (r *Receiver) insert(start, end int64) {
 
 // Gaps returns the number of out-of-order spans currently held.
 func (r *Receiver) Gaps() int { return len(r.ooo) }
+
+// AdvanceTo moves the cumulative in-order point to offset to, crediting
+// the skipped bytes as received. The hybrid engine calls it at flow
+// promotion so the receiver's accounting matches the fluid trajectory:
+// bytes delivered in fluid mode were never individual packets, but the
+// stream state must agree with what the reconstructed sender believes
+// was acknowledged. Spans the fluid interval swallowed are dropped from
+// the out-of-order list; double-counted overlap is subtracted from
+// BytesReceived so per-flow byte totals stay exact.
+func (r *Receiver) AdvanceTo(to int64) {
+	if to <= r.rcvNxt {
+		return
+	}
+	credited := to - r.rcvNxt
+	out := r.oooAlt[:0]
+	for _, s := range r.ooo {
+		if s.end <= to {
+			credited -= s.end - s.start // was already counted on arrival
+			continue
+		}
+		if s.start <= to {
+			credited -= to - s.start
+			s.start = to
+		}
+		out = append(out, s)
+	}
+	r.rcvNxt = to
+	// Contiguous prefix may now touch the first surviving span.
+	k := 0
+	for k < len(out) && out[k].start <= r.rcvNxt {
+		if out[k].end > r.rcvNxt {
+			r.rcvNxt = out[k].end
+		}
+		k++
+	}
+	n := copy(out, out[k:])
+	r.oooAlt = r.ooo[:0]
+	r.ooo = out[:n]
+	r.BytesReceived += units.ByteCount(credited)
+}

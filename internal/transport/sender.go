@@ -74,6 +74,16 @@ type Sender struct {
 	inRecovery bool
 	recover    int64
 
+	// Hybrid engine state. While fluid is set the per-packet machinery
+	// is torn down: no sends, no timers; OnAck still runs bookkeeping
+	// for packets that were in flight at demotion. lastDisturb is the
+	// time of the most recent congestion signal (recovery entry, RTO,
+	// ECN mark) in either mode; disturbed latches a signal that arrived
+	// while fluid, which forces promotion.
+	fluid       bool
+	disturbed   bool
+	lastDisturb units.Time
+
 	srtt, rttvar units.Time
 	rto          units.Time
 	rtoBackoff   uint
@@ -159,7 +169,7 @@ func (sn *Sender) inflight() units.ByteCount {
 
 // trySend emits new segments while the window and pacing allow.
 func (sn *Sender) trySend() {
-	if sn.finished {
+	if sn.finished || sn.fluid {
 		return
 	}
 	rate := sn.alg.PacingRate()
@@ -227,6 +237,28 @@ func (sn *Sender) OnAck(pkt *packet.Packet) {
 	}
 	now := sn.sim.Now()
 	ackNo := pkt.AckNo
+	if sn.fluid {
+		// Fluid mode: the integrator owns delivery; ACKs for packets
+		// that were in flight at demotion only update bookkeeping. A
+		// congestion signal here means the demotion criteria misjudged
+		// the path, so latch it and let the controller promote.
+		if ackNo > sn.sndUna {
+			sn.sndUna = ackNo
+			sn.dupAcks = 0
+			if pkt.EchoTS > 0 {
+				sn.updateRTO(now - pkt.EchoTS)
+			}
+			if pkt.Is(packet.FlagECE) {
+				sn.disturb(now)
+			}
+		} else if sn.inflight() > 0 {
+			sn.dupAcks++
+			if sn.dupAcks >= sn.cfg.DupAckThreshold {
+				sn.disturb(now)
+			}
+		}
+		return
+	}
 	if ackNo > sn.sndUna {
 		acked := units.ByteCount(ackNo - sn.sndUna)
 		sn.sndUna = ackNo
@@ -235,6 +267,9 @@ func (sn *Sender) OnAck(pkt *packet.Packet) {
 		if pkt.EchoTS > 0 {
 			rtt = now - pkt.EchoTS
 			sn.updateRTO(rtt)
+		}
+		if pkt.Is(packet.FlagECE) {
+			sn.lastDisturb = now
 		}
 		sn.alg.OnAck(cc.AckEvent{
 			Now:        now,
@@ -269,6 +304,7 @@ func (sn *Sender) OnAck(pkt *packet.Packet) {
 	if sn.dupAcks == sn.cfg.DupAckThreshold && !sn.inRecovery {
 		sn.inRecovery = true
 		sn.recover = sn.sndNxt
+		sn.lastDisturb = now
 		sn.alg.OnRecovery(now)
 		sn.FastRetrans++
 		sn.ctrFastRetrans.Inc()
@@ -303,10 +339,11 @@ func (sn *Sender) armRTO() {
 }
 
 func (sn *Sender) onRTO() {
-	if sn.finished {
+	if sn.finished || sn.fluid {
 		return
 	}
 	sn.Timeouts++
+	sn.lastDisturb = sn.sim.Now()
 	sn.ctrRTOFired.Inc()
 	sn.ctrCwndCuts.Inc()
 	sn.alg.OnTimeout(sn.sim.Now())
@@ -360,6 +397,82 @@ func (sn *Sender) updateRTO(rtt units.Time) {
 		sn.rto = sn.cfg.MaxRTO
 	}
 }
+
+// disturb records a congestion signal; while fluid it also latches the
+// promotion trigger.
+func (sn *Sender) disturb(now units.Time) {
+	sn.lastDisturb = now
+	if sn.fluid {
+		sn.disturbed = true
+	}
+}
+
+// Demote switches the sender into fluid mode: both timers are torn down
+// (the lanes are kept — the flow will need them again at promotion) and
+// every send path is gated off. The caller (internal/hybrid) takes over
+// delivery accounting from sndNxt onward.
+func (sn *Sender) Demote() {
+	if sn.fluid || sn.finished {
+		return
+	}
+	sn.fluid = true
+	sn.rtoTimer.Cancel()
+	sn.pacingTimer.Cancel()
+}
+
+// Promote returns the sender to packet mode. deliveredTo is the
+// cumulative stream offset the fluid trajectory delivered; the stream
+// resumes from there with zero bytes in flight (the congestion window
+// refills it), pacing re-anchored at now, and the RTO re-armed. If the
+// fluid trajectory covered the whole flow the sender completes here —
+// completion is always observed in packet mode. The caller is expected
+// to have re-centered the congestion window (cc.WindowRescaler) first.
+func (sn *Sender) Promote(deliveredTo int64) {
+	if !sn.fluid || sn.finished {
+		return
+	}
+	sn.fluid = false
+	sn.disturbed = false
+	sn.dupAcks = 0
+	sn.inRecovery = false
+	sn.rtoBackoff = 0
+	if deliveredTo > sn.sndUna {
+		sn.sndUna = deliveredTo
+	}
+	if sn.sndNxt < sn.sndUna {
+		sn.sndNxt = sn.sndUna
+	}
+	now := sn.sim.Now()
+	if sn.sndUna >= int64(sn.Size) {
+		sn.complete(now)
+		return
+	}
+	sn.pacingNext = now
+	sn.armRTO()
+	sn.trySend()
+}
+
+// Fluid reports whether the sender is in fluid mode.
+func (sn *Sender) Fluid() bool { return sn.fluid }
+
+// Disturbed reports whether a congestion signal arrived while fluid.
+func (sn *Sender) Disturbed() bool { return sn.disturbed }
+
+// LastDisturb returns the time of the most recent congestion signal
+// (recovery entry, RTO fire, or ECN mark); zero if none yet.
+func (sn *Sender) LastDisturb() units.Time { return sn.lastDisturb }
+
+// SndUna returns the first unacknowledged stream offset.
+func (sn *Sender) SndUna() int64 { return sn.sndUna }
+
+// SndNxt returns the next unsent stream offset.
+func (sn *Sender) SndNxt() int64 { return sn.sndNxt }
+
+// InRecovery reports whether the sender is in fast recovery.
+func (sn *Sender) InRecovery() bool { return sn.inRecovery }
+
+// Alg exposes the congestion-control state machine.
+func (sn *Sender) Alg() cc.Algorithm { return sn.alg }
 
 // SRTT exposes the smoothed RTT estimate.
 func (sn *Sender) SRTT() units.Time { return sn.srtt }

@@ -466,6 +466,56 @@ func SchedulePregen(ws *WebSearch, ic *Incast, horizon units.Time) {
 // Stop halts query generation.
 func (ic *Incast) Stop() { ic.stopped = true }
 
+// LongFlows drives the steady long-flow workload: host i opens one flow
+// of Size bytes to host (i+Stride) mod N at time i*Stagger — a full
+// permutation pattern whose flows all converge to steady state (the
+// hybrid engine's demotion showcase). The pattern is deterministic (no
+// RNG), so one Schedule path serves both the serial and the sharded
+// engines: launches are planned up front on each source host's
+// simulator, with flow IDs allocated in host order.
+type LongFlows struct {
+	Net     *topo.Network
+	Size    units.ByteCount
+	Stride  int // source-to-destination offset of the permutation
+	Count   int // source hosts that open a flow (0 = all)
+	Stagger units.Time
+	Prio    uint8
+	CC      cc.Factory
+	Collect *metrics.Collector
+
+	started int
+}
+
+// Schedule plans every flow launch. Call before the run starts.
+func (lf *LongFlows) Schedule() {
+	if lf.Size <= 0 {
+		panic("workload: long flows need a size")
+	}
+	if lf.CC == nil {
+		panic("workload: long flows need a cc factory")
+	}
+	n := lf.Net.NumHosts()
+	srcs := n
+	if lf.Count > 0 && lf.Count < n {
+		srcs = lf.Count
+	}
+	for src := 0; src < srcs; src++ {
+		dst := (src + lf.Stride) % n
+		if dst < 0 {
+			dst += n
+		}
+		if dst == src {
+			continue
+		}
+		t := units.Time(src) * lf.Stagger
+		pregenLaunch(lf.Net, lf.Collect, t, src, dst, lf.Size, lf.Prio, lf.CC(), metrics.ClassLong)
+		lf.started++
+	}
+}
+
+// Started returns the number of flows scheduled.
+func (lf *LongFlows) Started() int { return lf.started }
+
 // BufferSampler periodically records the fabric's worst-switch occupancy
 // fraction into the collector. It reads every switch, so in sharded
 // mode it must run at window barriers (StartBarrier), where the whole
