@@ -113,6 +113,7 @@ type portState struct {
 
 	capRem float64 // allocation scratch
 	nact   int
+	demand float64 // drain-split scratch: sum of fluid queue demand
 }
 
 func (ps *portState) txBytes() units.ByteCount {
@@ -261,12 +262,11 @@ func (c *Controller) Stop() {
 	}
 	c.net.OnFlowStart = nil
 	now := c.sim.Now()
-	sec := (now - c.lastEpoch).Seconds()
-	c.lastEpoch = now
 	for _, f := range c.flows {
-		f.delivered += f.rate * sec
+		c.settle(f, now)
 		c.promote(f, now)
 	}
+	c.lastEpoch = now
 	c.flows = c.flows[:0]
 	for _, sm := range c.modelLst {
 		sm.sw.MMU().SetFluidBytes(0)
@@ -279,6 +279,17 @@ func (c *Controller) Stats() Stats { return c.stats }
 // FluidFlows returns the number of flows currently in fluid mode.
 func (c *Controller) FluidFlows() int { return len(c.flows) }
 
+// settle credits a fluid flow's delivery for the partial epoch since
+// the last integration tick. Promotions that happen outside epoch()
+// (which has already credited the interval) must settle first, or the
+// lastEpoch..now stretch of the fluid trajectory is silently dropped
+// and the promoted sender re-covers those bytes in packet mode.
+func (c *Controller) settle(f *flow, now units.Time) {
+	if sec := (now - c.lastEpoch).Seconds(); sec > 0 {
+		f.delivered += f.rate * sec * c.payloadFrac
+	}
+}
+
 // onFlowStart is the topo.Network flow-launch hook: a new burst at a
 // shared port promotes fluid flows before the burst's first packet can
 // race them, and large flows join the candidate list.
@@ -289,6 +300,7 @@ func (c *Controller) onFlowStart(id uint64, src, dst int, size units.ByteCount, 
 		kept := c.flows[:0]
 		for _, f := range c.flows {
 			if sharesPort(f.path, c.pathBuf) {
+				c.settle(f, now)
 				c.promote(f, now)
 				continue
 			}
@@ -505,7 +517,20 @@ func (c *Controller) rebalance(cohort []*flow) {
 	if len(shared) == 0 {
 		return
 	}
+	// Only members touching a shared constraint participate: a flow that
+	// shares no port with any other member has nothing to redistribute,
+	// and water-filling it would replace its measured anchor with an
+	// unconstrained bound (the NIC line rate).
+	contested := cohort[:0:0]
 	for _, f := range cohort {
+		for _, ps := range f.cons {
+			if shared[ps] {
+				contested = append(contested, f)
+				break
+			}
+		}
+	}
+	for _, f := range contested {
 		f.frozen = false
 	}
 	bound := func(f *flow) float64 {
@@ -520,9 +545,9 @@ func (c *Controller) rebalance(cohort []*flow) {
 		}
 		return r
 	}
-	for unfrozen := len(cohort); unfrozen > 0; {
+	for unfrozen := len(contested); unfrozen > 0; {
 		minRate := -1.0
-		for _, f := range cohort {
+		for _, f := range contested {
 			if f.frozen {
 				continue
 			}
@@ -530,7 +555,7 @@ func (c *Controller) rebalance(cohort []*flow) {
 				minRate = r
 			}
 		}
-		for _, f := range cohort {
+		for _, f := range contested {
 			if f.frozen {
 				continue
 			}
@@ -958,11 +983,30 @@ func (c *Controller) allocate(now units.Time, sec float64) {
 			qs.fq.Arrival += units.Rate(f.rate * 8)
 		}
 	}
+	// A port's spare capacity serves all its fluid queues combined, so
+	// split it by demand (arrival plus backlog over one epoch) rather
+	// than granting each queue the full spare — otherwise two priorities
+	// sharing an egress port double-count service and understate the
+	// fluid occupancy charged to the MMU. A queue with no arrivals but
+	// residual fluid still gets a share, so promotion leftovers drain.
+	edt := c.cfg.EpochDt.Seconds()
+	for _, ps := range c.portList {
+		ps.demand = 0
+	}
+	for _, sm := range c.modelLst {
+		for _, qs := range sm.qs {
+			qs.ps.demand += float64(qs.fq.Arrival)/8 + qs.fq.Len/edt
+		}
+	}
 	for _, sm := range c.modelLst {
 		for _, qs := range sm.qs {
 			spare := float64(qs.ps.lineRate())/8 - qs.ps.pktRate
 			if spare < 0 {
 				spare = 0
+			}
+			if qs.ps.demand > 0 {
+				d := float64(qs.fq.Arrival)/8 + qs.fq.Len/edt
+				spare *= d / qs.ps.demand
 			}
 			qs.fq.Drain = units.Rate(spare * 8)
 		}
