@@ -251,6 +251,7 @@ func printResult(w io.Writer, res abm.ScenarioResult, wall time.Duration) {
 		{"event trace", rs.Obs.EventsFile},
 		{"chrome trace", rs.Obs.ChromeFile},
 		{"counter summary", rs.Obs.CountersFile},
+		{"histogram snapshots", rs.Obs.HistFile},
 	} {
 		if out.path != "" {
 			fmt.Fprintf(w, "%s written to %s\n", out.what, out.path)

@@ -8,18 +8,26 @@
 // the CI smoke run pipes a fresh trace through it so a schema drift
 // between the writer and the documentation fails the build.
 //
+// With -metrics it instead lints Prometheus text-format exposition
+// (what /metrics serves): every sample must follow its family's # TYPE
+// line, histogram buckets must be cumulative with a +Inf bucket
+// matching _count, and -require lists families that must be present.
+//
 // Usage:
 //
 //	obsvalidate trace.ndjson [more.ndjson ...]
 //	abmsim -trace-events /dev/stdout ... | obsvalidate -
+//	curl -s localhost:9100/metrics | obsvalidate -metrics -require abm_sweepd_jobs -
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 )
 
 // fieldsByKind is the exact field set each kind emits, beyond the
@@ -37,6 +45,7 @@ var fieldsByKind = map[string][]string{
 	"hybrid-promote": {"node", "flow", "seq", "cwnd", "fluid_bytes"},
 	"window":         {"shard", "dur_ps", "events", "wall_ns"},
 	"barrier":        {"shards", "wall_ns"},
+	"hist":           {"name", "unit", "count", "sum", "buckets"},
 }
 
 var verdictsByKind = map[string]map[string]bool{
@@ -46,10 +55,20 @@ var verdictsByKind = map[string]map[string]bool{
 }
 
 func main() {
-	paths := os.Args[1:]
+	fs := flag.NewFlagSet("obsvalidate", flag.ExitOnError)
+	metricsMode := fs.Bool("metrics", false, "lint Prometheus text-format exposition instead of NDJSON traces")
+	require := fs.String("require", "", "comma-separated metric families that must be present (-metrics only)")
+	fs.Parse(os.Args[1:])
+	paths := fs.Args()
 	if len(paths) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: obsvalidate <trace.ndjson ...|->")
+		fmt.Fprintln(os.Stderr, "usage: obsvalidate [-metrics [-require fam,...]] <file ...|->")
 		os.Exit(2)
+	}
+	var required []string
+	for _, fam := range strings.Split(*require, ",") {
+		if fam = strings.TrimSpace(fam); fam != "" {
+			required = append(required, fam)
+		}
 	}
 	exit := 0
 	for _, path := range paths {
@@ -64,12 +83,19 @@ func main() {
 			defer f.Close()
 			r, name = f, path
 		}
-		lines, errs := validate(r, os.Stderr, name)
+		var lines, errs int
+		what := "events"
+		if *metricsMode {
+			lines, errs = validateMetrics(r, os.Stderr, name, required)
+			what = "metric lines"
+		} else {
+			lines, errs = validate(r, os.Stderr, name)
+		}
 		if errs > 0 {
 			fmt.Fprintf(os.Stderr, "%s: %d violations in %d lines\n", name, errs, lines)
 			exit = 1
 		} else {
-			fmt.Printf("%s: %d events ok\n", name, lines)
+			fmt.Printf("%s: %d %s ok\n", name, lines, what)
 		}
 	}
 	os.Exit(exit)
@@ -157,11 +183,13 @@ func validate(r io.Reader, w io.Writer, name string) (lines, errs int) {
 	return lines, errs
 }
 
-// typeOK checks a field's JSON type: verdicts are strings, unsched is a
-// bool, alpha and mu_b are numbers, everything else must be an integer.
+// typeOK checks a field's JSON type: verdicts, names and units are
+// strings, unsched is a bool, alpha and mu_b are numbers, buckets is a
+// sparse [[index, count], ...] array with ascending indexes and
+// positive counts, everything else must be an integer.
 func typeOK(field string, raw json.RawMessage) bool {
 	switch field {
-	case "verdict":
+	case "verdict", "name", "unit":
 		var s string
 		return json.Unmarshal(raw, &s) == nil
 	case "unsched":
@@ -170,6 +198,19 @@ func typeOK(field string, raw json.RawMessage) bool {
 	case "alpha", "mu_b":
 		var f float64
 		return json.Unmarshal(raw, &f) == nil
+	case "buckets":
+		var pairs [][2]int64
+		if json.Unmarshal(raw, &pairs) != nil {
+			return false
+		}
+		last := int64(-1)
+		for _, p := range pairs {
+			if p[0] <= last || p[1] <= 0 {
+				return false
+			}
+			last = p[0]
+		}
+		return true
 	default:
 		var n int64
 		return json.Unmarshal(raw, &n) == nil

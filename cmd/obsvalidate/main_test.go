@@ -1,0 +1,76 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"abm/internal/obs/hist"
+	"abm/internal/obs/prom"
+)
+
+// TestValidateAcceptsHybridKinds pins the schema for the hybrid
+// engine's demote/promote events: a trace holding them must validate
+// clean (a regression here would fail the CI smoke run on every hybrid
+// trace).
+func TestValidateAcceptsHybridKinds(t *testing.T) {
+	trace := strings.Join([]string{
+		`{"t":10,"kind":"hybrid-demote","node":3,"flow":7,"seq":1200,"cwnd":40000,"rate":900000}`,
+		`{"t":20,"kind":"hybrid-promote","node":3,"flow":7,"seq":2400,"cwnd":40000,"fluid_bytes":123456}`,
+	}, "\n")
+	lines, errs := validate(strings.NewReader(trace), io.Discard, "test")
+	if lines != 2 || errs != 0 {
+		t.Fatalf("validate(hybrid trace) = %d lines, %d violations; want 2, 0", lines, errs)
+	}
+}
+
+// TestValidateHistKind covers the histogram-snapshot record kind: a
+// well-formed line passes, a bucket list out of order or with a
+// non-positive count fails.
+func TestValidateHistKind(t *testing.T) {
+	good := `{"t":1000,"kind":"hist","name":"fct_slowdown_websearch","unit":"milli","count":5,"sum":9000,"buckets":[[3,2],[17,3]]}`
+	if lines, errs := validate(strings.NewReader(good), io.Discard, "t"); lines != 1 || errs != 0 {
+		t.Fatalf("good hist line: %d lines, %d violations; want 1, 0", lines, errs)
+	}
+	for name, bad := range map[string]string{
+		"unordered buckets": `{"t":1,"kind":"hist","name":"x","unit":"ps","count":2,"sum":3,"buckets":[[5,1],[3,1]]}`,
+		"zero count":        `{"t":1,"kind":"hist","name":"x","unit":"ps","count":2,"sum":3,"buckets":[[5,0]]}`,
+		"missing unit":      `{"t":1,"kind":"hist","name":"x","count":2,"sum":3,"buckets":[[5,2]]}`,
+	} {
+		if _, errs := validate(strings.NewReader(bad), io.Discard, "t"); errs == 0 {
+			t.Errorf("%s: validate accepted %s", name, bad)
+		}
+	}
+}
+
+// TestValidateMetrics lints a real prom.Writer exposition and then
+// variants that must fail: a sample with no TYPE line, a histogram
+// whose +Inf bucket disagrees with _count, and a missing required
+// family.
+func TestValidateMetrics(t *testing.T) {
+	var h hist.Histogram
+	for v := int64(1); v <= 100; v++ {
+		h.Record(v)
+	}
+	var w prom.Writer
+	w.Family("abm_test_seconds", "histogram", "Test histogram.")
+	w.Histogram("abm_test_seconds", []prom.Label{{Name: "class", Value: "ws"}}, h.Snapshot(), 1)
+	w.Family("abm_test_jobs", "gauge", "Test gauge.")
+	w.IntSample("abm_test_jobs", []prom.Label{{Name: "state", Value: "done"}}, 4)
+	text := string(w.Bytes())
+
+	if lines, errs := validateMetrics(strings.NewReader(text), io.Discard, "t", []string{"abm_test_seconds", "abm_test_jobs"}); errs != 0 {
+		t.Fatalf("clean exposition: %d violations in %d lines", errs, lines)
+	}
+	if _, errs := validateMetrics(strings.NewReader(text), io.Discard, "t", []string{"abm_absent"}); errs == 0 {
+		t.Error("missing required family not reported")
+	}
+	untyped := strings.ReplaceAll(text, "# TYPE abm_test_jobs gauge\n", "")
+	if _, errs := validateMetrics(strings.NewReader(untyped), io.Discard, "t", nil); errs == 0 {
+		t.Error("sample without # TYPE not reported")
+	}
+	skewed := strings.ReplaceAll(text, `abm_test_seconds_count{class="ws"} 100`, `abm_test_seconds_count{class="ws"} 101`)
+	if _, errs := validateMetrics(strings.NewReader(skewed), io.Discard, "t", nil); errs == 0 {
+		t.Error("+Inf/_count mismatch not reported")
+	}
+}

@@ -1,0 +1,260 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// validateMetrics lints one Prometheus text-format exposition: comments
+// and samples must parse, every sample needs a preceding # TYPE line
+// for its family, histogram bucket series must be cumulative in le with
+// a +Inf bucket equal to the series' _count, and every family in
+// require must appear. Returns the line count and violation count.
+func validateMetrics(r io.Reader, w io.Writer, name string, require []string) (lines, errs int) {
+	const maxReported = 20
+	report := func(line int, format string, args ...any) {
+		errs++
+		if errs == maxReported+1 {
+			fmt.Fprintf(w, "%s: ... further violations suppressed\n", name)
+		}
+		if errs <= maxReported {
+			fmt.Fprintf(w, "%s:%d: %s\n", name, line, fmt.Sprintf(format, args...))
+		}
+	}
+
+	typed := make(map[string]string) // family -> declared type
+	// Histogram bucket/count series keyed by family + labels minus le.
+	type bucketPoint struct {
+		le, v float64
+		line  int
+	}
+	buckets := make(map[string][]bucketPoint)
+	counts := make(map[string]float64)
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		lines++
+		line := strings.TrimRight(sc.Text(), "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				report(lines, "malformed comment line: %s", line)
+				continue
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) < 4 {
+					report(lines, "TYPE line without a type: %s", line)
+					continue
+				}
+				typ := fields[3]
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					report(lines, "unknown metric type %q", typ)
+				}
+				if _, dup := typed[fields[2]]; dup {
+					report(lines, "duplicate # TYPE for family %q", fields[2])
+				}
+				typed[fields[2]] = typ
+			}
+			continue
+		}
+		mname, labels, value, err := parseSample(line)
+		if err != nil {
+			report(lines, "%v", err)
+			continue
+		}
+		fam, suffix := familyOf(mname, typed)
+		if fam == "" {
+			report(lines, "sample %q has no preceding # TYPE line", mname)
+			continue
+		}
+		if typed[fam] == "histogram" {
+			key := fam + "\x00" + labelKey(labels, "le")
+			switch suffix {
+			case "_bucket":
+				le, ok := labels["le"]
+				if !ok {
+					report(lines, "%s_bucket without an le label", fam)
+					continue
+				}
+				bound, err := parseLe(le)
+				if err != nil {
+					report(lines, "%s_bucket: bad le %q", fam, le)
+					continue
+				}
+				buckets[key] = append(buckets[key], bucketPoint{le: bound, v: value, line: lines})
+			case "_count":
+				counts[key] = value
+			case "_sum", "":
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		report(lines, "read: %v", err)
+	}
+
+	keys := make([]string, 0, len(buckets))
+	for key := range buckets {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		fam := key[:strings.IndexByte(key, '\x00')]
+		pts := buckets[key]
+		hasInf := false
+		for i, p := range pts {
+			if i > 0 && p.le <= pts[i-1].le {
+				report(p.line, "%s: le buckets out of order (%g after %g)", fam, p.le, pts[i-1].le)
+			}
+			if i > 0 && p.v < pts[i-1].v {
+				report(p.line, "%s: cumulative bucket count decreased (%g after %g)", fam, p.v, pts[i-1].v)
+			}
+			if math.IsInf(p.le, +1) {
+				hasInf = true
+				if c, ok := counts[key]; ok && p.v != c {
+					report(p.line, "%s: +Inf bucket %g != _count %g", fam, p.v, c)
+				}
+			}
+		}
+		if !hasInf {
+			report(pts[len(pts)-1].line, "%s: histogram series has no +Inf bucket", fam)
+		}
+	}
+	for _, fam := range require {
+		if _, ok := typed[fam]; !ok {
+			report(lines, "required family %q absent", fam)
+		}
+	}
+	return lines, errs
+}
+
+// familyOf maps a sample name to its # TYPE'd family: histogram samples
+// carry a _bucket/_sum/_count suffix on the family name, everything
+// else matches exactly.
+func familyOf(mname string, typed map[string]string) (fam, suffix string) {
+	if _, ok := typed[mname]; ok {
+		return mname, ""
+	}
+	for _, s := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(mname, s)
+		if base != mname && typed[base] == "histogram" {
+			return base, s
+		}
+	}
+	return "", ""
+}
+
+// parseSample splits one sample line into name, labels and value.
+func parseSample(line string) (mname string, labels map[string]string, value float64, err error) {
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i >= 0 && rest[i] == '{' {
+		mname = rest[:i]
+		end := strings.LastIndexByte(rest, '}')
+		if end < i {
+			return "", nil, 0, fmt.Errorf("unterminated label set: %s", line)
+		}
+		labels, err = parseLabels(rest[i+1 : end])
+		if err != nil {
+			return "", nil, 0, fmt.Errorf("%v in: %s", err, line)
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		fields := strings.SplitN(rest, " ", 2)
+		if len(fields) != 2 {
+			return "", nil, 0, fmt.Errorf("sample line without a value: %s", line)
+		}
+		mname, rest = fields[0], strings.TrimSpace(fields[1])
+	}
+	// A timestamp may follow the value; only the value is checked.
+	valueField := strings.Fields(rest)
+	if len(valueField) == 0 {
+		return "", nil, 0, fmt.Errorf("sample line without a value: %s", line)
+	}
+	value, err = strconv.ParseFloat(valueField[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad sample value %q", valueField[0])
+	}
+	return mname, labels, value, nil
+}
+
+// parseLabels parses the inside of a {label="value",...} set, honoring
+// the \\, \" and \n escapes the format defines.
+func parseLabels(s string) (map[string]string, error) {
+	labels := make(map[string]string)
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label without '='")
+		}
+		lname := strings.TrimSpace(s[:eq])
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("label %q value not quoted", lname)
+		}
+		s = s[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			switch s[i] {
+			case '\\':
+				if i+1 >= len(s) {
+					return nil, fmt.Errorf("label %q: dangling escape", lname)
+				}
+				i++
+				switch s[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(s[i])
+				}
+			case '"':
+				labels[lname] = val.String()
+				s = strings.TrimPrefix(strings.TrimSpace(s[i+1:]), ",")
+				s = strings.TrimSpace(s)
+				closed = true
+			default:
+				val.WriteByte(s[i])
+			}
+			if closed {
+				break
+			}
+		}
+		if !closed {
+			return nil, fmt.Errorf("label %q: unterminated value", lname)
+		}
+	}
+	return labels, nil
+}
+
+// labelKey canonicalizes a label set (minus one excluded label) so
+// samples of the same series compare equal regardless of label order.
+func labelKey(labels map[string]string, exclude string) string {
+	pairs := make([]string, 0, len(labels))
+	for k, v := range labels {
+		if k == exclude {
+			continue
+		}
+		pairs = append(pairs, k+"="+v)
+	}
+	sort.Strings(pairs)
+	return strings.Join(pairs, ",")
+}
+
+// parseLe resolves an le label to its bound; "+Inf" is positive
+// infinity.
+func parseLe(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(+1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

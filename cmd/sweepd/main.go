@@ -31,9 +31,11 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -41,6 +43,7 @@ import (
 
 	"abm/internal/experiments"
 	"abm/internal/obs"
+	"abm/internal/obs/prom"
 	"abm/internal/runner"
 	"abm/internal/sweepd"
 )
@@ -74,6 +77,7 @@ func usage() {
   sweepd serve  [grid flags] -addr host:port -out dir   run the coordinator (plus -workers in-process workers)
   sweepd work   -connect host:port [-slots n]           work a remote coordinator's sweep
   sweepd status -connect host:port                      print a coordinator's live status
+  sweepd status -out dir                                replay a finished sweep's record log offline
 `)
 }
 
@@ -162,6 +166,8 @@ func serveCmd(args []string) int {
 		return die(err)
 	}
 	store := sweepd.NewStore(recLog, *batch, *batchDelay)
+	// Worker-shipped telemetry bundles land beside the record log.
+	store.TelemetryDir = filepath.Join(*out, "telemetry")
 	defer store.Close()
 
 	var progress *os.File
@@ -258,11 +264,12 @@ func serveCmd(args []string) int {
 func workCmd(args []string) int {
 	fs := flag.NewFlagSet("sweepd work", flag.ExitOnError)
 	var (
-		connect = fs.String("connect", "", "coordinator address (host:port or URL)")
-		name    = fs.String("name", "", "worker name (default worker-<pid>)")
-		slots   = fs.Int("slots", runtime.NumCPU(), "concurrent jobs")
-		retries = fs.Int("retries", 1, "retries for jobs failing with an error")
-		quiet   = fs.Bool("quiet", false, "suppress per-job progress lines")
+		connect     = fs.String("connect", "", "coordinator address (host:port or URL)")
+		name        = fs.String("name", "", "worker name (default worker-<pid>)")
+		slots       = fs.Int("slots", runtime.NumCPU(), "concurrent jobs")
+		retries     = fs.Int("retries", 1, "retries for jobs failing with an error")
+		metricsAddr = fs.String("metrics-addr", "", "serve the worker's own /metrics on this address (empty = off)")
+		quiet       = fs.Bool("quiet", false, "suppress per-job progress lines")
 	)
 	fs.Parse(args)
 	if *connect == "" {
@@ -279,6 +286,21 @@ func workCmd(args []string) int {
 		Retries:    *retries,
 		Progress:   progress,
 	}
+	if *metricsAddr != "" {
+		l, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return die(err)
+		}
+		defer l.Close()
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /metrics", func(rw http.ResponseWriter, r *http.Request) {
+			var pw prom.Writer
+			w.WriteMetrics(&pw)
+			rw.Header().Set("Content-Type", prom.ContentType)
+			rw.Write(pw.Bytes())
+		})
+		go http.Serve(l, mux)
+	}
 	if err := w.Run(context.Background()); err != nil {
 		return die(err)
 	}
@@ -286,18 +308,36 @@ func workCmd(args []string) int {
 	return 0
 }
 
-// statusCmd prints a coordinator's live status.
+// statusCmd prints a coordinator's live status (-connect) or replays a
+// finished sweep's record log (-out) for the same view offline.
 func statusCmd(args []string) int {
 	fs := flag.NewFlagSet("sweepd status", flag.ExitOnError)
 	connect := fs.String("connect", "", "coordinator address (host:port or URL)")
+	out := fs.String("out", "", "offline mode: replay records.log in this directory instead of contacting a coordinator")
 	fs.Parse(args)
-	if *connect == "" {
-		return die(fmt.Errorf("sweepd status: -connect is required"))
+	switch {
+	case *connect != "":
+		st, err := sweepd.NewClient(*connect).Status()
+		if err != nil {
+			return die(err)
+		}
+		printStatus(st)
+	case *out != "":
+		st, err := offlineStatus(*out)
+		if err != nil {
+			return die(err)
+		}
+		printStatus(st)
+	default:
+		return die(fmt.Errorf("sweepd status: -connect or -out is required"))
 	}
-	st, err := sweepd.NewClient(*connect).Status()
-	if err != nil {
-		return die(err)
-	}
+	return 0
+}
+
+// printStatus renders one status snapshot, including the fleet-wide
+// merged FCT-slowdown summary per group when the sweep records
+// histograms.
+func printStatus(st *sweepd.Status) {
 	fmt.Printf("sweep %q: %d jobs — %d pending, %d leased, %d done (%d failed)",
 		st.Name, st.Jobs, st.Pending, st.Leased, st.Done, st.Failed)
 	if st.Finished {
@@ -316,12 +356,79 @@ func statusCmd(args []string) int {
 			line += ", settled"
 		}
 		fmt.Println(line)
+		if s := g.Slowdown; s != nil {
+			fmt.Printf("  %-40s slowdown p50 %.3f  p99 %.3f  p999 %.3f  (%d flows)\n",
+				"", s.P50, s.P99, s.P999, s.Count)
+		}
 	}
 	if st.Batch != nil {
 		fmt.Printf("  log: %d records in %d batches (max %d)\n",
 			st.Batch.Records, st.Batch.Batches, st.Batch.MaxBatchLen)
 	}
-	return 0
+}
+
+// offlineStatus rebuilds a status snapshot from a sweep's record log —
+// the post-run path: the coordinator has exited, but its durable state
+// answers the same questions.
+func offlineStatus(dir string) (*sweepd.Status, error) {
+	logPath := filepath.Join(dir, "records.log")
+	recLog, err := sweepd.OpenFileLog(logPath)
+	if err != nil {
+		return nil, err
+	}
+	defer recLog.Close()
+	recs, err := recLog.Replay()
+	if err != nil {
+		return nil, err
+	}
+	// Latest-entry-wins per job, like the resume path.
+	latest := make(map[string]runner.Record)
+	var order []string
+	for _, rec := range recs {
+		if _, seen := latest[rec.ID]; !seen {
+			order = append(order, rec.ID)
+		}
+		latest[rec.ID] = rec
+	}
+	st := &sweepd.Status{Finished: true}
+	byGroup := make(map[string][]runner.Record)
+	var groupOrder []string
+	for _, id := range order {
+		rec := latest[id]
+		if st.Name == "" && rec.Experiment != "" {
+			st.Name = rec.Experiment
+		}
+		st.Jobs++
+		st.Done++
+		if !rec.OK() {
+			st.Failed++
+		}
+		group := rec.Group
+		if group == "" {
+			group = rec.ID
+		}
+		if _, seen := byGroup[group]; !seen {
+			groupOrder = append(groupOrder, group)
+		}
+		byGroup[group] = append(byGroup[group], rec)
+	}
+	sort.Strings(groupOrder)
+	for _, group := range groupOrder {
+		gs := sweepd.GroupStatus{Group: group, Settled: true}
+		var ok []runner.Record
+		for _, rec := range byGroup[group] {
+			gs.Total++
+			if rec.OK() {
+				gs.OK++
+				ok = append(ok, rec)
+			} else {
+				gs.Failed++
+			}
+		}
+		gs.Slowdown = sweepd.SlowdownOf(ok)
+		st.Groups = append(st.Groups, gs)
+	}
+	return st, nil
 }
 
 func die(err error) int {

@@ -7,6 +7,7 @@ import (
 	"abm/internal/aqm"
 	"abm/internal/bm"
 	"abm/internal/obs"
+	"abm/internal/obs/hist"
 	"abm/internal/packet"
 	"abm/internal/units"
 )
@@ -119,6 +120,7 @@ type MMU struct {
 	ctrDropUnscheduled *obs.Counter
 	ctrMarked          *obs.Counter
 	ctrTrimmed         *obs.Counter
+	histHeadroom       *hist.Histogram
 
 	// Counters.
 	AdmittedPkts  int64
@@ -150,6 +152,7 @@ func newMMU(cfg MMUConfig, sw *Switch, rng *rand.Rand, sink *obs.Sink) *MMU {
 	m.ctrDropUnscheduled = sink.Ctr(obs.CtrDropUnscheduled)
 	m.ctrMarked = sink.Ctr(obs.CtrECNMarked)
 	m.ctrTrimmed = sink.Ctr(obs.CtrTrimmed)
+	m.histHeadroom = sink.Hist(obs.HistAdmitHeadroom)
 	np, nq := len(sw.ports), sw.prios
 	m.aqms = make([][]aqm.Policy, np)
 	m.normDrain = make([][]float64, np)
@@ -404,6 +407,9 @@ func (m *MMU) Admit(port, prio int, pkt *packet.Packet) AdmitResult {
 	// Stage 1: buffer-management threshold (Ψ).
 	thr := m.cfg.BM.Threshold(ctx)
 	m.setThreshold(q, thr)
+	// Headroom left under the Eq. 9 threshold before this packet; at-
+	// or-past-threshold decisions land in the histogram's <=0 bucket.
+	m.histHeadroom.Record(int64(thr) - int64(q.bytes))
 	size := pkt.Size()
 	fitsThreshold := q.bytes+size <= thr
 	if pkt.Payload == 0 && !m.cfg.DropControl {

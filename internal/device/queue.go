@@ -59,6 +59,13 @@ type Queue struct {
 	DequeuedPkts  int64
 	MarkedPkts    int64
 
+	// FluidBytes counts payload bytes that traversed this queue in the
+	// hybrid engine's fluid mode — invisible to the packet counters
+	// above, charged by the controller at promotion. Queues that only
+	// ever carried fluid traffic show up in the counters table through
+	// this column alone.
+	FluidBytes units.ByteCount
+
 	// Drop counters by cause, for experiment reporting.
 	DropsThreshold int64
 	DropsNoBuffer  int64

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"abm/internal/obs"
+	"abm/internal/obs/hist"
 	"abm/internal/packet"
 	"abm/internal/sim"
 	"abm/internal/units"
@@ -131,6 +132,7 @@ type Switch struct {
 
 	obsSink        *obs.Sink
 	ctrDropDequeue *obs.Counter
+	histQDelay     *hist.Histogram
 
 	RxPkts int64
 }
@@ -159,6 +161,7 @@ func NewSwitch(s *sim.Simulator, cfg SwitchConfig) *Switch {
 	}
 	sw.obsSink = cfg.Obs
 	sw.ctrDropDequeue = cfg.Obs.Ctr(obs.CtrDropDequeue)
+	sw.histQDelay = cfg.Obs.Hist(obs.HistQueueDelay)
 	sw.mmu = newMMU(cfg.MMU, sw, rng, cfg.Obs)
 	if iv := cfg.MMU.StatsInterval; iv > 0 {
 		sw.statsTicker = s.NewTicker(iv, func() { sw.mmu.tick(s.Now()) })
@@ -309,6 +312,9 @@ func (p *Port) maybeTransmit() {
 			return
 		}
 		p.sw.mmu.release(pkt)
+		if p.sw.histQDelay != nil {
+			p.sw.histQDelay.Record(int64(p.sw.sim.Now() - enqAt))
+		}
 		// Sojourn-based AQM (Codel) may discard at dequeue.
 		if hook := p.sw.mmu.dequeueHook(p.idx, q.Prio); hook != nil {
 			now := p.sw.sim.Now()

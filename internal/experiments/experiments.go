@@ -11,6 +11,7 @@ import (
 
 	"abm/internal/metrics"
 	"abm/internal/obs"
+	"abm/internal/obs/hist"
 	"abm/internal/scenario"
 	"abm/internal/units"
 )
@@ -239,6 +240,11 @@ type Result struct {
 	// keys are shard-count-invariant.
 	Counters map[string]int64
 
+	// Hists holds the merged histogram snapshots by export name when
+	// the cell enabled histogram recording; nil otherwise. Shard-count-
+	// invariant like Counters.
+	Hists map[string]hist.Snapshot
+
 	// Resolved is the fully-explicit scenario the cell executed — the
 	// re-runnable record sweep job results embed.
 	Resolved scenario.Scenario
@@ -265,6 +271,7 @@ func RunDetailed(cell Cell) (Result, *metrics.Collector, error) {
 		UnscheduledDrops: sres.UnscheduledDrops,
 		Events:           sres.Events,
 		Counters:         sres.Counters,
+		Hists:            sres.Hists,
 		Resolved:         sres.Scenario,
 	}, col, nil
 }

@@ -239,6 +239,7 @@ func (g Grid) scenarioPlan() (*runner.Plan, error) {
 						UnscheduledDrops: res.UnscheduledDrops,
 						Events:           res.Events,
 						Counters:         res.Counters,
+						Hists:            res.Hists,
 						Resolved:         res.Scenario,
 					}), nil
 				},

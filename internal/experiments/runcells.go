@@ -132,6 +132,7 @@ func runnerResult(res Result) runner.Result {
 		Drops:            res.Drops,
 		UnscheduledDrops: res.UnscheduledDrops,
 		Counters:         res.Counters,
+		Hists:            res.Hists,
 		Scenario:         res.Resolved,
 	}
 	if len(res.PerPrioP99Short) > 0 {
@@ -152,6 +153,7 @@ func resultFromRecord(rec runner.Record) Result {
 		Drops:            rec.Result.Drops,
 		UnscheduledDrops: rec.Result.UnscheduledDrops,
 		Counters:         rec.Result.Counters,
+		Hists:            rec.Result.Hists,
 	}
 	for key, v := range rec.Result.Extra {
 		var prio uint8

@@ -43,6 +43,7 @@ import (
 	"abm/internal/device"
 	"abm/internal/host"
 	"abm/internal/obs"
+	"abm/internal/obs/hist"
 	"abm/internal/packet"
 	"abm/internal/sim"
 	"abm/internal/topo"
@@ -211,6 +212,8 @@ type Controller struct {
 	ctrPromotions *obs.Counter
 	ctrEpochs     *obs.Counter
 	ctrFluidBytes *obs.Counter
+	histResidency *hist.Histogram
+	histPromoLead *hist.Histogram
 }
 
 // New builds a controller over a serial-engine network. Call Start to
@@ -240,6 +243,8 @@ func New(s *sim.Simulator, n *topo.Network, cfg Config) *Controller {
 		ctrPromotions: cfg.Obs.Ctr(obs.CtrHybridPromotions),
 		ctrEpochs:     cfg.Obs.Ctr(obs.CtrHybridEpochs),
 		ctrFluidBytes: cfg.Obs.Ctr(obs.CtrHybridFluidBytes),
+		histResidency: cfg.Obs.Hist(obs.HistHybridResidency),
+		histPromoLead: cfg.Obs.Hist(obs.HistHybridPromoLead),
 	}
 	return c
 }
@@ -748,6 +753,7 @@ func (c *Controller) promote(f *flow, now units.Time) {
 	if deliveredTo > int64(f.sn.Size) {
 		deliveredTo = int64(f.sn.Size)
 	}
+	fluidBytes := deliveredTo - f.base
 	for _, ps := range f.cons {
 		ps.nflows--
 	}
@@ -756,12 +762,17 @@ func (c *Controller) promote(f *flow, now units.Time) {
 		if qs.nflows == 0 {
 			qs.fq.Arrival = 0 // residual fluid drains out of the model
 		}
+		// Per-queue visibility for the counters table: the stint's
+		// payload bytes traversed every queue on the flow's path in
+		// fluid mode, invisible to the enq/deq counters.
+		qs.q.FluidBytes += units.ByteCount(fluidBytes)
 	}
-	fluidBytes := deliveredTo - f.base
 	c.stats.Promotions++
 	c.stats.FluidBytes += fluidBytes
 	c.ctrPromotions.Inc()
 	c.ctrFluidBytes.Add(fluidBytes)
+	c.histResidency.Record(int64(now - f.demotedAt))
+	c.histPromoLead.Record(int64(f.sn.Size) - deliveredTo)
 
 	c.net.Hosts[f.dst].AdvanceReceiver(f.id, packet.NodeID(f.src), deliveredTo)
 	sn := f.sn

@@ -40,6 +40,12 @@ func (f *Flags) AddFlagsTo(fs *flag.FlagSet, perJob bool) {
 		"keep roughly this fraction of queue-level events, selected by a shard-invariant identity hash (0 or 1 = all)")
 	fs.StringVar(&f.Opts.CountersFile, "counters", "",
 		"write telemetry counter totals and the per-queue summary TSV to "+noun)
+	fs.BoolVar(&f.Opts.Hists, "hists", false,
+		"record streaming histograms (FCT slowdown per class, queue occupancy/delay, admission headroom)")
+	fs.StringVar(&f.Opts.HistFile, "hist-snapshots", "",
+		"write the histogram snapshot series as NDJSON to "+noun+" (implies -hists)")
+	fs.StringVar(&f.Opts.MetricsAddr, "metrics-addr", "",
+		"serve live /metrics (Prometheus text format) on this address while the run is in flight (implies -hists; per-job runs ignore it)")
 }
 
 // Validate checks the flag combination early (before a long run) and

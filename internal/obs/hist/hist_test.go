@@ -1,0 +1,151 @@
+package hist
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestBucketLayout pins the layout: exact buckets below 16, 4
+// sub-buckets per octave above, edges monotone, and every value inside
+// its bucket's range.
+func TestBucketLayout(t *testing.T) {
+	if got := BucketOf(-5); got != 0 {
+		t.Fatalf("BucketOf(-5) = %d, want 0", got)
+	}
+	if got := BucketOf(0); got != 0 {
+		t.Fatalf("BucketOf(0) = %d, want 0", got)
+	}
+	for v := int64(1); v < 16; v++ {
+		if got := BucketOf(v); got != int(v) {
+			t.Fatalf("BucketOf(%d) = %d, want exact linear bucket", v, got)
+		}
+		if UpperEdge(int(v)) != v {
+			t.Fatalf("UpperEdge(%d) = %d", v, UpperEdge(int(v)))
+		}
+	}
+	if got := BucketOf(math.MaxInt64); got != NumBuckets-1 {
+		t.Fatalf("BucketOf(MaxInt64) = %d, want %d", got, NumBuckets-1)
+	}
+	if got := UpperEdge(NumBuckets - 1); got != math.MaxInt64 {
+		t.Fatalf("UpperEdge(top) = %d, want MaxInt64", got)
+	}
+	// Edges strictly increase and each value lands at or below its
+	// bucket's upper edge but above the previous bucket's.
+	for i := 1; i < NumBuckets; i++ {
+		lo, hi := UpperEdge(i-1), UpperEdge(i)
+		if hi <= lo {
+			t.Fatalf("UpperEdge not monotone at %d: %d then %d", i, lo, hi)
+		}
+	}
+	rng := rand.New(rand.NewSource(42))
+	for n := 0; n < 100000; n++ {
+		v := int64(rng.Uint64() >> uint(rng.Intn(63)))
+		i := BucketOf(v)
+		if v > UpperEdge(i) || (i > 0 && v <= UpperEdge(i-1)) {
+			t.Fatalf("value %d outside bucket %d (%d, %d]", v, i, UpperEdge(i-1), UpperEdge(i))
+		}
+		// Worst-case relative width 25% of the upper edge in the log
+		// region (4 sub-buckets per octave).
+		if i >= linearMax {
+			lo, hi := UpperEdge(i-1), UpperEdge(i)
+			if float64(hi-lo)/float64(hi) > 0.25+1e-9 {
+				t.Fatalf("bucket %d too wide: (%d, %d]", i, lo, hi)
+			}
+		}
+	}
+}
+
+// TestMergeOrderInvariant pins the merge contract: any split of a value
+// stream across histograms, merged in any order, matches recording the
+// whole stream into one histogram.
+func TestMergeOrderInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]int64, 5000)
+	for i := range vals {
+		vals[i] = int64(rng.Uint64()>>uint(rng.Intn(62))) - 10
+	}
+	var whole Histogram
+	parts := make([]Histogram, 4)
+	for i, v := range vals {
+		whole.Record(v)
+		parts[i%len(parts)].Record(v)
+	}
+	// Histogram.Add in reverse shard order.
+	var merged Histogram
+	for i := len(parts) - 1; i >= 0; i-- {
+		merged.Add(&parts[i])
+	}
+	if !reflect.DeepEqual(whole.Snapshot(), merged.Snapshot()) {
+		t.Fatal("Histogram.Add order changed the snapshot")
+	}
+	// Snapshot.Merge in a different order again.
+	snap := parts[2].Snapshot().Merge(parts[0].Snapshot()).
+		Merge(parts[3].Snapshot()).Merge(parts[1].Snapshot())
+	if !reflect.DeepEqual(whole.Snapshot(), snap) {
+		t.Fatal("Snapshot.Merge order changed the snapshot")
+	}
+	if whole.Count() != int64(len(vals)) {
+		t.Fatalf("count %d != %d", whole.Count(), len(vals))
+	}
+}
+
+// TestQuantile pins quantile semantics: the upper edge of the bucket
+// holding the rank-ceil(q*n) observation.
+func TestQuantile(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 10; v++ {
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got != 5 {
+		t.Fatalf("p50 = %d, want 5", got)
+	}
+	if got := s.Quantile(0.99); got != 10 {
+		t.Fatalf("p99 = %d, want 10", got)
+	}
+	if got := (Snapshot{}).Quantile(0.5); got != 0 {
+		t.Fatalf("empty p50 = %d, want 0", got)
+	}
+	// A large value lands in a log bucket; the quantile is that
+	// bucket's upper edge, within 25% above the true value.
+	var big Histogram
+	big.Record(1_000_000)
+	q := big.Snapshot().Quantile(0.99)
+	if q < 1_000_000 || float64(q) > 1_000_000*1.25 {
+		t.Fatalf("log-bucket quantile %d not in [1e6, 1.25e6]", q)
+	}
+}
+
+// TestSnapshotJSONRoundTrip pins the wire format bundles and records
+// use.
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	var h Histogram
+	h.Record(-3)
+	h.Record(1)
+	h.Record(1)
+	h.Record(300)
+	s := h.Snapshot()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Fatalf("round trip changed snapshot: %s", data)
+	}
+	if s.Count != 4 || s.Sum != -3+1+1+300 {
+		t.Fatalf("count/sum wrong: %+v", s)
+	}
+	// Nil receiver is the disabled instrument.
+	var nilH *Histogram
+	nilH.Record(5)
+	if nilH.Count() != 0 || len(nilH.Snapshot().Buckets) != 0 {
+		t.Fatal("nil histogram recorded")
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"strings"
 
+	"abm/internal/obs/hist"
 	"abm/internal/units"
 )
 
@@ -230,6 +231,7 @@ type Sink struct {
 	max    int    // event-buffer cap
 	events []Event
 	ctrs   [NumCtrs]Counter
+	hists  *[NumHists]hist.Histogram // nil unless Options.Hists
 }
 
 // Enabled reports whether events of kind k are being recorded. It is

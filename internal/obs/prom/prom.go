@@ -1,0 +1,201 @@
+// Package prom is a hand-rolled Prometheus text-format (version 0.0.4)
+// exposition writer and a tiny pull registry — no external
+// dependencies, byte-deterministic output (families and samples render
+// in the order the collector emits them; floats use strconv's shortest
+// 'g' form), so golden tests and the shard-invariance gate can compare
+// whole expositions byte for byte.
+package prom
+
+import (
+	"bytes"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"abm/internal/obs/hist"
+)
+
+// Label is one name="value" pair.
+type Label struct {
+	Name, Value string
+}
+
+// Writer accumulates one exposition. The zero value is ready to use.
+type Writer struct {
+	b bytes.Buffer
+}
+
+// Bytes returns the exposition accumulated so far.
+func (w *Writer) Bytes() []byte { return w.b.Bytes() }
+
+// Family emits the # HELP and # TYPE header for one metric family.
+// typ is "counter", "gauge" or "histogram".
+func (w *Writer) Family(name, typ, help string) {
+	if help != "" {
+		w.b.WriteString("# HELP ")
+		w.b.WriteString(name)
+		w.b.WriteByte(' ')
+		w.b.WriteString(escapeHelp(help))
+		w.b.WriteByte('\n')
+	}
+	w.b.WriteString("# TYPE ")
+	w.b.WriteString(name)
+	w.b.WriteByte(' ')
+	w.b.WriteString(typ)
+	w.b.WriteByte('\n')
+}
+
+// Sample emits one sample line for a previously declared family.
+func (w *Writer) Sample(name string, labels []Label, v float64) {
+	w.b.WriteString(name)
+	w.writeLabels(labels, "", 0)
+	w.b.WriteByte(' ')
+	w.writeFloat(v)
+	w.b.WriteByte('\n')
+}
+
+// IntSample emits one sample with an exactly-rendered integer value.
+func (w *Writer) IntSample(name string, labels []Label, v int64) {
+	w.b.WriteString(name)
+	w.writeLabels(labels, "", 0)
+	w.b.WriteByte(' ')
+	w.b.WriteString(strconv.FormatInt(v, 10))
+	w.b.WriteByte('\n')
+}
+
+// Histogram emits the _bucket/_sum/_count samples for one histogram
+// series from a snapshot. Recorded integer values are divided by scale
+// to reach the exposed unit (e.g. 1e12 maps picoseconds to seconds,
+// 1e3 maps milli-slowdowns to slowdowns); bucket edges follow the same
+// mapping, so `le` values are exact shortest-form floats of the fixed
+// layout in hist.
+func (w *Writer) Histogram(name string, labels []Label, s hist.Snapshot, scale float64) {
+	var cum int64
+	for _, b := range s.Buckets {
+		cum += b[1]
+		le := float64(hist.UpperEdge(int(b[0]))) / scale
+		w.b.WriteString(name)
+		w.b.WriteString("_bucket")
+		w.writeLabels(labels, "le", le)
+		w.b.WriteByte(' ')
+		w.b.WriteString(strconv.FormatInt(cum, 10))
+		w.b.WriteByte('\n')
+	}
+	w.b.WriteString(name)
+	w.b.WriteString("_bucket")
+	w.writeLabelsInf(labels)
+	w.b.WriteByte(' ')
+	w.b.WriteString(strconv.FormatInt(s.Count, 10))
+	w.b.WriteByte('\n')
+	w.b.WriteString(name)
+	w.b.WriteString("_sum")
+	w.writeLabels(labels, "", 0)
+	w.b.WriteByte(' ')
+	w.writeFloat(float64(s.Sum) / scale)
+	w.b.WriteByte('\n')
+	w.b.WriteString(name)
+	w.b.WriteString("_count")
+	w.writeLabels(labels, "", 0)
+	w.b.WriteByte(' ')
+	w.b.WriteString(strconv.FormatInt(s.Count, 10))
+	w.b.WriteByte('\n')
+}
+
+func (w *Writer) writeFloat(v float64) {
+	w.b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// writeLabels renders {a="b",...}; with leName set, an le label with
+// the given float value is appended.
+func (w *Writer) writeLabels(labels []Label, leName string, le float64) {
+	if len(labels) == 0 && leName == "" {
+		return
+	}
+	w.b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			w.b.WriteByte(',')
+		}
+		w.b.WriteString(l.Name)
+		w.b.WriteString(`="`)
+		w.b.WriteString(escapeValue(l.Value))
+		w.b.WriteByte('"')
+	}
+	if leName != "" {
+		if len(labels) > 0 {
+			w.b.WriteByte(',')
+		}
+		w.b.WriteString(leName)
+		w.b.WriteString(`="`)
+		w.writeFloat(le)
+		w.b.WriteByte('"')
+	}
+	w.b.WriteByte('}')
+}
+
+func (w *Writer) writeLabelsInf(labels []Label) {
+	w.b.WriteByte('{')
+	for _, l := range labels {
+		w.b.WriteString(l.Name)
+		w.b.WriteString(`="`)
+		w.b.WriteString(escapeValue(l.Value))
+		w.b.WriteString(`",`)
+	}
+	w.b.WriteString(`le="+Inf"}`)
+}
+
+func escapeValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// ContentType is the exposition's Content-Type header value.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Registry is a pull-model snapshot registry: collectors registered
+// once render the current state into a Writer on every scrape. It is
+// safe for concurrent Register/Render.
+type Registry struct {
+	mu         sync.Mutex
+	collectors []func(*Writer)
+}
+
+// Register adds a collector. Collectors run in registration order on
+// every render, so the exposition layout is stable.
+func (r *Registry) Register(fn func(*Writer)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, fn)
+}
+
+// Render runs every collector and returns the exposition.
+func (r *Registry) Render() []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var w Writer
+	for _, fn := range r.collectors {
+		fn(&w)
+	}
+	return w.Bytes()
+}
+
+// Handler serves the registry at GET /metrics (and any path it is
+// mounted on).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", ContentType)
+		rw.Write(r.Render())
+	})
+}

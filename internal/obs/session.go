@@ -4,6 +4,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"abm/internal/obs/hist"
 )
 
 // Options selects what one run records and where it lands. It is part
@@ -37,11 +39,28 @@ type Options struct {
 	// PerJob marks the path fields as directories: each job of a sweep
 	// or figure resolves its own file inside them via ForJob.
 	PerJob bool `json:"per_job,omitempty"`
+	// Hists activates the streaming histogram registry: FCT slowdown
+	// per class, queue occupancy/delay, admission headroom, hybrid
+	// residency. Merged totals embed in runner records like counters.
+	Hists bool `json:"hists,omitempty"`
+	// HistFile receives the histogram snapshot series as NDJSON ("hist"
+	// record kind, one line per histogram per sim-time tick). Implies
+	// Hists.
+	HistFile string `json:"hist_file,omitempty"`
+	// MetricsAddr serves a Prometheus text exposition of the live run
+	// at http://<addr>/metrics while it executes. Implies Hists.
+	MetricsAddr string `json:"metrics_addr,omitempty"`
 }
 
 // Active reports whether the options request any telemetry.
 func (o Options) Active() bool {
-	return o.EventsFile != "" || o.ChromeFile != "" || o.CountersFile != "" || o.Counters
+	return o.EventsFile != "" || o.ChromeFile != "" || o.CountersFile != "" ||
+		o.Counters || o.HistsActive()
+}
+
+// HistsActive reports whether the options request histogram recording.
+func (o Options) HistsActive() bool {
+	return o.Hists || o.HistFile != "" || o.MetricsAddr != ""
 }
 
 // ForJob resolves per-job output paths: with PerJob set, each path
@@ -60,6 +79,11 @@ func (o Options) ForJob(id string) Options {
 	if o.CountersFile != "" {
 		o.CountersFile = filepath.Join(o.CountersFile, name+".tsv")
 	}
+	if o.HistFile != "" {
+		o.HistFile = filepath.Join(o.HistFile, name+".hist.ndjson")
+	}
+	// A single listen address cannot be shared by concurrent jobs.
+	o.MetricsAddr = ""
 	o.PerJob = false
 	return o
 }
@@ -118,6 +142,9 @@ func NewSession(o Options, shards int) (*Session, error) {
 	s := &Session{opts: o, sinks: make([]*Sink, shards)}
 	for i := range s.sinks {
 		s.sinks[i] = &Sink{mask: mask, bar53: bar53, max: max}
+		if o.HistsActive() {
+			s.sinks[i].hists = new([NumHists]hist.Histogram)
+		}
 	}
 	s.engine = &Sink{mask: mask, bar53: bar53, max: max}
 	return s, nil

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"abm/internal/metrics"
+	"abm/internal/obs/hist"
 )
 
 // RunFunc executes one job. The seed is the job's derived simulation
@@ -66,6 +67,10 @@ type Result struct {
 	// Counters carries the run's telemetry counter totals by export
 	// name when the job enabled telemetry (see internal/obs).
 	Counters map[string]int64 `json:"counters,omitempty"`
+	// Hists carries the run's merged histogram snapshots by export name
+	// when the job enabled histogram recording; the coordinator merges
+	// them fleet-wide (hist.Snapshot.Merge is order-invariant).
+	Hists map[string]hist.Snapshot `json:"hists,omitempty"`
 	// Scenario is the fully-resolved scenario spec the job executed
 	// (scenario.Scenario, typed any to keep this package policy-free):
 	// unlike the Config echo, it records every defaulted knob explicitly,

@@ -15,9 +15,17 @@ import (
 // writeObsOutputs flushes a finished run's telemetry to the files its
 // options request. A nil session (telemetry off) writes nothing. Called
 // after the drain, when every shard is quiescent.
-func writeObsOutputs(o obs.Options, sess *obs.Session, n *topo.Network) error {
+func writeObsOutputs(o obs.Options, sess *obs.Session, n *topo.Network, rec *histRecorder) error {
 	if sess == nil {
 		return nil
+	}
+	if o.HistFile != "" && rec != nil {
+		if err := writeTo(o.HistFile, func(f *os.File) error {
+			_, err := f.Write(rec.series)
+			return err
+		}); err != nil {
+			return err
+		}
 	}
 	var events []obs.Event
 	if o.EventsFile != "" || o.ChromeFile != "" {

@@ -11,6 +11,7 @@ import (
 	"abm/internal/hybrid"
 	"abm/internal/metrics"
 	"abm/internal/obs"
+	"abm/internal/obs/hist"
 	"abm/internal/packet"
 	"abm/internal/randutil"
 	"abm/internal/sim"
@@ -37,6 +38,11 @@ type Result struct {
 	// scenario enabled telemetry; nil otherwise. The keys and values are
 	// shard-count-invariant.
 	Counters map[string]int64
+
+	// Hists holds the merged histogram snapshots by export name when the
+	// scenario enabled histogram recording (obs.Options.Hists); nil
+	// otherwise. Like Counters, shard-count-invariant.
+	Hists map[string]hist.Snapshot
 
 	// Hybrid holds the hybrid engine's activity summary when the
 	// scenario enabled it; nil otherwise.
@@ -162,6 +168,10 @@ func Run(s Scenario) (Result, *metrics.Collector, error) {
 	if err != nil {
 		return Result{}, nil, err
 	}
+	rec, err := newHistRecorder(r, sess, col, n)
+	if err != nil {
+		return Result{}, nil, err
+	}
 	// The hybrid controller installs the flow-start hook and its epoch
 	// ticker before any flow launches; LongFlows schedules first so its
 	// flow IDs stay in host order on every engine.
@@ -185,6 +195,7 @@ func Run(s Scenario) (Result, *metrics.Collector, error) {
 		ic.Start()
 	}
 	sampler.Start(samplerInterval)
+	rec.start(eng, samplerInterval)
 
 	eng.RunUntil(duration)
 	if ws != nil {
@@ -195,8 +206,10 @@ func Run(s Scenario) (Result, *metrics.Collector, error) {
 	}
 	// Drain: let in-flight flows finish (bounded so pathological runs
 	// still terminate).
-	eng.RunUntil(duration + 500*units.Millisecond)
+	drainEnd := duration + 500*units.Millisecond
+	eng.RunUntil(drainEnd)
 	sampler.Stop()
+	rec.stop()
 	if ctl != nil {
 		// Promote every remaining fluid flow so the final flush below
 		// completes flows in packet mode, like a pure-packet run.
@@ -204,14 +217,16 @@ func Run(s Scenario) (Result, *metrics.Collector, error) {
 	}
 	n.Stop()
 	eng.Run() // flush canceled tickers
+	rec.finish(drainEnd)
 
 	res := collectResult(r, n, col, rate, eng.Executed())
 	res.Counters = sess.Totals()
+	res.Hists = sess.HistTotals()
 	if ctl != nil {
 		st := ctl.Stats()
 		res.Hybrid = &st
 	}
-	if err := writeObsOutputs(r.Obs, sess, n); err != nil {
+	if err := writeObsOutputs(r.Obs, sess, n, rec); err != nil {
 		return Result{}, nil, err
 	}
 	return res, col, nil
@@ -241,21 +256,30 @@ func runSharded(r Scenario, cfg topo.Config, totalBuffer units.ByteCount,
 	if err != nil {
 		return Result{}, nil, err
 	}
+	rec, err := newHistRecorder(r, sess, col, n)
+	if err != nil {
+		return Result{}, nil, err
+	}
 	if lf != nil {
 		lf.Schedule()
 	}
 	workload.SchedulePregen(ws, ic, duration)
 	sampler.StartBarrier(samplerInterval)
+	rec.startBarrier(p, samplerInterval)
 
 	p.RunUntil(duration)
-	p.RunUntil(duration + 500*units.Millisecond)
+	drainEnd := duration + 500*units.Millisecond
+	p.RunUntil(drainEnd)
 	sampler.Stop()
+	rec.stop()
 	n.Stop()
 	p.Drain() // run remaining retransmission chains to exhaustion
+	rec.finish(drainEnd)
 
 	res := collectResult(r, n, col, rate, p.Executed())
 	res.Counters = sess.Totals()
-	if err := writeObsOutputs(r.Obs, sess, n); err != nil {
+	res.Hists = sess.HistTotals()
+	if err := writeObsOutputs(r.Obs, sess, n, rec); err != nil {
 		return Result{}, nil, err
 	}
 	return res, col, nil

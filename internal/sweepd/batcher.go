@@ -36,6 +36,12 @@ type BatchStats struct {
 	Batches int64 `json:"batches"`
 	// MaxBatchLen is the largest single commit.
 	MaxBatchLen int `json:"max_batch_len"`
+	// Pending is the number of records buffered for the next commit at
+	// the moment Stats was taken.
+	Pending int `json:"pending,omitempty"`
+	// LastCommitMicros is the wall-clock duration of the most recent
+	// commit (append + fsync), in microseconds.
+	LastCommitMicros int64 `json:"last_commit_us,omitempty"`
 }
 
 // Batching defaults.
@@ -109,7 +115,9 @@ func (b *Batcher) Close() error {
 func (b *Batcher) Stats() BatchStats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.stats
+	st := b.stats
+	st.Pending = len(b.pending)
+	return st
 }
 
 // commitLocked appends and fsyncs the pending batch. Callers hold b.mu.
@@ -123,6 +131,7 @@ func (b *Batcher) commitLocked() error {
 	}
 	batch := b.pending
 	b.pending = nil
+	start := time.Now()
 	if err := b.log.Append(batch); err != nil {
 		b.err = err
 		return err
@@ -131,6 +140,7 @@ func (b *Batcher) commitLocked() error {
 		b.err = err
 		return err
 	}
+	b.stats.LastCommitMicros = time.Since(start).Microseconds()
 	b.stats.Records += int64(len(batch))
 	b.stats.Batches++
 	if len(batch) > b.stats.MaxBatchLen {

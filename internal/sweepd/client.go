@@ -60,9 +60,10 @@ func (c *Client) Heartbeat(worker string, jobIDs []string) (*HeartbeatResponse, 
 }
 
 // Complete implements Dispatcher.
-func (c *Client) Complete(worker string, rec runner.Record) error {
+func (c *Client) Complete(worker string, rec runner.Record, telemetry []byte) error {
 	var resp struct{}
-	return c.call(http.MethodPost, "/v1/result", CompleteRequest{Worker: worker, Record: rec}, &resp)
+	req := CompleteRequest{Worker: worker, Record: rec, Telemetry: telemetry}
+	return c.call(http.MethodPost, "/v1/result", req, &resp)
 }
 
 // Status fetches the coordinator's live state.

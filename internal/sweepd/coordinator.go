@@ -67,6 +67,15 @@ const (
 	jobDone
 )
 
+// workerStats is the coordinator's per-worker view, fed by every RPC
+// the worker makes and exported as fleet gauges on /metrics.
+type workerStats struct {
+	lastSeen time.Time
+	done     int64   // records accepted from this worker
+	events   int64   // simulator events across those records
+	wallMS   float64 // wall-clock milliseconds across those records
+}
+
 // job is one row of the coordinator's job table.
 type job struct {
 	id      string
@@ -103,8 +112,13 @@ type Coordinator struct {
 	byID    map[string]*job
 	pending []*job // FIFO; expired leases re-queue at the front
 	groups  map[string]*groupInfo
-	done    chan struct{}
-	closed  bool
+	workers map[string]*workerStats
+	// releases counts leases that expired and were requeued; giveups
+	// counts jobs abandoned after MaxLeaseAttempts.
+	releases int64
+	giveups  int64
+	done     chan struct{}
+	closed   bool
 }
 
 // NewCoordinator builds the job table and, when a store is configured,
@@ -148,6 +162,7 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		planJobs: len(plan.Specs),
 		byID:     make(map[string]*job),
 		groups:   make(map[string]*groupInfo),
+		workers:  make(map[string]*workerStats),
 		done:     make(chan struct{}),
 	}
 	for i, spec := range plan.Specs {
@@ -259,6 +274,7 @@ func (c *Coordinator) Lease(worker string, n int) (*LeaseResponse, error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.touchWorkerLocked(worker)
 	c.reapLocked(time.Now())
 	resp := &LeaseResponse{
 		TTLMillis:     c.cfg.LeaseTTL.Milliseconds(),
@@ -293,6 +309,7 @@ func (c *Coordinator) Lease(worker string, n int) (*LeaseResponse, error) {
 func (c *Coordinator) Heartbeat(worker string, jobIDs []string) (*HeartbeatResponse, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.touchWorkerLocked(worker)
 	c.reapLocked(time.Now())
 	resp := &HeartbeatResponse{}
 	for _, id := range jobIDs {
@@ -307,13 +324,15 @@ func (c *Coordinator) Heartbeat(worker string, jobIDs []string) (*HeartbeatRespo
 }
 
 // Complete implements Dispatcher: it accepts one finished record,
-// persists it, and runs the group's adaptive-replication check. A
-// record for a job already completed elsewhere (a lease that expired
-// and was re-run) is ignored; first writer wins, which is safe because
-// identical seeds produce identical results.
-func (c *Coordinator) Complete(worker string, rec runner.Record) error {
+// persists it (with its telemetry bundle, when the store can), and runs
+// the group's adaptive-replication check. A record for a job already
+// completed elsewhere (a lease that expired and was re-run) is ignored;
+// first writer wins, which is safe because identical seeds produce
+// identical results.
+func (c *Coordinator) Complete(worker string, rec runner.Record, telemetry []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	ws := c.touchWorkerLocked(worker)
 	j, ok := c.byID[rec.ID]
 	if !ok {
 		return fmt.Errorf("sweepd: unknown job %q", rec.ID)
@@ -328,6 +347,25 @@ func (c *Coordinator) Complete(worker string, rec runner.Record) error {
 	if c.cfg.Store != nil {
 		if err := c.cfg.Store.Put(rec); err != nil {
 			return err
+		}
+	}
+	if len(telemetry) > 0 {
+		// Telemetry persistence is best-effort and optional: a store
+		// that cannot keep bundles (or a bundle that fails to land)
+		// must not fail the result itself.
+		if ts, ok := c.cfg.Store.(interface {
+			PutTelemetry(id string, data []byte) error
+		}); ok {
+			if err := ts.PutTelemetry(rec.ID, telemetry); err != nil {
+				c.logf("telemetry for %s dropped: %v", rec.ID, err)
+			}
+		}
+	}
+	if ws != nil {
+		ws.done++
+		ws.wallMS += rec.WallMS
+		if rec.Result != nil {
+			ws.events += int64(rec.Result.Events)
 		}
 	}
 	if j.state == jobPending {
@@ -386,10 +424,12 @@ func (c *Coordinator) reapLocked(now time.Time) {
 				}
 			}
 			j.state, j.worker, j.rec = jobDone, "", &rec
+			c.giveups++
 			c.logf("gave up on %s after %d leases", j.id, j.attempt)
 			c.checkGroupLocked(j.group)
 			continue
 		}
+		c.releases++
 		c.logf("lease expired: %s (worker %s, attempt %d)", j.id, j.worker, j.attempt)
 		j.state, j.worker = jobPending, ""
 		// Front of the queue: an interrupted job is the oldest work.
@@ -613,6 +653,7 @@ func (c *Coordinator) Status() *Status {
 				gs.Mean = runner.Aggregate(recs)[0].Metrics[c.cfg.CIMetric].Mean
 			}
 		}
+		gs.Slowdown = SlowdownOf(recs)
 		st.Groups = append(st.Groups, *gs)
 	}
 	if s, ok := c.cfg.Store.(*Store); ok && s != nil {
@@ -620,6 +661,22 @@ func (c *Coordinator) Status() *Status {
 		st.Batch = &stats
 	}
 	return st
+}
+
+// touchWorkerLocked records that a worker was heard from just now and
+// returns its stats row. Callers hold c.mu. An empty worker name (some
+// tests drive the Dispatcher directly) is not tracked.
+func (c *Coordinator) touchWorkerLocked(worker string) *workerStats {
+	if worker == "" {
+		return nil
+	}
+	ws := c.workers[worker]
+	if ws == nil {
+		ws = &workerStats{}
+		c.workers[worker] = ws
+	}
+	ws.lastSeen = time.Now()
+	return ws
 }
 
 // logf writes one progress line when Progress is set.

@@ -275,7 +275,7 @@ func TestLateCompleteAfterRequeue(t *testing.T) {
 
 	// The late result from the original worker lands.
 	rec := runner.Execute(context.Background(), plan.Specs[0], lease.Seed, runner.ExecOptions{})
-	if err := c.Complete("a", rec); err != nil {
+	if err := c.Complete("a", rec, nil); err != nil {
 		t.Fatal(err)
 	}
 	resp2, err := c.Lease("b", 1)
@@ -320,7 +320,7 @@ func TestHeartbeatKeepsLease(t *testing.T) {
 		}
 	}
 	rec := runner.Execute(context.Background(), c.Plan().Specs[0], resp.Leases[0].Seed, runner.ExecOptions{})
-	if err := c.Complete("slow", rec); err != nil {
+	if err := c.Complete("slow", rec, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !c.Status().Finished {

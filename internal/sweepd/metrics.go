@@ -1,0 +1,141 @@
+package sweepd
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"abm/internal/obs/hist"
+	"abm/internal/obs/prom"
+	"abm/internal/runner"
+)
+
+// slowdownPrefix selects the FCT-slowdown histograms (one per flow
+// class) out of a record's exported histogram map.
+const slowdownPrefix = "fct_slowdown_"
+
+// SlowdownOf merges every FCT-slowdown histogram (all classes) across
+// the given records' successful runs and condenses the result to tail
+// percentiles. Returns nil when the records carry no slowdown samples
+// — the caller renders nothing rather than a row of zeros.
+func SlowdownOf(recs []runner.Record) *SlowdownSummary {
+	var merged hist.Snapshot
+	for _, rec := range recs {
+		if !rec.OK() || rec.Result == nil {
+			continue
+		}
+		for name, s := range rec.Result.Hists {
+			if strings.HasPrefix(name, slowdownPrefix) {
+				merged = merged.Merge(s)
+			}
+		}
+	}
+	if merged.Count == 0 {
+		return nil
+	}
+	// Recorded values are milli-slowdowns; divide back to ratios.
+	return &SlowdownSummary{
+		Count: merged.Count,
+		P50:   float64(merged.Quantile(0.50)) / 1000,
+		P99:   float64(merged.Quantile(0.99)) / 1000,
+		P999:  float64(merged.Quantile(0.999)) / 1000,
+	}
+}
+
+// MergedHists merges the named histograms of every successful record —
+// the fleet-wide view "sweepd status" summarizes. Merge order does not
+// matter (hist.Snapshot.Merge is commutative), so the result is
+// independent of completion order and worker count.
+func MergedHists(recs []runner.Record) map[string]hist.Snapshot {
+	out := make(map[string]hist.Snapshot)
+	for _, rec := range recs {
+		if !rec.OK() || rec.Result == nil {
+			continue
+		}
+		for name, s := range rec.Result.Hists {
+			out[name] = out[name].Merge(s)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// WriteMetrics renders the coordinator's fleet gauges in Prometheus
+// text format: job states, leases outstanding, re-lease/give-up
+// totals, per-worker liveness and throughput, and the record-log
+// batcher's commit counters.
+func (c *Coordinator) WriteMetrics(w *prom.Writer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	var pending, leased, doneJobs, failed int
+	for _, j := range c.jobs {
+		switch j.state {
+		case jobPending:
+			pending++
+		case jobLeased:
+			leased++
+		case jobDone:
+			doneJobs++
+			if j.rec == nil || !j.rec.OK() {
+				failed++
+			}
+		}
+	}
+	w.Family("abm_sweepd_jobs", "gauge", "Coordinator job table by state.")
+	w.IntSample("abm_sweepd_jobs", []prom.Label{{Name: "state", Value: "pending"}}, int64(pending))
+	w.IntSample("abm_sweepd_jobs", []prom.Label{{Name: "state", Value: "leased"}}, int64(leased))
+	w.IntSample("abm_sweepd_jobs", []prom.Label{{Name: "state", Value: "done"}}, int64(doneJobs))
+	w.IntSample("abm_sweepd_jobs", []prom.Label{{Name: "state", Value: "failed"}}, int64(failed))
+
+	w.Family("abm_sweepd_leases_outstanding", "gauge", "Leases currently held by workers.")
+	w.IntSample("abm_sweepd_leases_outstanding", nil, int64(leased))
+
+	w.Family("abm_sweepd_lease_releases_total", "counter", "Leases that expired and were requeued.")
+	w.IntSample("abm_sweepd_lease_releases_total", nil, c.releases)
+	w.Family("abm_sweepd_lease_giveups_total", "counter", "Jobs abandoned after the lease-attempt cap.")
+	w.IntSample("abm_sweepd_lease_giveups_total", nil, c.giveups)
+
+	if len(c.workers) > 0 {
+		names := make([]string, 0, len(c.workers))
+		for name := range c.workers {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		now := time.Now()
+		w.Family("abm_sweepd_worker_heartbeat_age_seconds", "gauge", "Seconds since the worker was last heard from.")
+		for _, name := range names {
+			lbl := []prom.Label{{Name: "worker", Value: name}}
+			w.Sample("abm_sweepd_worker_heartbeat_age_seconds", lbl, now.Sub(c.workers[name].lastSeen).Seconds())
+		}
+		w.Family("abm_sweepd_worker_jobs_done_total", "counter", "Records accepted from the worker.")
+		for _, name := range names {
+			lbl := []prom.Label{{Name: "worker", Value: name}}
+			w.IntSample("abm_sweepd_worker_jobs_done_total", lbl, c.workers[name].done)
+		}
+		w.Family("abm_sweepd_worker_events_total", "counter", "Simulator events across the worker's accepted records (rate() gives events/s).")
+		for _, name := range names {
+			lbl := []prom.Label{{Name: "worker", Value: name}}
+			w.IntSample("abm_sweepd_worker_events_total", lbl, c.workers[name].events)
+		}
+		w.Family("abm_sweepd_worker_wall_seconds_total", "counter", "Wall-clock seconds the worker spent in accepted jobs.")
+		for _, name := range names {
+			lbl := []prom.Label{{Name: "worker", Value: name}}
+			w.Sample("abm_sweepd_worker_wall_seconds_total", lbl, c.workers[name].wallMS/1000)
+		}
+	}
+
+	if s, ok := c.cfg.Store.(*Store); ok && s != nil {
+		stats := s.Stats()
+		w.Family("abm_sweepd_batch_records_total", "counter", "Records committed to the record log.")
+		w.IntSample("abm_sweepd_batch_records_total", nil, stats.Records)
+		w.Family("abm_sweepd_batch_commits_total", "counter", "Record-log commits (one append + one fsync each).")
+		w.IntSample("abm_sweepd_batch_commits_total", nil, stats.Batches)
+		w.Family("abm_sweepd_batch_pending", "gauge", "Records buffered awaiting the next commit.")
+		w.IntSample("abm_sweepd_batch_pending", nil, int64(stats.Pending))
+		w.Family("abm_sweepd_batch_last_fsync_seconds", "gauge", "Duration of the most recent commit (append + fsync).")
+		w.Sample("abm_sweepd_batch_last_fsync_seconds", nil, float64(stats.LastCommitMicros)/1e6)
+	}
+}

@@ -1,9 +1,13 @@
 package sweepd
 
 import (
+	"bytes"
+	"compress/gzip"
 	"encoding/json"
+	"io"
 
 	"abm/internal/experiments"
+	"abm/internal/obs/hist"
 	"abm/internal/runner"
 )
 
@@ -81,10 +85,79 @@ type HeartbeatResponse struct {
 	Lost []string `json:"lost,omitempty"`
 }
 
-// CompleteRequest submits one finished record.
+// CompleteRequest submits one finished record, optionally with a
+// compressed telemetry bundle.
 type CompleteRequest struct {
 	Worker string        `json:"worker"`
 	Record runner.Record `json:"record"`
+	// Telemetry is a gzip-compressed JSON TelemetryBundle (base64 on
+	// the wire via encoding/json); empty when the job recorded none.
+	// The coordinator persists it beside its records, closing the gap
+	// between worker-local NDJSON and the coordinator's durable state.
+	Telemetry []byte `json:"telemetry,omitempty"`
+}
+
+// TelemetryBundle is the decompressed per-job telemetry a worker ships
+// with its result: the counter and histogram state that also rides in
+// the record (kept here so a bundle is self-contained), plus the raw
+// per-job NDJSON event trace when the grid requested one.
+type TelemetryBundle struct {
+	JobID    string                   `json:"job_id"`
+	Counters map[string]int64         `json:"counters,omitempty"`
+	Hists    map[string]hist.Snapshot `json:"hists,omitempty"`
+	// TraceNDJSON is the job's -trace-events export, verbatim.
+	TraceNDJSON []byte `json:"trace_ndjson,omitempty"`
+}
+
+// EncodeTelemetry serializes a bundle to the wire form: gzip over JSON.
+// Nil is returned for an empty bundle so callers can skip shipping.
+func EncodeTelemetry(b *TelemetryBundle) ([]byte, error) {
+	if b == nil || (len(b.Counters) == 0 && len(b.Hists) == 0 && len(b.TraceNDJSON) == 0) {
+		return nil, nil
+	}
+	raw, err := json.Marshal(b)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(raw); err != nil {
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeTelemetry reverses EncodeTelemetry.
+func DecodeTelemetry(data []byte) (*TelemetryBundle, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		return nil, err
+	}
+	if err := zr.Close(); err != nil {
+		return nil, err
+	}
+	var b TelemetryBundle
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}
+
+// SlowdownSummary condenses a merged FCT-slowdown histogram into the
+// tail percentiles the sweep is usually after. Values are slowdown
+// ratios (recorded milli-slowdowns divided back by 1000).
+type SlowdownSummary struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
 }
 
 // GroupStatus is the per-group view of the status endpoint: replication
@@ -104,6 +177,10 @@ type GroupStatus struct {
 	// Settled reports the group needs no more replications (CI under
 	// target, metric absent, or replication cap reached).
 	Settled bool `json:"settled"`
+	// Slowdown summarizes the group's merged FCT-slowdown histogram
+	// (all classes, all finished replications so far); nil when the
+	// sweep records no histograms.
+	Slowdown *SlowdownSummary `json:"slowdown,omitempty"`
 }
 
 // Status is the coordinator's live state summary.
@@ -130,5 +207,7 @@ type Dispatcher interface {
 	PlanInfo() (*PlanInfo, error)
 	Lease(worker string, n int) (*LeaseResponse, error)
 	Heartbeat(worker string, jobIDs []string) (*HeartbeatResponse, error)
-	Complete(worker string, rec runner.Record) error
+	// Complete submits one finished record; telemetry is an optional
+	// gzip-compressed TelemetryBundle (nil when the job produced none).
+	Complete(worker string, rec runner.Record, telemetry []byte) error
 }

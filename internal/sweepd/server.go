@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+
+	"abm/internal/obs/prom"
 )
 
 // Handler exposes the coordinator over HTTP+JSON:
@@ -14,6 +16,7 @@ import (
 //	POST /v1/heartbeat HeartbeatRequest -> HeartbeatResponse
 //	POST /v1/result    CompleteRequest -> {}
 //	GET  /v1/status    -> Status
+//	GET  /metrics      -> fleet gauges, Prometheus text format
 //
 // The protocol assumes a trusted loopback/LAN segment — it carries no
 // authentication, exactly like the job queues it replaces.
@@ -56,7 +59,7 @@ func (c *Coordinator) Handler() http.Handler {
 		if !readJSON(w, r, &req) {
 			return
 		}
-		if err := c.Complete(req.Worker, req.Record); err != nil {
+		if err := c.Complete(req.Worker, req.Record, req.Telemetry); err != nil {
 			httpError(w, http.StatusConflict, err)
 			return
 		}
@@ -64,6 +67,12 @@ func (c *Coordinator) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, c.Status())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		var pw prom.Writer
+		c.WriteMetrics(&pw)
+		w.Header().Set("Content-Type", prom.ContentType)
+		w.Write(pw.Bytes())
 	})
 	return mux
 }

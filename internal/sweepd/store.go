@@ -1,6 +1,10 @@
 package sweepd
 
 import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"abm/internal/runner"
@@ -14,6 +18,11 @@ import (
 type Store struct {
 	log RecordLog
 	b   *Batcher
+
+	// TelemetryDir, when set, is where PutTelemetry lands worker-shipped
+	// bundles — one <sanitized job ID>.json.gz per job, beside the
+	// record log. Empty disables bundle persistence.
+	TelemetryDir string
 }
 
 // NewStore wraps log with batched commits (see NewBatcher for the
@@ -49,6 +58,59 @@ func (s *Store) Completed() (map[string]runner.Record, error) {
 		}
 	}
 	return done, nil
+}
+
+// PutTelemetry persists one job's gzip-compressed telemetry bundle
+// beside the record log (the coordinator probes for this method via an
+// interface, so stores without it simply drop bundles). A no-op when
+// TelemetryDir is unset. Writes go through a temp file + rename so a
+// crash never leaves a truncated bundle under the final name.
+func (s *Store) PutTelemetry(id string, data []byte) error {
+	if s.TelemetryDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(s.TelemetryDir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(s.TelemetryDir, sanitizeJobID(id)+".json.gz")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// sanitizeJobID maps a job ID to a safe flat filename (job IDs contain
+// slashes and commas: "sweep/003-bm=ABM,rep=1").
+func sanitizeJobID(id string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		case r == '-' || r == '_' || r == '.' || r == '=':
+			return r
+		default:
+			return '_'
+		}
+	}, id)
+}
+
+// ReadTelemetry loads one job's persisted bundle, decompressed and
+// decoded — the offline-status path reads these back.
+func ReadTelemetry(dir, id string) (*TelemetryBundle, error) {
+	data, err := os.ReadFile(filepath.Join(dir, sanitizeJobID(id)+".json.gz"))
+	if err != nil {
+		return nil, err
+	}
+	bundle, err := DecodeTelemetry(data)
+	if err != nil {
+		return nil, fmt.Errorf("sweepd: telemetry for %s: %w", id, err)
+	}
+	return bundle, nil
 }
 
 // Flush commits everything pending and returns when it is durable.

@@ -8,7 +8,9 @@ import (
 	"sync"
 	"time"
 
+	"abm/internal/obs/prom"
 	"abm/internal/runner"
+	"abm/internal/scenario"
 )
 
 // Worker executes leased jobs against a Dispatcher. It is a thin shell
@@ -37,6 +39,10 @@ type Worker struct {
 
 	mu     sync.Mutex
 	active map[string]bool // job IDs currently running (heartbeat set)
+	// Lifetime work counters behind the worker's own /metrics endpoint.
+	jobsDone int64
+	events   int64
+	wallMS   float64
 }
 
 // Run works the sweep until the coordinator reports it done or ctx is
@@ -161,6 +167,11 @@ func (w *Worker) runLease(ctx context.Context, plan *runner.Plan, lease Lease) e
 
 	w.mu.Lock()
 	delete(w.active, lease.JobID)
+	w.jobsDone++
+	w.wallMS += rec.WallMS
+	if rec.Result != nil {
+		w.events += int64(rec.Result.Events)
+	}
 	w.mu.Unlock()
 
 	if rec.Status == runner.StatusCanceled {
@@ -168,10 +179,11 @@ func (w *Worker) runLease(ctx context.Context, plan *runner.Plan, lease Lease) e
 		// job re-runs elsewhere. Nothing to report.
 		return nil
 	}
+	telemetry := w.bundleTelemetry(lease.JobID, rec)
 	// The result is real work; try hard to deliver it.
 	var err error
 	for i := 0; i < 5; i++ {
-		if err = w.Dispatcher.Complete(w.Name, rec); err == nil {
+		if err = w.Dispatcher.Complete(w.Name, rec, telemetry); err == nil {
 			w.logf("done %s (%s)", lease.JobID, rec.Status)
 			return nil
 		}
@@ -182,6 +194,53 @@ func (w *Worker) runLease(ctx context.Context, plan *runner.Plan, lease Lease) e
 	}
 	w.logf("dropping result for %s: %v", lease.JobID, err)
 	return nil // the lease expires and the job re-runs; not fatal
+}
+
+// bundleTelemetry assembles and compresses the per-job telemetry the
+// worker ships with a successful record: the record's counter and
+// histogram state plus — when the job wrote a per-job NDJSON event
+// trace — the raw trace bytes. Returns nil (ship nothing) when the job
+// recorded no telemetry; bundling failures only cost the bundle, never
+// the result.
+func (w *Worker) bundleTelemetry(jobID string, rec runner.Record) []byte {
+	if !rec.OK() || rec.Result == nil {
+		return nil
+	}
+	b := &TelemetryBundle{
+		JobID:    jobID,
+		Counters: rec.Result.Counters,
+		Hists:    rec.Result.Hists,
+	}
+	// The resolved scenario knows where this job's trace landed; jobs
+	// run with per-job telemetry each write their own file.
+	if sc, ok := rec.Result.Scenario.(scenario.Scenario); ok && sc.Obs.EventsFile != "" {
+		if data, err := os.ReadFile(sc.Obs.EventsFile); err == nil {
+			b.TraceNDJSON = data
+		}
+	}
+	data, err := EncodeTelemetry(b)
+	if err != nil {
+		w.logf("telemetry bundle for %s dropped: %v", jobID, err)
+		return nil
+	}
+	return data
+}
+
+// WriteMetrics renders the worker's own gauges in Prometheus text
+// format — the body behind "sweepd work -metrics-addr".
+func (w *Worker) WriteMetrics(pw *prom.Writer) {
+	w.mu.Lock()
+	active := len(w.active)
+	done, events, wallMS := w.jobsDone, w.events, w.wallMS
+	w.mu.Unlock()
+	pw.Family("abm_sweepd_worker_active_jobs", "gauge", "Jobs this worker is currently running.")
+	pw.IntSample("abm_sweepd_worker_active_jobs", nil, int64(active))
+	pw.Family("abm_sweepd_worker_jobs_done_total", "counter", "Jobs this worker has finished (any status).")
+	pw.IntSample("abm_sweepd_worker_jobs_done_total", nil, done)
+	pw.Family("abm_sweepd_worker_events_total", "counter", "Simulator events across finished jobs (rate() gives events/s).")
+	pw.IntSample("abm_sweepd_worker_events_total", nil, events)
+	pw.Family("abm_sweepd_worker_wall_seconds_total", "counter", "Wall-clock seconds spent in finished jobs.")
+	pw.Sample("abm_sweepd_worker_wall_seconds_total", nil, wallMS/1000)
 }
 
 // heartbeatLoop renews leases on every active job at TTL/3. It sleeps

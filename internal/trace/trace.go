@@ -102,13 +102,16 @@ func (r *Recorder) Write(w io.Writer) error {
 // WriteQueueCounters dumps one TSV row per port-priority queue across
 // the fabric (leaves first, in topo.Switches order): lifetime enqueue/
 // dequeue totals, drops by cause, ECN marks, the occupancy high-water
-// mark, and the queue's last BM threshold. These counters are always
-// maintained by the device layer, so the summary is available whether
-// or not event tracing was enabled.
+// mark, the queue's last BM threshold, and the payload bytes the hybrid
+// engine carried through the queue in fluid mode — so queues whose
+// traffic was entirely fluid (zero packet counters) are still visibly
+// active in the table. These counters are always maintained by the
+// device layer, so the summary is available whether or not event
+// tracing was enabled.
 func WriteQueueCounters(w io.Writer, n *topo.Network) error {
 	if _, err := fmt.Fprintln(w, "node\tport\tprio\tenq_pkts\tenq_bytes\tdeq_pkts\tdeq_bytes\t"+
 		"drops_threshold\tdrops_nobuffer\tdrops_aqm\tdrops_afd\tdrops_unscheduled\t"+
-		"marked_pkts\tmax_bytes\tlast_threshold"); err != nil {
+		"marked_pkts\tmax_bytes\tlast_threshold\tfluid_bytes"); err != nil {
 		return err
 	}
 	for _, sw := range n.Switches() {
@@ -116,11 +119,11 @@ func WriteQueueCounters(w io.Writer, n *topo.Network) error {
 		for p := 0; p < sw.NumPorts(); p++ {
 			for qi := 0; qi < sw.Prios(); qi++ {
 				q := sw.Port(p).Queue(qi)
-				if _, err := fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+				if _, err := fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
 					name, p, qi,
 					q.EnqueuedPkts, int64(q.EnqueuedBytes), q.DequeuedPkts, int64(q.DequeuedBytes),
 					q.DropsThreshold, q.DropsNoBuffer, q.DropsAQM, q.DropsAFD, q.DropsUnscheduled,
-					q.MarkedPkts, int64(q.MaxBytes), int64(q.LastThreshold())); err != nil {
+					q.MarkedPkts, int64(q.MaxBytes), int64(q.LastThreshold()), int64(q.FluidBytes)); err != nil {
 					return err
 				}
 			}

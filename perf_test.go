@@ -92,6 +92,17 @@ func TestSteadyStateZeroAlloc(t *testing.T) {
 			}
 			return sess.ShardSink(0)
 		}},
+		{"histograms", func(t *testing.T) *obs.Sink {
+			// Counters plus the streaming histograms: queue delay and
+			// admission headroom record on every packet through fixed
+			// arrays behind pre-resolved handles, so the hot path must
+			// stay allocation-free here too.
+			sess, err := obs.NewSession(obs.Options{Counters: true, Hists: true}, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return sess.ShardSink(0)
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
