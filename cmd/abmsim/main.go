@@ -58,6 +58,8 @@ func run(args []string, stdout io.Writer) error {
 		scnOut  = fs.String("save-scenario", "", "write the fully-resolved scenario as JSON and exit")
 		dur     = fs.Duration("duration", 0, "traffic duration override (e.g. 2ms; 0 = the scale's default)")
 		hybrid  = fs.Bool("hybrid", false, "enable the hybrid fluid/packet engine (serial engine only)")
+		topol   = fs.String("topology", "", "fabric topology: leafspine or fattree; empty keeps the scenario/scale shape")
+		karity  = fs.Int("k", 0, "fat-tree arity (even, >= 2; implies -topology fattree)")
 		of      obs.Flags
 	)
 	of.AddFlagsTo(fs, false)
@@ -138,6 +140,18 @@ func run(args []string, stdout io.Writer) error {
 	if hybridSet {
 		sc.Hybrid.Enabled = *hybrid
 	}
+	// Topology flags apply last: a fat tree is sized by k alone, so they
+	// clear whatever leaf–spine dimensions -scale or the file set.
+	if *karity > 0 && *topol == "" {
+		*topol = "fattree"
+	}
+	if *topol != "" {
+		sc.Fabric.Topology = *topol
+		if *topol == "fattree" {
+			sc.Fabric.K = *karity
+			sc.Fabric.Spines, sc.Fabric.Leaves, sc.Fabric.HostsPerLeaf = 0, 0, 0
+		}
+	}
 	if *scnOut != "" {
 		resolved, err := sc.Resolve()
 		if err != nil {
@@ -217,8 +231,12 @@ func printResult(w io.Writer, res abm.ScenarioResult, wall time.Duration) {
 	s := res.Summary
 	fmt.Fprintf(w, "scheme            %s\n", rs.Switch.BM)
 	fmt.Fprintf(w, "congestion ctrl   %s\n", rs.Workload.CC)
-	fmt.Fprintf(w, "fabric            %dx%dx%d (seed %d)\n",
-		rs.Fabric.Spines, rs.Fabric.Leaves, rs.Fabric.HostsPerLeaf, rs.Seed)
+	if rs.Fabric.Topology == "fattree" {
+		fmt.Fprintf(w, "fabric            fat-tree k=%d (seed %d)\n", rs.Fabric.K, rs.Seed)
+	} else {
+		fmt.Fprintf(w, "fabric            %dx%dx%d (seed %d)\n",
+			rs.Fabric.Spines, rs.Fabric.Leaves, rs.Fabric.HostsPerLeaf, rs.Seed)
+	}
 	fmt.Fprintf(w, "load / request    %.0f%% / %.0f%% of buffer\n",
 		rs.Workload.Load*100, rs.Workload.Incast.RequestFrac*100)
 	fmt.Fprintln(w, strings.Repeat("-", 44))

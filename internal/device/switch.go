@@ -135,6 +135,10 @@ type Switch struct {
 	histQDelay     *hist.Histogram
 
 	RxPkts int64
+	// RouteDrops counts packets discarded because the router returned a
+	// negative port: the destination had no surviving next hop (a
+	// routing black hole during link failures).
+	RouteDrops int64
 }
 
 // NewSwitch builds a switch. The router must be set with SetRouter before
@@ -213,7 +217,14 @@ func (sw *Switch) Receive(pkt *packet.Packet) {
 		panic(fmt.Sprintf("device: switch %d has no router", sw.id))
 	}
 	out := sw.route(sw, pkt)
-	if out < 0 || out >= len(sw.ports) {
+	if out < 0 {
+		// No route (every next hop toward the destination failed): the
+		// switch is the drop point and thus the release point.
+		sw.RouteDrops++
+		sw.sim.FreePacket(pkt)
+		return
+	}
+	if out >= len(sw.ports) {
 		panic(fmt.Sprintf("device: switch %d routed flow %d to invalid port %d", sw.id, pkt.FlowID, out))
 	}
 	prio := int(pkt.Prio)
@@ -286,6 +297,17 @@ func (p *Port) Queue(prio int) *Queue { return p.queues[prio] }
 
 // Rate returns the port bandwidth.
 func (p *Port) Rate() units.Rate { return p.rate }
+
+// SetRate changes the port bandwidth (link degradation/restoration).
+// The new rate applies from the next transmission start; a packet
+// already serializing finishes at the old rate. Callers must hold the
+// fabric quiescent (serial execution or a window barrier).
+func (p *Port) SetRate(r units.Rate) {
+	if r <= 0 {
+		panic("device: port rate must be positive")
+	}
+	p.rate = r
+}
 
 // Backlog returns the total bytes queued at this port.
 func (p *Port) Backlog() units.ByteCount {

@@ -32,7 +32,21 @@ func shortCells() []Cell {
 	// (small clamps at its 2 leaves).
 	med := Cell{Scale: ScaleMedium, Seed: 42, Duration: 3 * units.Millisecond,
 		Load: 0.6, WSCC: "dctcp", RequestFrac: 0.5, BM: "ABM"}
-	return []Cell{dt, ib, abm, rp, mixed, med}
+	// Fat tree k=4: 16 hosts over 3 tiers and 8 edge groups, so every
+	// shard count in the sweep is a genuine split of a multi-tier graph.
+	ft := Cell{Seed: 42, Duration: 3 * units.Millisecond,
+		Load: 0.6, WSCC: "dctcp", RequestFrac: 0.5, BM: "ABM",
+		Fabric: &scenario.Fabric{Topology: "fattree", K: 4}}
+	// Mid-run uplink failure + recovery: the barrier-scheduled routing
+	// recompute must be shard-count-invariant too.
+	fail := Cell{Seed: 42, Duration: 8 * units.Millisecond,
+		Load: 0.6, WSCC: "dctcp", RequestFrac: 0.5, BM: "ABM",
+		Fabric: &scenario.Fabric{Spines: 2, Leaves: 2, HostsPerLeaf: 8,
+			LinkFaults: []scenario.LinkFault{
+				{Link: "leaf0-spine1", At: scenario.Duration(2 * units.Millisecond),
+					RecoverAt: scenario.Duration(5 * units.Millisecond)},
+			}}}
+	return []Cell{dt, ib, abm, rp, mixed, med, ft, fail}
 }
 
 // TestShardCountInvariance is the cross-shard determinism golden test:
@@ -54,6 +68,14 @@ func TestShardCountInvariance(t *testing.T) {
 		}
 		if len(cell.MixedCC) > 0 {
 			name += "-mixed"
+		}
+		if cell.Fabric != nil {
+			if cell.Fabric.Topology == "fattree" {
+				name += "-fattree"
+			}
+			if len(cell.Fabric.LinkFaults) > 0 {
+				name += "-linkfail"
+			}
 		}
 		t.Run(name, func(t *testing.T) {
 			var refRes Result

@@ -41,7 +41,7 @@ func writeObsOutputs(o obs.Options, sess *obs.Session, n *topo.Network, rec *his
 	if o.ChromeFile != "" {
 		if err := writeTo(o.ChromeFile, func(f *os.File) error {
 			return obs.WriteChrome(f, events, func(id int32) string {
-				return topo.NodeName(packet.NodeID(id))
+				return n.NodeName(packet.NodeID(id))
 			})
 		}); err != nil {
 			return err

@@ -39,16 +39,36 @@ var (
 func (s Scenario) Resolve() (Scenario, error) {
 	r := s.Clone()
 
-	// Fabric: the paper's 8x8x32 at 10G, 10us per link.
+	// Fabric: the paper's 8x8x32 leaf–spine at 10G, 10us per link, or a
+	// k-ary fat tree when the spec asks for one.
 	f := &r.Fabric
-	if f.Spines <= 0 {
-		f.Spines = defaultSpines
-	}
-	if f.Leaves <= 0 {
-		f.Leaves = defaultLeaves
-	}
-	if f.HostsPerLeaf <= 0 {
-		f.HostsPerLeaf = defaultHostsPerLeaf
+	switch f.Topology {
+	case "", "leafspine":
+		f.Topology = "leafspine"
+		if f.K != 0 {
+			return Scenario{}, fmt.Errorf("scenario: fabric k is a fat-tree knob; leaf–spine is sized by spines/leaves/hosts_per_leaf")
+		}
+		if f.Spines <= 0 {
+			f.Spines = defaultSpines
+		}
+		if f.Leaves <= 0 {
+			f.Leaves = defaultLeaves
+		}
+		if f.HostsPerLeaf <= 0 {
+			f.HostsPerLeaf = defaultHostsPerLeaf
+		}
+	case "fattree":
+		if f.Spines != 0 || f.Leaves != 0 || f.HostsPerLeaf != 0 {
+			return Scenario{}, fmt.Errorf("scenario: fat-tree fabrics are sized by k alone, not spines/leaves/hosts_per_leaf")
+		}
+		if f.K == 0 {
+			f.K = 4
+		}
+		if f.K < 2 || f.K%2 != 0 {
+			return Scenario{}, fmt.Errorf("scenario: fat-tree k %d must be even and >= 2", f.K)
+		}
+	default:
+		return Scenario{}, fmt.Errorf("scenario: unknown topology %q (known: leafspine, fattree)", f.Topology)
 	}
 	if f.LinkGbps <= 0 {
 		f.LinkGbps = defaultLinkGbps
@@ -58,6 +78,50 @@ func (s Scenario) Resolve() (Scenario, error) {
 	}
 	if f.LinkDelay <= 0 {
 		f.LinkDelay = defaultLinkDelay
+	}
+	g := f.graph()
+	for i, lf := range f.LinkFaults {
+		if _, err := g.LinkIndex(lf.Link); err != nil {
+			return Scenario{}, fmt.Errorf("scenario: link fault %d: %w", i, err)
+		}
+		if lf.At <= 0 {
+			return Scenario{}, fmt.Errorf("scenario: link fault %d (%s): at must be positive", i, lf.Link)
+		}
+		if lf.Flaps < 0 || lf.DegradeGbps < 0 {
+			return Scenario{}, fmt.Errorf("scenario: link fault %d (%s): negative flaps or degrade_gbps", i, lf.Link)
+		}
+		if lf.Flaps > 0 {
+			if lf.Period <= 0 {
+				return Scenario{}, fmt.Errorf("scenario: link fault %d (%s): flaps need a positive period", i, lf.Link)
+			}
+			if lf.RecoverAt != 0 || lf.DegradeGbps != 0 {
+				return Scenario{}, fmt.Errorf("scenario: link fault %d (%s): flaps exclude recover_at and degrade_gbps", i, lf.Link)
+			}
+		} else if lf.Period != 0 {
+			return Scenario{}, fmt.Errorf("scenario: link fault %d (%s): period needs flaps", i, lf.Link)
+		}
+		if lf.RecoverAt != 0 && lf.RecoverAt <= lf.At {
+			return Scenario{}, fmt.Errorf("scenario: link fault %d (%s): recover_at %v not after at %v", i, lf.Link, lf.RecoverAt.Time(), lf.At.Time())
+		}
+	}
+	if len(f.LinkFaults) > 0 {
+		// A permanently disconnected group black-holes its senders, whose
+		// RTO chains then never die out — reject schedules whose final
+		// link state partitions the fabric (flaps and degradations end in
+		// service; only an unrecovered hard failure stays down).
+		final := make([]bool, len(g.Links))
+		for i := range final {
+			final[i] = true
+		}
+		for _, lf := range f.LinkFaults {
+			if lf.Flaps == 0 && lf.DegradeGbps == 0 && lf.RecoverAt == 0 {
+				li, _ := g.LinkIndex(lf.Link)
+				final[li] = false
+			}
+		}
+		if !g.Reachable(final) {
+			return Scenario{}, fmt.Errorf("scenario: link faults leave the fabric permanently partitioned; recover at least one path per edge group")
+		}
 	}
 	if r.Duration <= 0 {
 		r.Duration = defaultDuration
@@ -88,7 +152,9 @@ func (s Scenario) Resolve() (Scenario, error) {
 		sw.CongestedFactor = defaultCongestedF
 	}
 	if sw.StatsInterval <= 0 {
-		sw.StatsInterval = 8 * f.LinkDelay // one base RTT on the two-tier fabric
+		// One healthy-fabric base RTT: 8 link delays on the two-tier
+		// leaf–spine, 12 on a fat tree.
+		sw.StatsInterval = 2 * Duration(g.WorstHops()) * f.LinkDelay
 	}
 	switch sw.Scheduler {
 	case "":
@@ -97,7 +163,7 @@ func (s Scenario) Resolve() (Scenario, error) {
 	default:
 		return Scenario{}, fmt.Errorf("scenario: unknown scheduler %q (known: rr, dwrr, strict)", sw.Scheduler)
 	}
-	numQueues := b.QueuesPerPort * (f.HostsPerLeaf + f.Spines)
+	numQueues := b.QueuesPerPort * f.radix()
 	if err := bm.Validate(sw.BM, numQueues, sw.UpdateInterval.Time()); err != nil {
 		return Scenario{}, err
 	}
@@ -175,15 +241,15 @@ func (s Scenario) Resolve() (Scenario, error) {
 			return Scenario{}, err
 		}
 		if lf.Stride <= 0 {
-			lf.Stride = f.HostsPerLeaf
+			lf.Stride = g.HostsPerEdge
 		}
-		if n := f.Leaves * f.HostsPerLeaf; lf.Stride%n == 0 {
+		if n := g.NumHosts(); lf.Stride%n == 0 {
 			return Scenario{}, fmt.Errorf("scenario: long-flow stride %d maps every host onto itself on %d hosts", lf.Stride, n)
 		}
 		if lf.Stagger <= 0 {
 			lf.Stagger = Duration(units.Microsecond)
 		}
-		n := f.Leaves * f.HostsPerLeaf
+		n := g.NumHosts()
 		if lf.Count < 0 || lf.Count > n {
 			return Scenario{}, fmt.Errorf("scenario: long-flow count %d outside [0, %d hosts]", lf.Count, n)
 		}
@@ -206,7 +272,7 @@ func (s Scenario) Resolve() (Scenario, error) {
 			hy.SteadyRTTs = 8
 		}
 		if hy.EpochDt <= 0 {
-			hy.EpochDt = 8 * f.LinkDelay // one base RTT on the two-tier fabric
+			hy.EpochDt = 2 * Duration(g.WorstHops()) * f.LinkDelay // one base RTT
 		}
 	}
 

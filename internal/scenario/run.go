@@ -65,7 +65,7 @@ func rateOf(gbps float64) units.Rate {
 func (s Scenario) topoConfig() (topo.Config, units.ByteCount) {
 	f := s.Fabric
 	rate := rateOf(f.LinkGbps)
-	ports := f.HostsPerLeaf + f.Spines
+	ports := f.radix()
 	totalBuffer := topo.BufferFor(s.Buffer.KBPerPortPerGbps, ports, rate)
 
 	headroom := units.ByteCount(float64(totalBuffer) * *s.Buffer.HeadroomFrac)
@@ -78,6 +78,7 @@ func (s Scenario) topoConfig() (topo.Config, units.ByteCount) {
 		drainMode = device.DrainRateMeasured
 	}
 	cfg := topo.Config{
+		Topo:          f.graph(),
 		NumSpines:     f.Spines,
 		NumLeaves:     f.Leaves,
 		HostsPerLeaf:  f.HostsPerLeaf,
@@ -164,6 +165,14 @@ func Run(s Scenario) (Result, *metrics.Collector, error) {
 	n := topo.NewNetwork(eng, cfg)
 	col := &metrics.Collector{}
 
+	// Fault events are scheduled before anything else so that among ties
+	// at one instant they apply first — the serial equivalent of the
+	// sharded engine's window-barrier cut.
+	for _, ev := range expandFaults(n.G, r.Fabric.LinkFaults) {
+		ev := ev
+		eng.At(ev.At, func() { n.ApplyLinkEvent(ev) })
+	}
+
 	ws, ic, lf, sampler, err := buildWorkloads(n, r, col, totalBuffer)
 	if err != nil {
 		return Result{}, nil, err
@@ -239,7 +248,7 @@ func Run(s Scenario) (Result, *metrics.Collector, error) {
 func runSharded(r Scenario, cfg topo.Config, totalBuffer units.ByteCount,
 	duration units.Time, rate units.Rate) (Result, *metrics.Collector, error) {
 
-	part := topo.MakePartition(cfg.NumLeaves, cfg.NumSpines, r.Shards)
+	part := topo.MakePartition(cfg.Graph(), r.Shards)
 	sess, err := obs.NewSession(r.Obs, part.Shards)
 	if err != nil {
 		return Result{}, nil, err
@@ -251,6 +260,13 @@ func runSharded(r Scenario, cfg topo.Config, totalBuffer units.ByteCount,
 	p.SetObs(sess)
 	n := topo.NewShardedNetwork(p, cfg, part)
 	col := &metrics.Collector{}
+
+	// Window barriers are the only point where cross-shard routing state
+	// may change; every fault lands exactly on one.
+	for _, ev := range expandFaults(n.G, r.Fabric.LinkFaults) {
+		ev := ev
+		p.AtBarrier(ev.At, func(units.Time) { n.ApplyLinkEvent(ev) })
+	}
 
 	ws, ic, lf, sampler, err := buildWorkloads(n, r, col, totalBuffer)
 	if err != nil {
@@ -283,6 +299,41 @@ func runSharded(r Scenario, cfg topo.Config, totalBuffer units.ByteCount,
 		return Result{}, nil, err
 	}
 	return res, col, nil
+}
+
+// expandFaults compiles the spec's named fault list into a canonically
+// sorted link-event schedule against the built fabric graph. Resolve
+// already validated names and times, so lookups cannot fail here.
+func expandFaults(g *topo.Graph, faults []LinkFault) []topo.LinkEvent {
+	var evs []topo.LinkEvent
+	for _, lf := range faults {
+		li, err := g.LinkIndex(lf.Link)
+		if err != nil {
+			panic(err)
+		}
+		switch {
+		case lf.Flaps > 0:
+			for i := 0; i < lf.Flaps; i++ {
+				down := lf.At + Duration(i)*lf.Period
+				evs = append(evs,
+					topo.LinkEvent{At: down.Time(), Link: li, State: topo.LinkDown},
+					topo.LinkEvent{At: (down + lf.Period/2).Time(), Link: li, State: topo.LinkUp})
+			}
+		case lf.DegradeGbps > 0:
+			evs = append(evs, topo.LinkEvent{
+				At: lf.At.Time(), Link: li, State: topo.LinkDegraded, Rate: rateOf(lf.DegradeGbps)})
+			if lf.RecoverAt > 0 {
+				evs = append(evs, topo.LinkEvent{At: lf.RecoverAt.Time(), Link: li, State: topo.LinkUp})
+			}
+		default:
+			evs = append(evs, topo.LinkEvent{At: lf.At.Time(), Link: li, State: topo.LinkDown})
+			if lf.RecoverAt > 0 {
+				evs = append(evs, topo.LinkEvent{At: lf.RecoverAt.Time(), Link: li, State: topo.LinkUp})
+			}
+		}
+	}
+	topo.SortLinkEvents(evs)
+	return evs
 }
 
 // buildWorkloads builds the scenario's generators and the buffer sampler
@@ -343,7 +394,7 @@ func buildWorkloads(n *topo.Network, r Scenario, col *metrics.Collector,
 			return nil, nil, nil, nil, err
 		}
 		reqSize := units.ByteCount(w.Incast.RequestFrac * float64(chip))
-		bisection := float64(n.Cfg.Uplink()) * float64(n.Cfg.NumLeaves*n.Cfg.NumSpines)
+		bisection := float64(n.BisectionBits())
 		qps := w.Incast.Load * bisection / float64(reqSize.Bits())
 		ic = &workload.Incast{
 			Net:         n,

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"abm/internal/obs"
+	"abm/internal/topo"
 	"abm/internal/units"
 )
 
@@ -93,29 +94,100 @@ type Scenario struct {
 	Obs obs.Options `json:"obs,omitempty"`
 }
 
-// Fabric is the leaf–spine shape and its link speeds.
+// Fabric is the fabric shape and its link speeds. Topology selects the
+// shape constructor: "leafspine" (the default) is the two-tier Clos
+// sized by Spines/Leaves/HostsPerLeaf; "fattree" is the three-tier
+// k-ary fat tree sized by K alone.
 type Fabric struct {
-	Spines       int `json:"spines"`
-	Leaves       int `json:"leaves"`
-	HostsPerLeaf int `json:"hosts_per_leaf"`
+	// Topology is the shape family: "leafspine" or "fattree". Empty
+	// resolves to leafspine.
+	Topology string `json:"topology,omitempty"`
+	// K is the fat-tree arity (even, >= 2): k pods of k/2 edge and k/2
+	// aggregation switches under (k/2)^2 cores, k^3/4 hosts. Fattree
+	// only; zero resolves to 4.
+	K            int `json:"k,omitempty"`
+	Spines       int `json:"spines,omitempty"`
+	Leaves       int `json:"leaves,omitempty"`
+	HostsPerLeaf int `json:"hosts_per_leaf,omitempty"`
 	// LinkGbps is the host access rate and the uniform fabric rate.
 	LinkGbps float64 `json:"link_gbps"`
-	// UplinkGbps gives the leaf<->spine tier its own speed (asymmetric
-	// fabrics: 10G hosts under 25G uplinks, or slower uplinks for
-	// steeper oversubscription). Zero resolves to LinkGbps.
+	// UplinkGbps gives the switch<->switch tiers their own speed
+	// (asymmetric fabrics: 10G hosts under 25G uplinks, or slower
+	// uplinks for steeper oversubscription). Zero resolves to LinkGbps.
 	UplinkGbps float64 `json:"uplink_gbps,omitempty"`
 	// LinkDelay is the one-way propagation delay of every link.
 	LinkDelay Duration `json:"link_delay"`
+	// LinkFaults schedules link failures, recoveries, flaps and rate
+	// degradations at fixed simulation times. Deterministic and
+	// shard-count-invariant: serial runs apply them as calendar events,
+	// sharded runs at window barriers.
+	LinkFaults []LinkFault `json:"link_faults,omitempty"`
 }
 
-// Oversubscription returns the leaf oversubscription ratio: host
-// capacity per leaf over uplink capacity per leaf.
-func (f Fabric) Oversubscription() float64 {
-	up := f.UplinkGbps
-	if up <= 0 {
-		up = f.LinkGbps
+// LinkFault is one scheduled fault on a named fabric link.
+type LinkFault struct {
+	// Link names the wire by its endpoint switches, either order:
+	// "leaf0-spine1", or "edge2-agg1"/"agg1-core0" on fat trees.
+	Link string `json:"link"`
+	// At is when the fault begins (must be > 0).
+	At Duration `json:"at"`
+	// RecoverAt, when positive, restores the link at that time.
+	RecoverAt Duration `json:"recover_at,omitempty"`
+	// DegradeGbps, when positive, lowers the link to this rate instead
+	// of taking it down (routing keeps using it).
+	DegradeGbps float64 `json:"degrade_gbps,omitempty"`
+	// Flaps repeats a down/up cycle: the link goes down at At+i*Period
+	// and recovers half a Period later, for i in [0, Flaps). Requires
+	// Period; mutually exclusive with RecoverAt and DegradeGbps.
+	Flaps  int      `json:"flaps,omitempty"`
+	Period Duration `json:"period,omitempty"`
+}
+
+// graph builds the fabric's shape. Zero dimensions fall back to the
+// paper's 8x8x32 leaf–spine (resolved specs always have them filled).
+func (f Fabric) graph() *topo.Graph {
+	if f.Topology == "fattree" {
+		k := f.K
+		if k <= 0 {
+			k = 4
+		}
+		return topo.FatTree(k)
 	}
-	return (float64(f.HostsPerLeaf) * f.LinkGbps) / (float64(f.Spines) * up)
+	sp, lv, hpl := f.Spines, f.Leaves, f.HostsPerLeaf
+	if sp <= 0 {
+		sp = defaultSpines
+	}
+	if lv <= 0 {
+		lv = defaultLeaves
+	}
+	if hpl <= 0 {
+		hpl = defaultHostsPerLeaf
+	}
+	return topo.LeafSpine(sp, lv, hpl)
+}
+
+// radix returns the switch port count the buffer model is sized
+// against: hosts + uplinks on a leaf (leaf–spine) or k (fat tree).
+// Resolved fabrics only.
+func (f Fabric) radix() int {
+	if f.Topology == "fattree" {
+		return f.K
+	}
+	return f.HostsPerLeaf + f.Spines
+}
+
+// TierOversubscription returns the oversubscription ratio at each
+// non-top switch tier, computed from the fabric graph: capacity
+// entering tier-t switches from below over capacity leaving them
+// upward. Index 0 is the edge (leaf) tier.
+func (f Fabric) TierOversubscription() []float64 {
+	return f.graph().TierOversubscription(f.LinkGbps, f.UplinkGbps)
+}
+
+// Oversubscription returns the edge-tier oversubscription ratio: host
+// capacity per edge switch over its uplink capacity.
+func (f Fabric) Oversubscription() float64 {
+	return f.TierOversubscription()[0]
 }
 
 // Buffer is the shared-memory model of every switch.
@@ -261,6 +333,9 @@ func (s Scenario) Clone() Scenario {
 	}
 	if s.Workload.MixedCC != nil {
 		s.Workload.MixedCC = append([]CCAssignment(nil), s.Workload.MixedCC...)
+	}
+	if s.Fabric.LinkFaults != nil {
+		s.Fabric.LinkFaults = append([]LinkFault(nil), s.Fabric.LinkFaults...)
 	}
 	return s
 }

@@ -63,6 +63,7 @@ type BarrierTicker struct {
 	next     units.Time
 	fn       func(now units.Time)
 	stopped  bool
+	oneShot  bool
 }
 
 // Stop cancels future firings.
@@ -245,6 +246,22 @@ func (p *Parallel) NewBarrierTicker(interval units.Time, fn func(now units.Time)
 	return t
 }
 
+// AtBarrier registers fn to run once at a window barrier landing
+// exactly at simulated time t: when it fires, every shard has executed
+// all events before t and none at or after it — the only point where
+// state read by multiple shards (routing tables, link rates) may
+// safely change. Like mailbox registration, AtBarrier calls made
+// before the run are part of the model and must be made in a
+// deterministic order. t must be beyond the current frontier.
+func (p *Parallel) AtBarrier(t units.Time, fn func(now units.Time)) *BarrierTicker {
+	if t <= p.now {
+		panic(fmt.Sprintf("sim: AtBarrier(%v) not beyond frontier %v", t, p.now))
+	}
+	bt := &BarrierTicker{next: t, fn: fn, oneShot: true}
+	p.tickers = append(p.tickers, bt)
+	return bt
+}
+
 // flush drains every mailbox and injects the buffered events into their
 // destination shards in canonical order (time, registration order,
 // posting order). Injecting each mailbox separately, in registration
@@ -283,7 +300,11 @@ func (p *Parallel) fireTickers() {
 	for _, t := range p.tickers {
 		for !t.stopped && t.next <= p.now {
 			at := t.next
-			t.next += t.interval
+			if t.oneShot {
+				t.stopped = true
+			} else {
+				t.next += t.interval
+			}
 			t.fn(at)
 		}
 	}

@@ -20,7 +20,7 @@ func TestECMPFlowConsistencyProperty(t *testing.T) {
 	cfg.NumSpines = 4
 	n := NewNetwork(s, cfg)
 	defer n.Stop()
-	router := n.leafRouter(0)
+	router := n.tableRouter(0)
 	f := func(flowID uint64) bool {
 		pkt := &packet.Packet{FlowID: flowID, Dst: 7} // other rack
 		first := router(nil, pkt)
@@ -44,7 +44,7 @@ func TestECMPUniformity(t *testing.T) {
 	cfg.NumSpines = 4
 	n := NewNetwork(s, cfg)
 	defer n.Stop()
-	router := n.leafRouter(0)
+	router := n.tableRouter(0)
 	counts := make(map[int]int)
 	const flows = 10_000
 	for id := uint64(0); id < flows; id++ {

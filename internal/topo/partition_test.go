@@ -1,6 +1,7 @@
 package topo
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -9,11 +10,58 @@ import (
 	"abm/internal/units"
 )
 
-// TestPartitionCoversEveryDevice is the partitioner property test:
-// for random fabric dimensions and shard counts, every leaf and spine
-// maps to exactly one in-range shard, every shard owns at least one
-// leaf, hosts inherit their leaf's shard, and leaf blocks stay
-// contiguous (rack-local traffic never crosses shards).
+// checkPartition asserts the partition invariants on any graph: every
+// switch maps to exactly one in-range shard, edge-switch blocks are
+// contiguous with every shard owning at least one (rack-local traffic
+// never crosses shards), and hosts inherit their edge group's shard.
+func checkPartition(t *testing.T, label string, g *Graph, req int) {
+	t.Helper()
+	p := MakePartition(g, req)
+	want := req
+	if want > g.NumGroups() {
+		want = g.NumGroups()
+	}
+	if want < 1 {
+		want = 1
+	}
+	if p.Shards != want {
+		t.Fatalf("%s: %d shards for %d edge groups (requested %d), want %d",
+			label, p.Shards, g.NumGroups(), req, want)
+	}
+	if len(p.SwitchShard) != g.NumSwitches() {
+		t.Fatalf("%s: partition maps %d switches, graph has %d",
+			label, len(p.SwitchShard), g.NumSwitches())
+	}
+	edgeCount := make([]int, p.Shards)
+	prev := 0
+	for i, sh := range p.SwitchShard {
+		if sh < 0 || sh >= p.Shards {
+			t.Fatalf("%s: switch %d on shard %d of %d", label, i, sh, p.Shards)
+		}
+		if g.TierOf(i) != 0 {
+			continue
+		}
+		if sh < prev {
+			t.Fatalf("%s: edge blocks not contiguous at switch %d (%d after %d)", label, i, sh, prev)
+		}
+		prev = sh
+		edgeCount[sh]++
+	}
+	for sh, c := range edgeCount {
+		if c == 0 {
+			t.Fatalf("%s: shard %d owns no edge switches", label, sh)
+		}
+	}
+	// Host coverage: every host maps through its edge group to one shard.
+	for h := 0; h < g.NumHosts(); h++ {
+		if sh := p.SwitchShard[g.GroupOfHost(h)]; sh < 0 || sh >= p.Shards {
+			t.Fatalf("%s: host %d unassigned", label, h)
+		}
+	}
+}
+
+// TestPartitionCoversEveryDevice is the partitioner property test, on
+// random leaf–spine dimensions and on multi-tier fat trees.
 func TestPartitionCoversEveryDevice(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	for trial := 0; trial < 200; trial++ {
@@ -21,48 +69,13 @@ func TestPartitionCoversEveryDevice(t *testing.T) {
 		spines := 1 + rng.Intn(24)
 		hostsPer := 1 + rng.Intn(16)
 		req := 1 + rng.Intn(12)
-
-		p := MakePartition(leaves, spines, req)
-		want := req
-		if want > leaves {
-			want = leaves
-		}
-		if p.Shards != want {
-			t.Fatalf("trial %d: %d shards for %d leaves (requested %d), want %d",
-				trial, p.Shards, leaves, req, want)
-		}
-		if len(p.LeafShard) != leaves || len(p.SpineShard) != spines {
-			t.Fatalf("trial %d: partition maps %d/%d devices, fabric has %d/%d",
-				trial, len(p.LeafShard), len(p.SpineShard), leaves, spines)
-		}
-		leafCount := make([]int, p.Shards)
-		prev := 0
-		for l, sh := range p.LeafShard {
-			if sh < 0 || sh >= p.Shards {
-				t.Fatalf("trial %d: leaf %d on shard %d of %d", trial, l, sh, p.Shards)
-			}
-			if sh < prev {
-				t.Fatalf("trial %d: leaf blocks not contiguous at leaf %d (%d after %d)", trial, l, sh, prev)
-			}
-			prev = sh
-			leafCount[sh]++
-		}
-		for sh, c := range leafCount {
-			if c == 0 {
-				t.Fatalf("trial %d: shard %d owns no leaves", trial, sh)
-			}
-		}
-		for sp, sh := range p.SpineShard {
-			if sh < 0 || sh >= p.Shards {
-				t.Fatalf("trial %d: spine %d on shard %d of %d", trial, sp, sh, p.Shards)
-			}
-		}
-		// Host coverage: every host index maps through its leaf to one shard.
-		n := leaves * hostsPer
-		for h := 0; h < n; h++ {
-			if sh := p.LeafShard[h/hostsPer]; sh < 0 || sh >= p.Shards {
-				t.Fatalf("trial %d: host %d unassigned", trial, h)
-			}
+		g := LeafSpine(spines, leaves, hostsPer)
+		checkPartition(t, fmt.Sprintf("trial %d (%dx%dx%d req %d)", trial, spines, leaves, hostsPer, req), g, req)
+	}
+	for _, k := range []int{2, 4, 6, 8} {
+		g := FatTree(k)
+		for req := 1; req <= g.NumGroups()+2; req++ {
+			checkPartition(t, fmt.Sprintf("fattree k=%d req %d", k, req), g, req)
 		}
 	}
 }
@@ -109,7 +122,7 @@ func TestShardedNetworkShardInvariance(t *testing.T) {
 	var ref []units.Time
 	for _, shards := range []int{1, 2, 4} {
 		p := sim.NewParallel(42, shards)
-		got := runFlows(NewShardedNetwork(p, cfg, MakePartition(cfg.NumLeaves, cfg.NumSpines, shards)))
+		got := runFlows(NewShardedNetwork(p, cfg, MakePartition(cfg.Graph(), shards)))
 		if got[0] == 0 {
 			t.Fatal("flows did not complete")
 		}
@@ -163,7 +176,7 @@ func TestShardedSingleFlowMatchesSerial(t *testing.T) {
 	}
 	for _, shards := range []int{2, 4} {
 		p := sim.NewParallel(42, shards)
-		got := runOne(NewShardedNetwork(p, cfg, MakePartition(cfg.NumLeaves, cfg.NumSpines, shards)))
+		got := runOne(NewShardedNetwork(p, cfg, MakePartition(cfg.Graph(), shards)))
 		if got != serial {
 			t.Fatalf("shards=%d: FCT %v, serial %v", shards, got, serial)
 		}

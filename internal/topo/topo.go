@@ -1,8 +1,10 @@
-// Package topo builds the paper's evaluation fabric (§4.1): a leaf–spine
-// topology with ECMP per-flow routing, uniform link rates, and hosts
-// attached to leaf switches. Default dimensions follow the paper (8
-// spines, 8 leaves, 32 hosts per leaf, 10 Gb/s, 10us per link); the
-// experiment harness scales them down for CI-sized runs.
+// Package topo builds simulated fabrics from graph shapes: the paper's
+// leaf–spine evaluation topology (§4.1) and the three-tier k-ary
+// fat-tree, with ECMP routing tables computed from the graph, hosts
+// attached to edge switches, and optional link failure injection.
+// Default dimensions follow the paper (8 spines, 8 leaves, 32 hosts per
+// leaf, 10 Gb/s, 10us per link); the experiment harness scales them
+// down for CI-sized runs.
 package topo
 
 import (
@@ -21,8 +23,15 @@ import (
 	"abm/internal/units"
 )
 
-// Config describes a leaf–spine fabric.
+// Config describes a fabric: a shape (an explicit Graph, or the default
+// leaf–spine built from the dimension fields) plus the device-level
+// parameters shared by every switch.
 type Config struct {
+	// Topo is the fabric shape. nil builds a leaf–spine graph from the
+	// three dimension fields below; an explicit graph (e.g. FatTree(k))
+	// makes them irrelevant.
+	Topo *Graph
+
 	NumSpines    int
 	NumLeaves    int
 	HostsPerLeaf int
@@ -31,9 +40,9 @@ type Config struct {
 	LinkDelay units.Time
 
 	// UplinkRate, when positive and different from LinkRate, gives the
-	// leaf<->spine tier its own link speed (mixed-rate fabrics, e.g.
-	// 10G hosts under 25G uplinks). Zero keeps the uniform LinkRate.
-	// Host access links always run at LinkRate.
+	// switch<->switch tiers their own link speed (mixed-rate fabrics,
+	// e.g. 10G hosts under 25G uplinks). Zero keeps the uniform
+	// LinkRate. Host access links always run at LinkRate.
 	UplinkRate units.Rate
 
 	QueuesPerPort int
@@ -65,14 +74,17 @@ type Config struct {
 }
 
 func (c *Config) fillDefaults() {
-	if c.NumSpines <= 0 {
-		c.NumSpines = 8
-	}
-	if c.NumLeaves <= 0 {
-		c.NumLeaves = 8
-	}
-	if c.HostsPerLeaf <= 0 {
-		c.HostsPerLeaf = 32
+	if c.Topo == nil {
+		if c.NumSpines <= 0 {
+			c.NumSpines = 8
+		}
+		if c.NumLeaves <= 0 {
+			c.NumLeaves = 8
+		}
+		if c.HostsPerLeaf <= 0 {
+			c.HostsPerLeaf = 32
+		}
+		c.Topo = LeafSpine(c.NumSpines, c.NumLeaves, c.HostsPerLeaf)
 	}
 	if c.LinkRate <= 0 {
 		c.LinkRate = 10 * units.GigabitPerSec
@@ -84,9 +96,9 @@ func (c *Config) fillDefaults() {
 		c.QueuesPerPort = 1
 	}
 	if c.BufferSize <= 0 {
-		// Trident2: 9.6 KB per port per Gb/s (§4.1), sized by the leaf
-		// radix so leaves and spines share one config.
-		ports := c.HostsPerLeaf + c.NumSpines
+		// Trident2: 9.6 KB per port per Gb/s (§4.1), sized by the
+		// fabric's largest radix so all switches share one config.
+		ports := c.Topo.MaxPorts()
 		c.BufferSize = BufferFor(9.6, ports, c.LinkRate)
 	}
 	if c.BMFactory == nil {
@@ -99,12 +111,21 @@ func (c *Config) fillDefaults() {
 		c.MinRTO = 10 * units.Millisecond
 	}
 	if c.StatsInterval <= 0 {
-		c.StatsInterval = 8 * c.LinkDelay // one base RTT
+		c.StatsInterval = 8 * c.LinkDelay // one base RTT on the two-tier fabric
 	}
 }
 
-// Uplink returns the leaf<->spine tier rate: UplinkRate when set, the
-// uniform LinkRate otherwise. Workload generators define bisection
+// Graph returns the fabric shape the config will build, constructing
+// the default leaf–spine graph (and filling the other defaults) on
+// first use. The run layer uses it to derive partitions and to resolve
+// fault link names before the network exists.
+func (c *Config) Graph() *Graph {
+	c.fillDefaults()
+	return c.Topo
+}
+
+// Uplink returns the switch<->switch tier rate: UplinkRate when set,
+// the uniform LinkRate otherwise. Workload generators define bisection
 // capacity against it.
 func (c Config) Uplink() units.Rate {
 	if c.UplinkRate > 0 {
@@ -121,33 +142,37 @@ func BufferFor(kbPerPortPerGbps float64, ports int, rate units.Rate) units.ByteC
 }
 
 // Partition assigns every switch (and, implicitly, every host: a host
-// lives with its leaf) to a shard of the parallel engine.
+// lives with its edge switch) to a shard of the parallel engine.
 type Partition struct {
-	Shards     int
-	LeafShard  []int // per leaf index
-	SpineShard []int // per spine index
+	Shards      int
+	SwitchShard []int // per graph switch index
 }
 
-// MakePartition builds the standard partition: leaves in balanced
-// contiguous blocks (hosts follow their leaf, so rack-local traffic
-// stays shard-local), spines round-robin so every shard owns a share of
-// the core. Shards is clamped to [1, numLeaves] — beyond one shard per
-// leaf there is nothing left to split.
-func MakePartition(numLeaves, numSpines, shards int) Partition {
+// MakePartition builds the standard partition for any shape: edge
+// switches in balanced contiguous blocks (hosts follow their edge
+// switch, so rack-local traffic stays shard-local), higher tiers
+// round-robin by tier-local index so every shard owns a share of each
+// tier. Shards is clamped to [1, edge-switch count] — beyond one shard
+// per edge switch there is nothing left to split.
+func MakePartition(g *Graph, shards int) Partition {
+	numEdge := g.NumGroups()
 	if shards < 1 {
 		shards = 1
 	}
-	if shards > numLeaves {
-		shards = numLeaves
+	if shards > numEdge {
+		shards = numEdge
 	}
-	p := Partition{Shards: shards}
-	p.LeafShard = make([]int, numLeaves)
-	for l := range p.LeafShard {
-		p.LeafShard[l] = l * shards / numLeaves
-	}
-	p.SpineShard = make([]int, numSpines)
-	for sp := range p.SpineShard {
-		p.SpineShard[sp] = sp % shards
+	p := Partition{Shards: shards, SwitchShard: make([]int, g.NumSwitches())}
+	base := 0
+	for t := 0; t < g.Tiers; t++ {
+		for i := 0; i < g.TierCount[t]; i++ {
+			if t == 0 {
+				p.SwitchShard[base+i] = i * shards / numEdge
+			} else {
+				p.SwitchShard[base+i] = i % shards
+			}
+		}
+		base += g.TierCount[t]
 	}
 	return p
 }
@@ -155,19 +180,28 @@ func MakePartition(numLeaves, numSpines, shards int) Partition {
 // Network is a built fabric, driven either by one serial simulator
 // (Sim) or by the sharded parallel engine (Par); exactly one is set.
 type Network struct {
-	Sim    *sim.Simulator // serial mode; nil when sharded
-	Par    *sim.Parallel  // sharded mode; nil when serial
-	Part   Partition
-	Cfg    Config
+	Sim  *sim.Simulator // serial mode; nil when sharded
+	Par  *sim.Parallel  // sharded mode; nil when serial
+	Part Partition
+	Cfg  Config
+	G    *Graph
+
+	// Leaves holds the edge tier, Spines every higher tier, both in
+	// graph order (fat-tree "Spines" are the agg then core switches —
+	// the names keep the leaf–spine call sites readable).
 	Spines []*device.Switch
 	Leaves []*device.Switch
 	Hosts  []*host.Host
 
-	leafSim  []*sim.Simulator // per leaf: the simulator its devices schedule on
-	spineSim []*sim.Simulator
+	switches []*device.Switch // all switches, graph order
+	swSim    []*sim.Simulator // per switch: the simulator it schedules on
 
-	baseRTT              units.Time
-	intraHops, interHops int
+	rt        *routeTables
+	linkUp    []bool
+	linkRates [][2]units.Rate // built (lo, hi) port rates per link, for restore
+
+	baseRTT   units.Time
+	worstHops int
 
 	nextFlow uint64
 
@@ -179,17 +213,14 @@ type Network struct {
 	OnFlowStart func(id uint64, src, dst int, size units.ByteCount, prio uint8)
 }
 
-// NodeID layout: hosts are 0..N-1, leaves 10000+l, spines 20000+s.
-const (
-	leafIDBase  = 10000
-	spineIDBase = 20000
-)
-
 // NodeName renders a node ID as a human-readable label ("host3",
-// "leaf0", "spine2") following the fixed NodeID layout. Telemetry
-// exporters use it to name trace tracks and TSV rows.
+// "leaf0", "spine2", "core1") following the fixed tiered NodeID layout.
+// It is shape-blind (tier 0 is always "leaf", tier 2 "core"); prefer
+// Network.NodeName, which uses the built graph's own tier labels.
 func NodeName(id packet.NodeID) string {
 	switch {
+	case id >= coreIDBase:
+		return fmt.Sprintf("core%d", int(id)-coreIDBase)
 	case id >= spineIDBase:
 		return fmt.Sprintf("spine%d", int(id)-spineIDBase)
 	case id >= leafIDBase:
@@ -199,46 +230,44 @@ func NodeName(id packet.NodeID) string {
 	}
 }
 
+// NodeName renders a node ID with the fabric's own tier labels
+// ("edge0"/"agg1"/"core2" on a fat-tree, "leaf0"/"spine1" on
+// leaf–spine). Telemetry exporters use it to name trace tracks and TSV
+// rows.
+func (n *Network) NodeName(id packet.NodeID) string { return n.G.NodeNameOf(id) }
+
 // NewNetwork builds and wires the fabric on a single serial simulator.
 func NewNetwork(s *sim.Simulator, cfg Config) *Network {
 	cfg.fillDefaults()
-	n := &Network{Sim: s, Cfg: cfg}
-	n.Part = MakePartition(cfg.NumLeaves, cfg.NumSpines, 1)
-	n.leafSim = make([]*sim.Simulator, cfg.NumLeaves)
-	n.spineSim = make([]*sim.Simulator, cfg.NumSpines)
-	for i := range n.leafSim {
-		n.leafSim[i] = s
-	}
-	for i := range n.spineSim {
-		n.spineSim[i] = s
+	n := &Network{Sim: s, Cfg: cfg, G: cfg.Topo}
+	n.Part = MakePartition(n.G, 1)
+	n.swSim = make([]*sim.Simulator, n.G.NumSwitches())
+	for i := range n.swSim {
+		n.swSim[i] = s
 	}
 	n.build(s.Seed())
 	return n
 }
 
 // NewShardedNetwork builds the same fabric across the shards of a
-// parallel engine: each switch (and each host, via its leaf) schedules
-// on its shard's simulator, and every tier (leaf<->spine) link routes
-// through an engine mailbox — including same-shard tier links, so the
-// barrier merge order is a property of the topology alone and the run
-// is identical at any shard count.
+// parallel engine: each switch (and each host, via its edge switch)
+// schedules on its shard's simulator, and every switch<->switch link
+// routes through an engine mailbox — including same-shard tier links,
+// so the barrier merge order is a property of the topology alone and
+// the run is identical at any shard count.
 func NewShardedNetwork(p *sim.Parallel, cfg Config, part Partition) *Network {
 	cfg.fillDefaults()
 	if part.Shards != p.NumShards() {
 		panic(fmt.Sprintf("topo: partition has %d shards, engine has %d", part.Shards, p.NumShards()))
 	}
-	if len(part.LeafShard) != cfg.NumLeaves || len(part.SpineShard) != cfg.NumSpines {
-		panic(fmt.Sprintf("topo: partition covers %d leaves/%d spines, fabric has %d/%d",
-			len(part.LeafShard), len(part.SpineShard), cfg.NumLeaves, cfg.NumSpines))
+	if len(part.SwitchShard) != cfg.Topo.NumSwitches() {
+		panic(fmt.Sprintf("topo: partition covers %d switches, fabric has %d",
+			len(part.SwitchShard), cfg.Topo.NumSwitches()))
 	}
-	n := &Network{Par: p, Cfg: cfg, Part: part}
-	n.leafSim = make([]*sim.Simulator, cfg.NumLeaves)
-	n.spineSim = make([]*sim.Simulator, cfg.NumSpines)
-	for l, sh := range part.LeafShard {
-		n.leafSim[l] = p.Shard(sh)
-	}
-	for sp, sh := range part.SpineShard {
-		n.spineSim[sp] = p.Shard(sh)
+	n := &Network{Par: p, Cfg: cfg, Part: part, G: cfg.Topo}
+	n.swSim = make([]*sim.Simulator, n.G.NumSwitches())
+	for i, sh := range part.SwitchShard {
+		n.swSim[i] = p.Shard(sh)
 	}
 	n.build(p.Seed())
 	return n
@@ -251,9 +280,10 @@ func switchRNG(baseSeed int64, id int) *rand.Rand {
 	return rand.New(rand.NewSource(randutil.DeriveSeed(baseSeed, id)))
 }
 
-// tierLink creates one leaf<->spine link: direct in serial mode,
+// tierLink creates one switch<->switch link: direct in serial mode,
 // mailbox-routed in sharded mode. Mailboxes register in call order,
-// which build keeps partition-invariant (the l x sp wiring loop).
+// which build keeps partition-invariant (the canonical Graph.Links
+// order).
 func (n *Network) tierLink(src *sim.Simulator, dst device.Endpoint, dstShard int) *device.Link {
 	if n.Par == nil {
 		return device.NewLink(src, n.Cfg.LinkDelay, dst)
@@ -262,11 +292,12 @@ func (n *Network) tierLink(src *sim.Simulator, dst device.Endpoint, dstShard int
 	return device.NewLinkVia(src, n.Cfg.LinkDelay, dst, box)
 }
 
-// build constructs switches, wires the tier, derives hop counts from
-// the routed path, and attaches hosts. Tier links are wired before
-// hosts so the hop walk runs on the real forwarding state.
+// build constructs switches in graph order, wires the tiers along the
+// canonical link list, computes routing tables and hop counts from the
+// graph, and attaches hosts.
 func (n *Network) build(baseSeed int64) {
 	cfg := n.Cfg
+	g := n.G
 	mmuFor := func() device.MMUConfig {
 		return device.MMUConfig{
 			BufferSize:       cfg.BufferSize,
@@ -281,180 +312,149 @@ func (n *Network) build(baseSeed int64) {
 		}
 	}
 
-	// Mixed-rate fabrics: leaf uplink ports and the whole spine tier run
-	// at UplinkRate; host-facing ports stay at LinkRate. Uniform fabrics
-	// (UplinkRate zero or equal) take the single-rate path untouched.
-	var leafRates []units.Rate
-	spineRate := cfg.LinkRate
-	if up := cfg.UplinkRate; up > 0 && up != cfg.LinkRate {
-		leafRates = make([]units.Rate, cfg.HostsPerLeaf+cfg.NumSpines)
-		for i := range leafRates {
-			if i < cfg.HostsPerLeaf {
-				leafRates[i] = cfg.LinkRate
-			} else {
-				leafRates[i] = up
+	// Mixed-rate fabrics: every switch<->switch port runs at UplinkRate,
+	// host-facing ports stay at LinkRate. Uniform fabrics (UplinkRate
+	// zero or equal) take the single-rate path untouched.
+	mixed := cfg.UplinkRate > 0 && cfg.UplinkRate != cfg.LinkRate
+
+	n.switches = make([]*device.Switch, g.NumSwitches())
+	for i := range n.switches {
+		var portRates []units.Rate
+		if mixed {
+			portRates = make([]units.Rate, g.NumPorts(i))
+			for p := range portRates {
+				if g.Peer(i, p).ToHost {
+					portRates[p] = cfg.LinkRate
+				} else {
+					portRates[p] = cfg.UplinkRate
+				}
 			}
 		}
-		spineRate = up
-	}
-
-	for l := 0; l < cfg.NumLeaves; l++ {
-		sw := device.NewSwitch(n.leafSim[l], device.SwitchConfig{
-			ID:            packet.NodeID(leafIDBase + l),
-			NumPorts:      cfg.HostsPerLeaf + cfg.NumSpines,
+		sw := device.NewSwitch(n.swSim[i], device.SwitchConfig{
+			ID:            g.SwitchID(i),
+			NumPorts:      g.NumPorts(i),
 			QueuesPerPort: cfg.QueuesPerPort,
 			PortRate:      cfg.LinkRate,
-			PortRates:     leafRates,
+			PortRates:     portRates,
 			MMU:           mmuFor(),
 			NewScheduler:  cfg.NewScheduler,
 			EnableINT:     cfg.EnableINT,
-			RNG:           switchRNG(baseSeed, leafIDBase+l),
-			Obs:           cfg.Obs.ShardSink(n.Part.LeafShard[l]),
+			RNG:           switchRNG(baseSeed, int(g.SwitchID(i))),
+			Obs:           cfg.Obs.ShardSink(n.Part.SwitchShard[i]),
 		})
-		sw.SetRouter(n.leafRouter(l))
-		n.Leaves = append(n.Leaves, sw)
-	}
-	for sp := 0; sp < cfg.NumSpines; sp++ {
-		sw := device.NewSwitch(n.spineSim[sp], device.SwitchConfig{
-			ID:            packet.NodeID(spineIDBase + sp),
-			NumPorts:      cfg.NumLeaves,
-			QueuesPerPort: cfg.QueuesPerPort,
-			PortRate:      spineRate,
-			MMU:           mmuFor(),
-			NewScheduler:  cfg.NewScheduler,
-			EnableINT:     cfg.EnableINT,
-			RNG:           switchRNG(baseSeed, spineIDBase+sp),
-			Obs:           cfg.Obs.ShardSink(n.Part.SpineShard[sp]),
-		})
-		sw.SetRouter(n.spineRouter())
-		n.Spines = append(n.Spines, sw)
-	}
-
-	for l, leaf := range n.Leaves {
-		for sp, spine := range n.Spines {
-			leaf.ConnectPort(cfg.HostsPerLeaf+sp, n.tierLink(n.leafSim[l], spine, n.Part.SpineShard[sp]))
-			spine.ConnectPort(l, n.tierLink(n.spineSim[sp], leaf, n.Part.LeafShard[l]))
+		sw.SetRouter(n.tableRouter(i))
+		n.switches[i] = sw
+		if g.TierOf(i) == 0 {
+			n.Leaves = append(n.Leaves, sw)
+		} else {
+			n.Spines = append(n.Spines, sw)
 		}
 	}
 
-	n.intraHops = 2 // up to the leaf and back down: no pair to probe when HostsPerLeaf == 1
-	if cfg.HostsPerLeaf > 1 {
-		n.intraHops = n.routedHops(0, 1)
+	// Wire every switch<->switch link in canonical order: the lower-tier
+	// egress registers its mailbox first, then the upper-tier one — for
+	// leaf–spine this is exactly the historical l x sp double loop.
+	n.linkUp = make([]bool, len(g.Links))
+	n.linkRates = make([][2]units.Rate, len(g.Links))
+	for li := range g.Links {
+		lk := &g.Links[li]
+		lo, hi := n.switches[lk.Lo], n.switches[lk.Hi]
+		lo.ConnectPort(lk.LoPort, n.tierLink(n.swSim[lk.Lo], hi, n.Part.SwitchShard[lk.Hi]))
+		hi.ConnectPort(lk.HiPort, n.tierLink(n.swSim[lk.Hi], lo, n.Part.SwitchShard[lk.Lo]))
+		n.linkUp[li] = true
+		n.linkRates[li] = [2]units.Rate{lo.Port(lk.LoPort).Rate(), hi.Port(lk.HiPort).Rate()}
 	}
-	n.interHops = n.intraHops
-	if cfg.NumLeaves > 1 {
-		n.interHops = n.routedHops(0, cfg.HostsPerLeaf)
-	}
-	worst := n.interHops
-	if n.intraHops > worst {
-		worst = n.intraHops
-	}
-	n.baseRTT = units.Time(2*worst) * cfg.LinkDelay
 
-	numHosts := cfg.NumLeaves * cfg.HostsPerLeaf
+	// Routing tables and hop counts come from the graph, not from probe
+	// walks: one BFS per destination edge group yields the ECMP next-hop
+	// sets and the pairwise group distances in one pass.
+	n.rt = newRouteTables(g)
+	n.rt.recompute(g, n.linkUp)
+	n.worstHops = 2 // host up to the edge switch and back down
+	if d := n.rt.worstGroupDist(); d > 0 {
+		n.worstHops = 2 + d
+	}
+	n.baseRTT = units.Time(2*n.worstHops) * cfg.LinkDelay
+
+	numHosts := g.NumHosts()
 	for h := 0; h < numHosts; h++ {
-		l := h / cfg.HostsPerLeaf
-		leaf := n.Leaves[l]
-		s := n.leafSim[l]
-		hostPort := h % cfg.HostsPerLeaf
+		e := g.GroupOfHost(h)
+		edge := n.switches[e]
+		s := n.swSim[e]
+		hostPort := h % g.HostsPerEdge
 		hs := host.New(s, host.Config{
 			ID:      packet.NodeID(h),
 			Rate:    cfg.LinkRate,
 			BaseRTT: n.baseRTT,
 			MSS:     cfg.MSS,
 			MinRTO:  cfg.MinRTO,
-			Obs:     cfg.Obs.ShardSink(n.Part.LeafShard[l]),
+			Obs:     cfg.Obs.ShardSink(n.Part.SwitchShard[e]),
 		})
-		hs.Connect(device.NewLink(s, cfg.LinkDelay, leaf))
-		leaf.ConnectPort(hostPort, device.NewLink(s, cfg.LinkDelay, hs))
+		hs.Connect(device.NewLink(s, cfg.LinkDelay, edge))
+		edge.ConnectPort(hostPort, device.NewLink(s, cfg.LinkDelay, hs))
 		n.Hosts = append(n.Hosts, hs)
 	}
 }
 
-// routedHops counts link traversals on the path the installed routers
-// forward src->dst: the host uplink, switch-to-switch hops along real
-// links, and the final down-link to the destination host. ECMP spreads
-// flows across spines but never changes the hop count, so one probe
-// flow is representative.
-func (n *Network) routedHops(src, dst int) int {
-	if src == dst {
-		return 0
-	}
-	probe := &packet.Packet{Dst: packet.NodeID(dst), FlowID: 1}
-	cur := n.Leaves[n.LeafOf(src)]
-	hops := 1 // src host -> leaf
-	for step := 0; step < 16; step++ {
-		port := cur.RoutePort(probe)
-		if int(cur.ID()) < spineIDBase && port < n.Cfg.HostsPerLeaf {
-			return hops + 1 // leaf -> dst host
-		}
-		next, ok := cur.Port(port).Link().Dst().(*device.Switch)
-		if !ok {
-			panic(fmt.Sprintf("topo: routed path from %d to %d left the switch fabric", src, dst))
-		}
-		hops++
-		cur = next
-	}
-	panic(fmt.Sprintf("topo: routed path from %d to %d did not terminate", src, dst))
-}
-
-// leafRouter forwards to the local host port or ECMP-hashes the flow
-// onto an uplink.
-func (n *Network) leafRouter(leafIdx int) device.Router {
-	hpl := n.Cfg.HostsPerLeaf
-	lo := packet.NodeID(leafIdx * hpl)
-	hi := lo + packet.NodeID(hpl)
+// tableRouter adapts switch i's forwarding table to the device router
+// interface. The closure reads the shared table state on every packet,
+// so a table recompute (link failure) applies to the next routed packet
+// with no per-packet allocation.
+func (n *Network) tableRouter(i int) device.Router {
+	hpe := n.G.HostsPerEdge
 	return func(_ *device.Switch, pkt *packet.Packet) int {
-		if pkt.Dst >= lo && pkt.Dst < hi {
-			return int(pkt.Dst - lo)
-		}
-		return hpl + int(ecmpHash(pkt.FlowID)%uint64(n.Cfg.NumSpines))
+		return n.rt.routeFrom(i, hpe, pkt)
 	}
-}
-
-// spineRouter forwards down to the destination's leaf.
-func (n *Network) spineRouter() device.Router {
-	hpl := n.Cfg.HostsPerLeaf
-	return func(_ *device.Switch, pkt *packet.Packet) int {
-		return int(pkt.Dst) / hpl
-	}
-}
-
-// ecmpHash mixes the flow ID (splitmix64 finalizer) so consecutive flow
-// IDs spread across spines.
-func ecmpHash(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
 }
 
 // NumHosts returns the host count.
 func (n *Network) NumHosts() int { return len(n.Hosts) }
 
-// LeafOf returns the leaf (rack) index of a host index.
-func (n *Network) LeafOf(hostIdx int) int { return hostIdx / n.Cfg.HostsPerLeaf }
+// GroupOf returns the edge group (rack) index of a host index.
+func (n *Network) GroupOf(hostIdx int) int { return n.G.GroupOfHost(hostIdx) }
+
+// LeafOf is GroupOf under its historical leaf–spine name.
+func (n *Network) LeafOf(hostIdx int) int { return n.GroupOf(hostIdx) }
+
+// HostsPerGroup returns the uniform host count per edge group.
+func (n *Network) HostsPerGroup() int { return n.G.HostsPerEdge }
+
+// BisectionBits returns the fabric's bisection capacity in bits/s: the
+// aggregate rate of every edge-switch uplink, the denominator workload
+// load fractions are defined against. On leaf–spine this is
+// leaves x spines x uplink rate.
+func (n *Network) BisectionBits() units.Rate {
+	var total units.Rate
+	for li := range n.G.Links {
+		if n.G.TierOf(n.G.Links[li].Lo) == 0 {
+			total += n.linkRates[li][0]
+		}
+	}
+	return total
+}
 
 // BaseRTT returns the propagation round-trip of the longest path,
-// derived from the hop count the installed routers actually report
-// (eight link traversals on the paper's two-tier fabric).
+// derived from the routing tables' worst pairwise hop count (eight link
+// traversals on the paper's two-tier fabric, twelve on a fat-tree).
 func (n *Network) BaseRTT() units.Time { return n.baseRTT }
 
-// Hops returns the one-way hop-link count between two hosts, measured
-// on the routed path at build time.
+// Hops returns the one-way hop-link count between two hosts on the
+// routed path: the two host access links plus the switch-to-switch
+// distance between their edge groups.
 func (n *Network) Hops(src, dst int) int {
-	if n.LeafOf(src) == n.LeafOf(dst) {
-		return n.intraHops
+	a, b := n.GroupOf(src), n.GroupOf(dst)
+	if a == b {
+		return 2
 	}
-	return n.interHops
+	return 2 + int(n.rt.groupDist[b][a])
 }
 
 // SimOfHost returns the simulator host h's events must schedule on (the
-// serial simulator, or in sharded mode its leaf's shard).
-func (n *Network) SimOfHost(h int) *sim.Simulator { return n.leafSim[n.LeafOf(h)] }
+// serial simulator, or in sharded mode its edge switch's shard).
+func (n *Network) SimOfHost(h int) *sim.Simulator { return n.swSim[n.GroupOf(h)] }
 
 // ShardOfHost returns host h's shard index.
-func (n *Network) ShardOfHost(h int) int { return n.Part.LeafShard[n.LeafOf(h)] }
+func (n *Network) ShardOfHost(h int) int { return n.Part.SwitchShard[n.GroupOf(h)] }
 
 // IdealFCT returns the completion time the flow would see alone in the
 // fabric: round-trip propagation (the FCT is measured at the sender, so
@@ -514,9 +514,11 @@ type PathHop struct {
 
 // PathQueues appends to buf the egress (switch, port) pairs a flow's
 // packets traverse from src to dst, in path order, by walking the
-// installed routers with the flow's real ID — so the ECMP spine choice
+// forwarding tables with the flow's real ID — so the ECMP choice
 // matches what the packet engine will do. The hybrid engine uses it to
-// map a fluid flow's rate onto the queues it loads.
+// map a fluid flow's rate onto the queues it loads. The walk follows
+// graph adjacency, so it terminates for any shape; it panics if the
+// destination became unreachable (a failed fabric partition).
 func (n *Network) PathQueues(flowID uint64, src, dst int, buf []PathHop) []PathHop {
 	if src == dst {
 		return buf
@@ -524,18 +526,18 @@ func (n *Network) PathQueues(flowID uint64, src, dst int, buf []PathHop) []PathH
 	var probe packet.Packet
 	probe.Dst = packet.NodeID(dst)
 	probe.FlowID = flowID
-	cur := n.Leaves[n.LeafOf(src)]
-	for step := 0; step < 16; step++ {
-		port := cur.RoutePort(&probe)
-		buf = append(buf, PathHop{Sw: cur, Port: port})
-		if int(cur.ID()) < spineIDBase && port < n.Cfg.HostsPerLeaf {
-			return buf // leaf egress toward the destination host
+	cur := n.GroupOf(src)
+	for range n.switches {
+		port := n.rt.routeFrom(cur, n.G.HostsPerEdge, &probe)
+		if port < 0 {
+			panic(fmt.Sprintf("topo: no route from %d to %d (failed links partitioned the fabric)", src, dst))
 		}
-		next, ok := cur.Port(port).Link().Dst().(*device.Switch)
-		if !ok {
-			panic(fmt.Sprintf("topo: routed path from %d to %d left the switch fabric", src, dst))
+		buf = append(buf, PathHop{Sw: n.switches[cur], Port: port})
+		ref := n.G.Peer(cur, port)
+		if ref.ToHost {
+			return buf
 		}
-		cur = next
+		cur = int(ref.Peer)
 	}
 	panic(fmt.Sprintf("topo: routed path from %d to %d did not terminate", src, dst))
 }
@@ -546,7 +548,7 @@ func (n *Network) PathQueues(flowID uint64, src, dst int, buf []PathHop) []PathH
 // a window barrier).
 func (n *Network) WorstBufferFrac() float64 {
 	worst := 0.0
-	for _, sw := range n.Switches() {
+	for _, sw := range n.switches {
 		if f := float64(sw.MMU().TotalUsed()) / float64(n.Cfg.BufferSize); f > worst {
 			worst = f
 		}
@@ -554,26 +556,26 @@ func (n *Network) WorstBufferFrac() float64 {
 	return worst
 }
 
-// Switches returns all switches, leaves first.
-func (n *Network) Switches() []*device.Switch {
-	out := make([]*device.Switch, 0, len(n.Leaves)+len(n.Spines))
-	out = append(out, n.Leaves...)
-	out = append(out, n.Spines...)
-	return out
-}
+// Switches returns all switches in graph order (edge tier first). The
+// slice is the network's own — callers must not mutate it.
+func (n *Network) Switches() []*device.Switch { return n.switches }
+
+// SwitchAt returns the switch at graph index i.
+func (n *Network) SwitchAt(i int) *device.Switch { return n.switches[i] }
 
 // Stop cancels all periodic switch tickers.
 func (n *Network) Stop() {
-	for _, sw := range n.Switches() {
+	for _, sw := range n.switches {
 		sw.Stop()
 	}
 }
 
-// TotalDrops sums packet drops across the fabric.
+// TotalDrops sums packet drops across the fabric, including packets
+// dropped for lack of any route (black-holed during link failures).
 func (n *Network) TotalDrops() int64 {
 	var total int64
-	for _, sw := range n.Switches() {
-		total += sw.TotalDrops()
+	for _, sw := range n.switches {
+		total += sw.TotalDrops() + sw.RouteDrops
 	}
 	return total
 }

@@ -82,11 +82,8 @@ func (r *Recorder) Write(w io.Writer) error {
 	if _, err := fmt.Fprint(w, "time_us"); err != nil {
 		return err
 	}
-	for i := range r.Net.Leaves {
-		fmt.Fprintf(w, "\tleaf%d", i)
-	}
-	for i := range r.Net.Spines {
-		fmt.Fprintf(w, "\tspine%d", i)
+	for _, sw := range r.Net.Switches() {
+		fmt.Fprintf(w, "\t%s", r.Net.NodeName(sw.ID()))
 	}
 	fmt.Fprintln(w)
 	for _, s := range r.Samples {
@@ -115,7 +112,7 @@ func WriteQueueCounters(w io.Writer, n *topo.Network) error {
 		return err
 	}
 	for _, sw := range n.Switches() {
-		name := topo.NodeName(sw.ID())
+		name := n.NodeName(sw.ID())
 		for p := 0; p < sw.NumPorts(); p++ {
 			for qi := 0; qi < sw.Prios(); qi++ {
 				q := sw.Port(p).Queue(qi)

@@ -72,10 +72,9 @@ func (w *WebSearch) Start() {
 // the bytes across the bisection, so the arrival rate is scaled to make
 // that fraction equal Load * bisection capacity.
 func (w *WebSearch) interArrival() units.Time {
-	cfg := w.Net.Cfg
-	bisection := float64(cfg.Uplink()) * float64(cfg.NumLeaves*cfg.NumSpines) // bits/s
+	bisection := float64(w.Net.BisectionBits()) // bits/s: edge uplink aggregate
 	n := float64(w.Net.NumHosts())
-	interRackFrac := (n - float64(cfg.HostsPerLeaf)) / (n - 1)
+	interRackFrac := (n - float64(w.Net.HostsPerGroup())) / (n - 1)
 	flowsPerSec := w.Load * bisection / (w.Sizes.Mean() * 8 * interRackFrac)
 	return units.Time(float64(units.Second) / flowsPerSec)
 }
@@ -258,12 +257,12 @@ func (ic *Incast) launchQuery() {
 	rng := ic.rng
 	n := ic.Net.NumHosts()
 	requester := rng.Intn(n)
-	reqLeaf := ic.Net.LeafOf(requester)
+	reqGroup := ic.Net.GroupOf(requester)
 
 	// Responders come from racks other than the requester's.
 	var candidates []int
 	for h := 0; h < n; h++ {
-		if ic.Net.LeafOf(h) != reqLeaf {
+		if ic.Net.GroupOf(h) != reqGroup {
 			candidates = append(candidates, h)
 		}
 	}
@@ -359,10 +358,10 @@ func (ic *Incast) generate(horizon units.Time) []genQuery {
 			return out
 		}
 		requester := rng.Intn(n)
-		reqLeaf := ic.Net.LeafOf(requester)
+		reqGroup := ic.Net.GroupOf(requester)
 		var candidates []int
 		for h := 0; h < n; h++ {
-			if ic.Net.LeafOf(h) != reqLeaf {
+			if ic.Net.GroupOf(h) != reqGroup {
 				candidates = append(candidates, h)
 			}
 		}
